@@ -1,0 +1,53 @@
+//! Criterion micro-benchmark behind Figure 13: per-frame processing cost
+//! of the vanilla vs PathDump datapaths across packet sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pathdump_dpswitch::{build_frame, DataPath, FrameBatch, Mode};
+use pathdump_topology::{FlowId, Ip};
+
+fn batch(pkt_size: usize, flows: usize) -> FrameBatch {
+    let overhead = 14 + 20 + 20;
+    let frames: Vec<Vec<u8>> = (0..flows)
+        .map(|i| {
+            let flow = FlowId::tcp(
+                Ip(0x0A00_0002 + (i as u32 % 4096)),
+                1024 + (i % 60000) as u16,
+                Ip(0x0A63_0002),
+                80,
+            );
+            let tags: Vec<u16> = if i % 2 == 0 {
+                vec![(i % 4096) as u16]
+            } else {
+                vec![(i % 4096) as u16, ((i * 7) % 4096) as u16]
+            };
+            let payload = pkt_size.saturating_sub(overhead + tags.len() * 4).max(6);
+            build_frame(&flow, &tags, 0, payload)
+        })
+        .collect();
+    FrameBatch::new(frames)
+}
+
+fn bench_datapath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpswitch");
+    group.sample_size(20);
+    for &size in &[64usize, 512, 1500] {
+        for (label, mode) in [("vanilla", Mode::Vanilla), ("pathdump", Mode::PathDump)] {
+            group.throughput(Throughput::Elements(4096));
+            group.bench_with_input(
+                BenchmarkId::new(label, size),
+                &size,
+                |b, &size| {
+                    let mut dp = DataPath::new(mode);
+                    dp.learn([0x02, 0, 0, 0, 0, 0x01], 1);
+                    let mut batch = batch(size, 4096);
+                    batch.run_once(&mut dp); // warm-up: live flow records
+                    b.iter(|| batch.run_once(&mut dp));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_datapath);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion micro-benchmark: trajectory construction cost (the per-record
+//! work of Figure 2) — cold reconstruction vs trajectory-cache hits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathdump_cherrypick::{
+    tags_for_walk, CacheKey, FatTreeCherryPick, FatTreeReconstructor, TrajectoryCache,
+};
+use pathdump_topology::{FatTree, FatTreeParams, HostId, UpDownRouting};
+
+fn bench_reconstruct(c: &mut Criterion) {
+    let ft = FatTree::build(FatTreeParams { k: 8 });
+    let policy = FatTreeCherryPick::new(ft.clone());
+    let recon = FatTreeReconstructor::new(ft.clone());
+    // Pre-compute (src, dst, headers) for a mix of inter-pod paths.
+    let cases: Vec<_> = (0..64u32)
+        .map(|i| {
+            let src = HostId(i % 128);
+            let dst = HostId((i * 37 + 5) % 128);
+            if src == dst {
+                return None;
+            }
+            let paths = ft.all_paths(src, dst);
+            let path = &paths[i as usize % paths.len()];
+            let headers = tags_for_walk(&policy, &ft, &path.0);
+            Some((src, dst, headers))
+        })
+        .flatten()
+        .collect();
+
+    let mut group = c.benchmark_group("reconstruct");
+    group.bench_function("cold_decode", |b| {
+        b.iter(|| {
+            for (src, dst, headers) in &cases {
+                let _ = recon.reconstruct(*src, *dst, headers).unwrap();
+            }
+        })
+    });
+    group.bench_function("cached_decode", |b| {
+        let mut cache = TrajectoryCache::new(4096);
+        // Warm the cache.
+        for (src, dst, headers) in &cases {
+            let key = CacheKey {
+                src_ip: pathdump_topology::Ip(src.0),
+                dscp_sample: headers.dscp_sample(),
+                tags: headers.tags.clone(),
+            };
+            let p = recon.reconstruct(*src, *dst, headers).unwrap();
+            cache.insert(key, p);
+        }
+        b.iter(|| {
+            for (src, _dst, headers) in &cases {
+                let key = CacheKey {
+                    src_ip: pathdump_topology::Ip(src.0),
+                    dscp_sample: headers.dscp_sample(),
+                    tags: headers.tags.clone(),
+                };
+                let _ = cache.lookup(&key).expect("warmed");
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reconstruct);
+criterion_main!(benches);

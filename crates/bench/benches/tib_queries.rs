@@ -1,0 +1,42 @@
+//! Criterion micro-benchmark behind Table 1: latency of the Host API
+//! queries against a paper-scale (240K-record) TIB.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pathdump_bench::synth_tib;
+use pathdump_topology::{
+    FatTree, FatTreeParams, HostId, LinkDir, LinkPattern, TimeRange, UpDownRouting,
+};
+
+fn bench_tib(c: &mut Criterion) {
+    let ft = FatTree::build(FatTreeParams { k: 8 });
+    let tib = synth_tib(&ft, HostId(0), 240_000, 1);
+    let flow = tib.records()[1000].flow;
+    let path = tib.records()[1000].path.clone();
+    let link = LinkDir::new(ft.agg(0, 0), ft.core(0));
+    let tor = ft.topology().host(HostId(0)).tor;
+
+    let mut group = c.benchmark_group("tib_240k");
+    group.sample_size(20);
+    group.bench_function("get_flows_link", |b| {
+        b.iter(|| tib.get_flows(LinkPattern::exact(link.from, link.to), TimeRange::ANY))
+    });
+    group.bench_function("get_flows_wildcard_into_tor", |b| {
+        b.iter(|| tib.get_flows(LinkPattern::into(tor), TimeRange::ANY))
+    });
+    group.bench_function("get_paths", |b| {
+        b.iter(|| tib.get_paths(flow, LinkPattern::ANY, TimeRange::ANY))
+    });
+    group.bench_function("get_count", |b| {
+        b.iter(|| tib.get_count(flow, Some(&path), TimeRange::ANY))
+    });
+    group.bench_function("get_duration", |b| {
+        b.iter(|| tib.get_duration(flow, None, TimeRange::ANY))
+    });
+    group.bench_function("top_k_10000", |b| {
+        b.iter(|| tib.top_k_flows(10_000, TimeRange::ANY))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tib);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion micro-benchmark: wire codec throughput for TIB records and
+//! query responses (the serialization on the Figure 11/12 management path).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pathdump_bench::synth_tib;
+use pathdump_core::Response;
+use pathdump_tib::TibRecord;
+use pathdump_topology::{FatTree, FatTreeParams, HostId, TimeRange};
+
+fn bench_codec(c: &mut Criterion) {
+    let ft = FatTree::build(FatTreeParams { k: 8 });
+    let tib = synth_tib(&ft, HostId(0), 10_000, 1);
+    let records: Vec<TibRecord> = tib.records().to_vec();
+    let encoded = pathdump_wire::to_bytes(&records);
+    let topk = Response::TopK {
+        k: 10_000,
+        entries: tib.top_k_flows(10_000, TimeRange::ANY),
+    };
+    let topk_bytes = pathdump_wire::to_bytes(&topk);
+
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_10k_records", |b| {
+        b.iter(|| pathdump_wire::to_bytes(&records))
+    });
+    group.bench_function("decode_10k_records", |b| {
+        b.iter(|| pathdump_wire::from_bytes::<Vec<TibRecord>>(&encoded).unwrap())
+    });
+    group.throughput(Throughput::Bytes(topk_bytes.len() as u64));
+    group.bench_function("encode_topk_response", |b| {
+        b.iter(|| pathdump_wire::to_bytes(&topk))
+    });
+    group.bench_function("decode_topk_response", |b| {
+        b.iter(|| pathdump_wire::from_bytes::<Response>(&topk_bytes).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! Shared harness utilities for the table/figure reproduction binaries and
+//! the Criterion micro-benchmarks.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the index) and prints the same rows/series the
+//! paper reports, plus a `paper:` reference line for EXPERIMENTS.md.
+
+use pathdump_tib::{Tib, TibRecord};
+use pathdump_topology::{FatTree, FlowId, HostId, Nanos, UpDownRouting};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Minimal CLI flags shared by the reproduction binaries.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Run at full paper scale (slower).
+    pub full: bool,
+    /// Number of repeated runs for averaged experiments.
+    pub runs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Args {
+    /// Parses `--full`, `--runs N`, `--seed N` from `std::env::args`.
+    pub fn parse() -> Args {
+        let mut args = Args {
+            full: false,
+            runs: 0, // 0 = binary default
+            seed: 1,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => args.full = true,
+                "--runs" => {
+                    args.runs = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--runs needs a number");
+                }
+                "--seed" => {
+                    args.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs a number");
+                }
+                other => eprintln!("ignoring unknown flag {other}"),
+            }
+        }
+        args
+    }
+}
+
+/// Prints a header block for a figure/table reproduction.
+pub fn banner(id: &str, title: &str, paper: &str) {
+    println!("==============================================================");
+    println!("{id}: {title}");
+    println!("paper: {paper}");
+    println!("==============================================================");
+}
+
+/// Prints one aligned table row.
+pub fn row(cells: &[String]) {
+    let line = cells
+        .iter()
+        .map(|c| format!("{c:>14}"))
+        .collect::<Vec<_>>()
+        .join("  ");
+    println!("{line}");
+}
+
+/// Formats a nanosecond value as engineering time.
+pub fn fmt_time(ns: Nanos) -> String {
+    format!("{ns}")
+}
+
+/// Formats a byte count with units.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 10_000_000 {
+        format!("{:.1}MB", b as f64 / 1e6)
+    } else if b >= 10_000 {
+        format!("{:.1}KB", b as f64 / 1e3)
+    } else {
+        format!("{b}B")
+    }
+}
+
+/// Builds a synthetic per-host TIB with `n` records whose paths are real
+/// shortest paths of `ft` — the Figure 11/12 population ("each TIB has
+/// 240K flow entries, roughly an hour of flows at a server").
+pub fn synth_tib(ft: &FatTree, host: HostId, n: usize, seed: u64) -> Tib {
+    let mut rng = SmallRng::seed_from_u64(seed ^ (host.0 as u64) << 17);
+    let topo = ft.topology();
+    let num_hosts = topo.num_hosts() as u32;
+    let mut tib = Tib::new();
+    let hour = Nanos::from_secs(3600);
+    for i in 0..n {
+        let src = loop {
+            let c = HostId(rng.gen_range(0..num_hosts));
+            if c != host {
+                break c;
+            }
+        };
+        let paths = ft.all_paths(src, host);
+        let path = paths[rng.gen_range(0..paths.len())].clone();
+        let flow = FlowId::tcp(
+            topo.host(src).ip,
+            1024 + (i % 60000) as u16,
+            topo.host(host).ip,
+            80,
+        );
+        // Heavy-tailed sizes: mice with an elephant tail.
+        let bytes: u64 = if rng.gen::<f64>() < 0.9 {
+            rng.gen_range(200..100_000)
+        } else {
+            rng.gen_range(100_000..30_000_000)
+        };
+        let start = Nanos(rng.gen_range(0..hour.0));
+        let dur = Nanos(rng.gen_range(1_000_000..10_000_000_000));
+        tib.insert(TibRecord {
+            flow,
+            path,
+            stime: start,
+            etime: start.saturating_add(dur),
+            bytes,
+            pkts: bytes / 1460 + 1,
+        });
+    }
+    tib
+}
+
+/// Mean over a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Standard error of the mean (the Figure 8 error bars: `σ/√n`).
+pub fn stderr(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    (var / xs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathdump_topology::FatTreeParams;
+
+    #[test]
+    fn synth_tib_is_valid_and_deterministic() {
+        let ft = FatTree::build(FatTreeParams { k: 4 });
+        let a = synth_tib(&ft, HostId(3), 500, 42);
+        let b = synth_tib(&ft, HostId(3), 500, 42);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a.records(), b.records());
+        for rec in a.records() {
+            assert_eq!(rec.path.last(), Some(ft.topology().host(HostId(3)).tor));
+            assert!(rec.bytes > 0);
+        }
+        let c = synth_tib(&ft, HostId(4), 500, 42);
+        assert_ne!(a.records(), c.records(), "per-host variation");
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!(stderr(&[5.0]) == 0.0);
+        let se = stderr(&[1.0, 2.0, 3.0, 4.0]);
+        assert!(se > 0.6 && se < 0.7, "{se}");
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(500), "500B");
+        assert_eq!(fmt_bytes(50_000), "50.0KB");
+        assert_eq!(fmt_bytes(15_000_000), "15.0MB");
+    }
+}

@@ -1,0 +1,773 @@
+//! Path reconstruction: sampled link IDs + static topology → end-to-end
+//! switch path (§3.2 "trajectory construction").
+//!
+//! Delivered packets carry at most two VLAN tags (plus VL2's DSCP sample);
+//! those decode through closed-form case analysis. Packets with three or
+//! more tags only exist on the controller slow path (punts), where the
+//! general [`search`](FatTreeReconstructor::search_walk) recovers every
+//! trajectory consistent with the samples.
+//!
+//! Reconstruction also implements the §2.4 safety net: a tag combination
+//! that is topologically infeasible (a switch inserted a wrong ID) is
+//! reported as [`ReconstructError::Inconsistent`] rather than silently
+//! decoded, because "PathDump continually compares the extracted packet
+//! trajectory to the ground truth (network topology)".
+
+use crate::ids::{FatTreeIds, FtTag, Vl2Ids, Vl2Tag};
+use pathdump_simnet::TagHeaders;
+use pathdump_topology::{FatTree, HostId, Path, Peer, SwitchId, Tier, UpDownRouting, Vl2};
+use std::fmt;
+
+/// Why a trajectory could not be reconstructed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReconstructError {
+    /// The tag set cannot describe a complete path for this host pair.
+    Incomplete,
+    /// A tag value outside every defined ID range.
+    InvalidTag(u16),
+    /// The tags are well-formed but topologically infeasible — the §2.4
+    /// "switch inserted an incorrect switchID" alarm.
+    Inconsistent(&'static str),
+    /// Slow-path search found no consistent walk.
+    NoMatch,
+    /// Slow-path search found more than one consistent walk.
+    Ambiguous(usize),
+}
+
+impl fmt::Display for ReconstructError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconstructError::Incomplete => write!(f, "tag set incomplete for host pair"),
+            ReconstructError::InvalidTag(t) => write!(f, "tag {t} outside all ID ranges"),
+            ReconstructError::Inconsistent(why) => {
+                write!(f, "topologically infeasible trajectory: {why}")
+            }
+            ReconstructError::NoMatch => write!(f, "no walk consistent with samples"),
+            ReconstructError::Ambiguous(n) => write!(f, "{n} walks consistent with samples"),
+        }
+    }
+}
+
+impl std::error::Error for ReconstructError {}
+
+/// Fat-tree trajectory reconstructor.
+#[derive(Clone, Debug)]
+pub struct FatTreeReconstructor {
+    ft: FatTree,
+    ids: FatTreeIds,
+}
+
+impl FatTreeReconstructor {
+    /// Builds a reconstructor for a topology.
+    pub fn new(ft: FatTree) -> Self {
+        let ids = FatTreeIds::for_topology(&ft);
+        FatTreeReconstructor { ft, ids }
+    }
+
+    /// The topology in use.
+    pub fn fattree(&self) -> &FatTree {
+        &self.ft
+    }
+
+    /// Reconstructs the path of a packet delivered from `src` to `dst`
+    /// carrying `headers`.
+    pub fn reconstruct(
+        &self,
+        src: HostId,
+        dst: HostId,
+        headers: &TagHeaders,
+    ) -> Result<Path, ReconstructError> {
+        let (sp, st, _) = self.ft.host_coords(src);
+        let (dp, dt, _) = self.ft.host_coords(dst);
+        let tor_s = self.ft.tor(sp, st);
+        let tor_d = self.ft.tor(dp, dt);
+        let tags = &headers.tags;
+
+        match tags.len() {
+            0 => {
+                if tor_s == tor_d {
+                    Ok(Path::new(vec![tor_s]))
+                } else {
+                    Err(ReconstructError::Incomplete)
+                }
+            }
+            1 => {
+                let tag = self
+                    .ids
+                    .classify(tags[0])
+                    .ok_or(ReconstructError::InvalidTag(tags[0]))?;
+                match tag {
+                    FtTag::TorAgg { tor_pos, agg_pos } => {
+                        if tor_pos != st {
+                            return Err(ReconstructError::Inconsistent(
+                                "sampled ToR-Agg link does not start at the source ToR",
+                            ));
+                        }
+                        if sp != dp {
+                            return Err(ReconstructError::Incomplete);
+                        }
+                        if tor_s == tor_d {
+                            return Err(ReconstructError::Inconsistent(
+                                "intra-rack packet carries a link sample",
+                            ));
+                        }
+                        Ok(Path::new(vec![tor_s, self.ft.agg(sp, agg_pos), tor_d]))
+                    }
+                    FtTag::AggCore { .. } => Err(ReconstructError::Inconsistent(
+                        "core-link sample without the preceding ToR-link sample",
+                    )),
+                }
+            }
+            2 => {
+                let t1 = self
+                    .ids
+                    .classify(tags[0])
+                    .ok_or(ReconstructError::InvalidTag(tags[0]))?;
+                let t2 = self
+                    .ids
+                    .classify(tags[1])
+                    .ok_or(ReconstructError::InvalidTag(tags[1]))?;
+                let FtTag::TorAgg { tor_pos, agg_pos: a1 } = t1 else {
+                    return Err(ReconstructError::Inconsistent(
+                        "first sample must be the source ToR-Agg link",
+                    ));
+                };
+                if tor_pos != st {
+                    return Err(ReconstructError::Inconsistent(
+                        "sampled ToR-Agg link does not start at the source ToR",
+                    ));
+                }
+                let agg_s = self.ft.agg(sp, a1);
+                match t2 {
+                    FtTag::AggCore { core_index } => {
+                        // Inter-pod (or core-turn) shape: ToR Agg Core Agg ToR.
+                        if self.ft.core_agg_position(core_index) != a1 {
+                            return Err(ReconstructError::Inconsistent(
+                                "core is not wired to the sampled source aggregate",
+                            ));
+                        }
+                        let agg_d = self.ft.agg(dp, a1);
+                        Ok(Path::new(vec![
+                            tor_s,
+                            agg_s,
+                            self.ft.core(core_index),
+                            agg_d,
+                            tor_d,
+                        ]))
+                    }
+                    FtTag::TorAgg {
+                        tor_pos: ty,
+                        agg_pos: a2,
+                    } => {
+                        // Intra-pod 2-hop detour: ToR Agg ToR' Agg' ToR.
+                        if sp != dp {
+                            return Err(ReconstructError::Inconsistent(
+                                "two intra-pod samples for an inter-pod packet",
+                            ));
+                        }
+                        Ok(Path::new(vec![
+                            tor_s,
+                            agg_s,
+                            self.ft.tor(sp, ty),
+                            self.ft.agg(sp, a2),
+                            tor_d,
+                        ]))
+                    }
+                }
+            }
+            _ => {
+                // Slow path (the ASIC would have punted such a packet): full
+                // search anchored at both ToRs.
+                let matches = self.search_walk(tor_s, tor_d, None, tags, 2 * tags.len() + 5);
+                match matches.len() {
+                    0 => Err(ReconstructError::NoMatch),
+                    1 => Ok(matches.into_iter().next().expect("len checked")),
+                    n => Err(ReconstructError::Ambiguous(n)),
+                }
+            }
+        }
+    }
+
+    /// Finds every walk from `start` to `end` consistent with the sample
+    /// sequence under the parity rules (samples pinned at even positions),
+    /// up to `max_switches` switches. Used for punted packets and for
+    /// diagnosing infeasible trajectories.
+    pub fn search_walk(
+        &self,
+        start: SwitchId,
+        end: SwitchId,
+        prev_of_end: Option<SwitchId>,
+        tags: &[u16],
+        max_switches: usize,
+    ) -> Vec<Path> {
+        let mut results = Vec::new();
+        let mut walk = vec![start];
+        self.dfs(end, prev_of_end, tags, max_switches, &mut walk, 0, &mut results);
+        results
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &self,
+        end: SwitchId,
+        prev_of_end: Option<SwitchId>,
+        tags: &[u16],
+        max_switches: usize,
+        walk: &mut Vec<SwitchId>,
+        consumed: usize,
+        results: &mut Vec<Path>,
+    ) {
+        // Cap ambiguity detection; callers only distinguish 0/1/many.
+        if results.len() >= 8 {
+            return;
+        }
+        let cur = *walk.last().expect("walk never empty");
+        let prev_ok = prev_of_end.is_none()
+            || (walk.len() >= 2 && prev_of_end == Some(walk[walk.len() - 2]));
+        if cur == end && consumed == tags.len() && prev_ok {
+            results.push(Path::new(walk.clone()));
+            // A longer extension could also end at `end`; keep searching
+            // only if we could still consume samples (we cannot: all are
+            // consumed and any 2 more hops would demand one more sample
+            // only at even positions — a 2-hop extension consumes exactly
+            // one more sample, so no unconsumed-extension exists). Stop.
+            return;
+        }
+        if walk.len() >= max_switches {
+            return;
+        }
+        let next_pos = walk.len() + 1; // 1-based position of the next switch
+        for (_port, nb) in self.ft.topology().switch_neighbors(cur) {
+            if next_pos % 2 == 0 {
+                // Even switch: its ingress link must match the next sample.
+                if consumed >= tags.len() {
+                    continue;
+                }
+                let expected = tags[consumed];
+                match self.ids.ingress_tag(&self.ft, cur, nb) {
+                    Some(tag) if tag == expected => {
+                        walk.push(nb);
+                        self.dfs(end, prev_of_end, tags, max_switches, walk, consumed + 1, results);
+                        walk.pop();
+                    }
+                    _ => {}
+                }
+            } else {
+                walk.push(nb);
+                self.dfs(end, prev_of_end, tags, max_switches, walk, consumed, results);
+                walk.pop();
+            }
+        }
+    }
+}
+
+/// VL2 trajectory reconstructor.
+#[derive(Clone, Debug)]
+pub struct Vl2Reconstructor {
+    v: Vl2,
+    ids: Vl2Ids,
+}
+
+impl Vl2Reconstructor {
+    /// Builds a reconstructor for a topology.
+    pub fn new(v: Vl2) -> Self {
+        let ids = Vl2Ids::for_topology(&v);
+        Vl2Reconstructor { v, ids }
+    }
+
+    /// The topology in use.
+    pub fn vl2(&self) -> &Vl2 {
+        &self.v
+    }
+
+    /// Reconstructs the path of a packet delivered from `src` to `dst`.
+    pub fn reconstruct(
+        &self,
+        src: HostId,
+        dst: HostId,
+        headers: &TagHeaders,
+    ) -> Result<Path, ReconstructError> {
+        let (sr, _) = self.v.host_coords(src);
+        let (dr, _) = self.v.host_coords(dst);
+        let tor_s = self.v.tor(sr);
+        let tor_d = self.v.tor(dr);
+        let dscp = headers.dscp_sample();
+        let tags = &headers.tags;
+
+        match (dscp, tags.len()) {
+            (None, 0) => {
+                if tor_s == tor_d {
+                    Ok(Path::new(vec![tor_s]))
+                } else {
+                    Err(ReconstructError::Incomplete)
+                }
+            }
+            (None, _) => Err(ReconstructError::Inconsistent(
+                "VLAN samples without the DSCP first sample",
+            )),
+            (Some(slot), 0) => {
+                let agg = self.uplink_agg(sr, slot)?;
+                if !self.v.topology().adjacent(agg, tor_d) {
+                    return Err(ReconstructError::Inconsistent(
+                        "sampled aggregate does not reach the destination ToR",
+                    ));
+                }
+                Ok(Path::new(vec![tor_s, agg, tor_d]))
+            }
+            (Some(slot), 1) => {
+                let agg_u = self.uplink_agg(sr, slot)?;
+                let tag = self
+                    .ids
+                    .classify(tags[0])
+                    .ok_or(ReconstructError::InvalidTag(tags[0]))?;
+                match tag {
+                    Vl2Tag::AggInt { int, agg } => {
+                        // ToR AggU Int AggD ToR.
+                        let int_sw = self.v.int(int);
+                        let agg_d = self.v.agg(agg);
+                        if !self.v.topology().adjacent(agg_d, tor_d) {
+                            return Err(ReconstructError::Inconsistent(
+                                "sampled down-aggregate does not reach the destination ToR",
+                            ));
+                        }
+                        Ok(Path::new(vec![tor_s, agg_u, int_sw, agg_d, tor_d]))
+                    }
+                    Vl2Tag::TorAgg { tor, slot: s2 } => {
+                        // ToR AggU ToR' AggX ToR (intra-"pod" 2-hop detour).
+                        let tor_y = self.v.tor(tor);
+                        if !self.v.topology().adjacent(agg_u, tor_y) {
+                            return Err(ReconstructError::Inconsistent(
+                                "bounce ToR not reachable from the first aggregate",
+                            ));
+                        }
+                        let agg_x = self.uplink_agg(tor, s2 as u8)?;
+                        if !self.v.topology().adjacent(agg_x, tor_d) {
+                            return Err(ReconstructError::Inconsistent(
+                                "final aggregate does not reach the destination ToR",
+                            ));
+                        }
+                        Ok(Path::new(vec![tor_s, agg_u, tor_y, agg_x, tor_d]))
+                    }
+                }
+            }
+            (Some(_), _) => {
+                let matches = self.search_walk(tor_s, tor_d, None, dscp, tags, 2 * tags.len() + 7);
+                match matches.len() {
+                    0 => Err(ReconstructError::NoMatch),
+                    1 => Ok(matches.into_iter().next().expect("len checked")),
+                    n => Err(ReconstructError::Ambiguous(n)),
+                }
+            }
+        }
+    }
+
+    fn uplink_agg(&self, tor: usize, slot: u8) -> Result<SwitchId, ReconstructError> {
+        let (a1, a2) = self.v.tor_aggs(tor);
+        match slot {
+            0 => Ok(self.v.agg(a1)),
+            1 => Ok(self.v.agg(a2)),
+            _ => Err(ReconstructError::Inconsistent("DSCP slot out of range")),
+        }
+    }
+
+    /// Slow-path search mirroring the VL2 sampling rules (DSCP consumed by
+    /// the first even switch whose ingress is a ToR uplink, VLANs after).
+    pub fn search_walk(
+        &self,
+        start: SwitchId,
+        end: SwitchId,
+        prev_of_end: Option<SwitchId>,
+        dscp: Option<u8>,
+        tags: &[u16],
+        max_switches: usize,
+    ) -> Vec<Path> {
+        let mut results = Vec::new();
+        let mut walk = vec![start];
+        self.dfs(
+            end,
+            prev_of_end,
+            dscp,
+            tags,
+            max_switches,
+            &mut walk,
+            false,
+            0,
+            &mut results,
+        );
+        results
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &self,
+        end: SwitchId,
+        prev_of_end: Option<SwitchId>,
+        dscp: Option<u8>,
+        tags: &[u16],
+        max_switches: usize,
+        walk: &mut Vec<SwitchId>,
+        dscp_done: bool,
+        consumed: usize,
+        results: &mut Vec<Path>,
+    ) {
+        if results.len() >= 8 {
+            return;
+        }
+        let cur = *walk.last().expect("walk never empty");
+        let prev_ok = prev_of_end.is_none()
+            || (walk.len() >= 2 && prev_of_end == Some(walk[walk.len() - 2]));
+        if cur == end && consumed == tags.len() && (dscp.is_none() || dscp_done) && prev_ok {
+            results.push(Path::new(walk.clone()));
+            return;
+        }
+        if walk.len() >= max_switches {
+            return;
+        }
+        let next_pos = walk.len() + 1;
+        for (_port, nb) in self.v.topology().switch_neighbors(cur) {
+            if next_pos % 2 == 0 {
+                // Mirror the policy: ToR->Agg ingress with DSCP unused
+                // consumes the DSCP sample; everything else consumes a VLAN.
+                let (cur_t, cur_p) = self.v.coords(cur);
+                let (nb_t, _) = self.v.coords(nb);
+                let takes_dscp =
+                    !dscp_done && cur_t == Tier::Tor && nb_t == Tier::Agg;
+                if takes_dscp {
+                    let Some(slot_val) = dscp else { continue };
+                    let Ok(agg_sw) = self.uplink_agg(cur_p, slot_val) else {
+                        continue;
+                    };
+                    if agg_sw != nb {
+                        continue;
+                    }
+                    walk.push(nb);
+                    self.dfs(
+                        end,
+                        prev_of_end,
+                        dscp,
+                        tags,
+                        max_switches,
+                        walk,
+                        true,
+                        consumed,
+                        results,
+                    );
+                    walk.pop();
+                } else {
+                    if consumed >= tags.len() {
+                        continue;
+                    }
+                    match self.ids.ingress_tag(&self.v, cur, nb) {
+                        Some(tag) if tag == tags[consumed] => {
+                            walk.push(nb);
+                            self.dfs(
+                                end,
+                                prev_of_end,
+                                dscp,
+                                tags,
+                                max_switches,
+                                walk,
+                                dscp_done,
+                                consumed + 1,
+                                results,
+                            );
+                            walk.pop();
+                        }
+                        _ => {}
+                    }
+                }
+            } else {
+                walk.push(nb);
+                self.dfs(
+                    end,
+                    prev_of_end,
+                    dscp,
+                    tags,
+                    max_switches,
+                    walk,
+                    dscp_done,
+                    consumed,
+                    results,
+                );
+                walk.pop();
+            }
+        }
+    }
+}
+
+/// Checks a reconstructed path against a topology: contiguous walk with the
+/// right endpoints (used by tests and by the wrong-switch-ID detector).
+pub fn path_is_feasible(
+    topo: &pathdump_topology::Topology,
+    src: HostId,
+    dst: HostId,
+    path: &Path,
+) -> bool {
+    let (Some(first), Some(last)) = (path.first(), path.last()) else {
+        return false;
+    };
+    if topo.host(src).tor != first || topo.host(dst).tor != last {
+        return false;
+    }
+    if !path.links().all(|l| topo.adjacent(l.from, l.to)) {
+        return false;
+    }
+    // Endpoints must actually be host-bearing ToRs for these hosts.
+    matches!(topo.peer(first, topo.host(src).tor_port), Peer::Host(h) if h == src)
+        && matches!(topo.peer(last, topo.host(dst).tor_port), Peer::Host(h) if h == dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{tags_for_walk, FatTreeCherryPick, Vl2CherryPick};
+    use pathdump_topology::{FatTreeParams, UpDownRouting, Vl2Params};
+
+    fn ft4() -> FatTree {
+        FatTree::build(FatTreeParams { k: 4 })
+    }
+
+    fn vl2s() -> Vl2 {
+        Vl2::build(Vl2Params {
+            da: 4,
+            di: 4,
+            hosts_per_tor: 2,
+        })
+    }
+
+    /// decode(encode(path)) == path for every shortest path of a k=4
+    /// fat-tree, all host pairs.
+    #[test]
+    fn fattree_roundtrip_all_shortest_paths() {
+        let ft = ft4();
+        let policy = FatTreeCherryPick::new(ft.clone());
+        let recon = FatTreeReconstructor::new(ft.clone());
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                if a == b {
+                    continue;
+                }
+                let (src, dst) = (HostId(a), HostId(b));
+                for path in ft.all_paths(src, dst) {
+                    let headers = tags_for_walk(&policy, &ft, &path.0);
+                    let decoded = recon
+                        .reconstruct(src, dst, &headers)
+                        .unwrap_or_else(|e| panic!("{path}: {e}"));
+                    assert_eq!(decoded, path);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fattree_roundtrip_k8_sample() {
+        let ft = FatTree::build(FatTreeParams { k: 8 });
+        let policy = FatTreeCherryPick::new(ft.clone());
+        let recon = FatTreeReconstructor::new(ft.clone());
+        let hosts: Vec<HostId> = (0..128).step_by(7).map(HostId).collect();
+        for &src in &hosts {
+            for &dst in &hosts {
+                if src == dst {
+                    continue;
+                }
+                for path in ft.all_paths(src, dst) {
+                    let headers = tags_for_walk(&policy, &ft, &path.0);
+                    assert_eq!(recon.reconstruct(src, dst, &headers).unwrap(), path);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fattree_intra_pod_detour_roundtrip() {
+        let ft = ft4();
+        let policy = FatTreeCherryPick::new(ft.clone());
+        let recon = FatTreeReconstructor::new(ft.clone());
+        let (src, dst) = (ft.host(0, 0, 0), ft.host(0, 1, 0));
+        let detour = Path::new(vec![
+            ft.tor(0, 0),
+            ft.agg(0, 0),
+            ft.tor(0, 1),
+            ft.agg(0, 1),
+            ft.tor(0, 1),
+        ]);
+        let headers = tags_for_walk(&policy, &ft, &detour.0);
+        assert_eq!(headers.tag_count(), 2);
+        assert_eq!(recon.reconstruct(src, dst, &headers).unwrap(), detour);
+    }
+
+    #[test]
+    fn fattree_wrong_id_detected() {
+        let ft = ft4();
+        let recon = FatTreeReconstructor::new(ft.clone());
+        let ids = FatTreeIds::for_topology(&ft);
+        let (src, dst) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        // A lying switch inserts a ToR-Agg sample for the wrong ToR
+        // position: infeasible given srcIP (tor position 0).
+        let mut h = TagHeaders::default();
+        h.push_tag(ids.tor_agg(1, 0));
+        h.push_tag(ids.agg_core(0));
+        match recon.reconstruct(src, dst, &h) {
+            Err(ReconstructError::Inconsistent(_)) => {}
+            other => panic!("expected Inconsistent, got {other:?}"),
+        }
+        // Core sample inconsistent with the sampled aggregate position:
+        // agg position 1 cannot reach core 0 (group 0).
+        let mut h2 = TagHeaders::default();
+        h2.push_tag(ids.tor_agg(0, 1));
+        h2.push_tag(ids.agg_core(0));
+        match recon.reconstruct(src, dst, &h2) {
+            Err(ReconstructError::Inconsistent(_)) => {}
+            other => panic!("expected Inconsistent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fattree_missing_tags_incomplete() {
+        let ft = ft4();
+        let recon = FatTreeReconstructor::new(ft.clone());
+        let (src, dst) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        let h = TagHeaders::default();
+        assert_eq!(
+            recon.reconstruct(src, dst, &h),
+            Err(ReconstructError::Incomplete)
+        );
+    }
+
+    #[test]
+    fn fattree_invalid_tag_value() {
+        let ft = ft4();
+        let recon = FatTreeReconstructor::new(ft.clone());
+        let (src, dst) = (ft.host(0, 0, 0), ft.host(0, 1, 0));
+        let mut h = TagHeaders::default();
+        h.push_tag(4000); // outside both classes for k=4 (ranges end at 8)
+        assert_eq!(
+            recon.reconstruct(src, dst, &h),
+            Err(ReconstructError::InvalidTag(4000))
+        );
+    }
+
+    #[test]
+    fn fattree_search_decodes_three_tag_walk() {
+        let ft = ft4();
+        let policy = FatTreeCherryPick::new(ft.clone());
+        let recon = FatTreeReconstructor::new(ft.clone());
+        // 7-switch walk with a down-path bounce (3 samples).
+        let walk = vec![
+            ft.tor(0, 0),
+            ft.agg(0, 0),
+            ft.core(0),
+            ft.agg(1, 0),
+            ft.tor(1, 0),
+            ft.agg(1, 1),
+            ft.tor(1, 1),
+        ];
+        let headers = tags_for_walk(&policy, &ft, &walk);
+        assert_eq!(headers.tag_count(), 3);
+        let found = recon.search_walk(ft.tor(0, 0), ft.tor(1, 1), None, &headers.tags, 9);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].0, walk);
+    }
+
+    #[test]
+    fn fattree_search_detects_loops_in_tags() {
+        let ft = ft4();
+        let policy = FatTreeCherryPick::new(ft.clone());
+        // Loop walk: agg(0,0)->core(0)->agg(1,0)->core(1)->agg(0,0) cycle
+        // entered from tor(0,0). Repeated link IDs appear in the tags.
+        let walk = vec![
+            ft.tor(0, 0),
+            ft.agg(0, 0),
+            ft.core(0),
+            ft.agg(1, 0),
+            ft.core(1),
+            ft.agg(0, 0),
+            ft.core(0),
+            ft.agg(1, 0),
+        ];
+        let headers = tags_for_walk(&policy, &ft, &walk);
+        assert!(headers.tag_count() >= 3);
+        // The Figure 9 check: some link ID repeats across the carried tags.
+        let mut seen = std::collections::HashSet::new();
+        let repeated = headers.tags.iter().any(|t| !seen.insert(*t));
+        assert!(repeated, "loop must repeat a sampled link ID: {:?}", headers.tags);
+    }
+
+    #[test]
+    fn vl2_roundtrip_all_shortest_paths() {
+        let v = vl2s();
+        let policy = Vl2CherryPick::new(v.clone());
+        let recon = Vl2Reconstructor::new(v.clone());
+        let n = v.topology().num_hosts() as u32;
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let (src, dst) = (HostId(a), HostId(b));
+                for path in v.all_paths(src, dst) {
+                    let headers = tags_for_walk(&policy, &v, &path.0);
+                    let decoded = recon
+                        .reconstruct(src, dst, &headers)
+                        .unwrap_or_else(|e| panic!("{path}: {e}"));
+                    assert_eq!(decoded, path);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vl2_detour_roundtrip() {
+        let v = vl2s();
+        let policy = Vl2CherryPick::new(v.clone());
+        let recon = Vl2Reconstructor::new(v.clone());
+        // ToR0 -> agg0 -> ToR2 -> agg1 -> ToR2 bounce (both ToRs share aggs).
+        let (src, dst) = (v.host(0, 0), v.host(2, 0));
+        let walk = Path::new(vec![v.tor(0), v.agg(0), v.tor(2), v.agg(1), v.tor(2)]);
+        let headers = tags_for_walk(&policy, &v, &walk.0);
+        assert_eq!(recon.reconstruct(src, dst, &headers).unwrap(), walk);
+    }
+
+    #[test]
+    fn vl2_wrong_id_detected() {
+        let v = vl2s();
+        let recon = Vl2Reconstructor::new(v.clone());
+        let ids = Vl2Ids::for_topology(&v);
+        // ToR0 (aggs 0,1) to ToR1 (aggs 2,3): claim the down-agg is agg 0,
+        // which does not attach to ToR1.
+        let (src, dst) = (v.host(0, 0), v.host(1, 0));
+        let mut h = TagHeaders::default();
+        h.set_dscp_sample(0);
+        h.push_tag(ids.agg_int(0, 0));
+        match recon.reconstruct(src, dst, &h) {
+            Err(ReconstructError::Inconsistent(_)) => {}
+            other => panic!("expected Inconsistent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vl2_vlan_without_dscp_is_inconsistent() {
+        let v = vl2s();
+        let recon = Vl2Reconstructor::new(v.clone());
+        let ids = Vl2Ids::for_topology(&v);
+        let (src, dst) = (v.host(0, 0), v.host(1, 0));
+        let mut h = TagHeaders::default();
+        h.push_tag(ids.agg_int(0, 2));
+        match recon.reconstruct(src, dst, &h) {
+            Err(ReconstructError::Inconsistent(_)) => {}
+            other => panic!("expected Inconsistent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn feasibility_checker() {
+        let ft = ft4();
+        let (src, dst) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        let good = ft.all_paths(src, dst).remove(0);
+        assert!(path_is_feasible(ft.topology(), src, dst, &good));
+        let bad = Path::new(vec![ft.tor(0, 0), ft.tor(1, 0)]);
+        assert!(!path_is_feasible(ft.topology(), src, dst, &bad));
+        let wrong_ends = Path::new(vec![ft.tor(3, 1)]);
+        assert!(!path_is_feasible(ft.topology(), src, dst, &wrong_ends));
+    }
+}

@@ -1,0 +1,261 @@
+//! End-to-end check: packets forwarded by the simulated dataplane under the
+//! CherryPick tag policy must reconstruct to exactly the ground-truth
+//! trajectory the simulator recorded — across ECMP, spraying, failover
+//! detours, and on both supported topologies.
+
+use pathdump_cherrypick::{FatTreeCherryPick, FatTreeReconstructor, Vl2CherryPick, Vl2Reconstructor};
+use pathdump_simnet::{HostApi, LoadBalance, Packet, Punt, SimConfig, Simulator, World};
+use pathdump_topology::{
+    FatTree, FatTreeParams, FlowId, HostId, Nanos, Path, Vl2, Vl2Params,
+};
+
+/// Collects every delivered packet with its headers and ground truth.
+#[derive(Default)]
+struct Collector {
+    delivered: Vec<(HostId, Packet)>,
+    punts: Vec<Punt>,
+}
+
+impl World for Collector {
+    fn on_packet(&mut self, api: &mut HostApi<'_>, pkt: Packet) {
+        let h = api.host();
+        self.delivered.push((h, pkt));
+    }
+    fn on_timer(&mut self, _api: &mut HostApi<'_>, _token: u64) {}
+    fn on_punt(&mut self, _api: &mut pathdump_simnet::CtrlApi<'_>, punt: Punt) {
+        self.punts.push(punt);
+    }
+}
+
+fn flow_between(ft: &FatTree, src: HostId, dst: HostId, sport: u16) -> FlowId {
+    let t = ft.topology_ref();
+    FlowId::tcp(t.host(src).ip, sport, t.host(dst).ip, 80)
+}
+
+/// Convenience: FatTree already implements UpDownRouting, but we need the
+/// Topology accessor without importing the trait at every call site.
+trait TopoRef {
+    fn topology_ref(&self) -> &pathdump_topology::Topology;
+}
+impl TopoRef for FatTree {
+    fn topology_ref(&self) -> &pathdump_topology::Topology {
+        use pathdump_topology::UpDownRouting;
+        self.topology()
+    }
+}
+impl TopoRef for Vl2 {
+    fn topology_ref(&self) -> &pathdump_topology::Topology {
+        use pathdump_topology::UpDownRouting;
+        self.topology()
+    }
+}
+
+#[test]
+fn fattree_ecmp_reconstruction_matches_ground_truth() {
+    let ft = FatTree::build(FatTreeParams { k: 4 });
+    let policy = FatTreeCherryPick::new(ft.clone());
+    let recon = FatTreeReconstructor::new(ft.clone());
+    let mut sim = Simulator::new(
+        &ft,
+        SimConfig::for_tests(),
+        Box::new(policy),
+        Collector::default(),
+    );
+    // All-pairs sample: every host sends to every other host.
+    let n = ft.topology_ref().num_hosts() as u32;
+    let mut sent = 0;
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let (src, dst) = (HostId(a), HostId(b));
+            let f = flow_between(&ft, src, dst, 10_000 + sent as u16);
+            let pkt = Packet::data(0, f, 0, 500, Nanos::ZERO);
+            sim.send_from(src, pkt);
+            sent += 1;
+        }
+    }
+    sim.run_until(Nanos::from_secs(2));
+    assert_eq!(sim.world.delivered.len(), sent, "all packets delivered");
+    assert!(sim.world.punts.is_empty(), "no punts on healthy shortest paths");
+    for (host, pkt) in &sim.world.delivered {
+        let src = ft
+            .topology_ref()
+            .host_by_ip(pkt.flow.src_ip)
+            .expect("known source");
+        let decoded = recon
+            .reconstruct(src, *host, &pkt.headers)
+            .unwrap_or_else(|e| panic!("flow {}: {e}", pkt.flow));
+        assert_eq!(decoded.0, pkt.gt_path, "reconstruction must equal ground truth");
+    }
+}
+
+#[test]
+fn fattree_spraying_reconstruction_matches_ground_truth() {
+    let ft = FatTree::build(FatTreeParams { k: 4 });
+    let policy = FatTreeCherryPick::new(ft.clone());
+    let recon = FatTreeReconstructor::new(ft.clone());
+    let mut sim = Simulator::new(
+        &ft,
+        SimConfig::for_tests(),
+        Box::new(policy),
+        Collector::default(),
+    );
+    sim.set_lb_all(LoadBalance::Spray);
+    let (src, dst) = (ft.host(0, 0, 0), ft.host(3, 1, 1));
+    let f = flow_between(&ft, src, dst, 555);
+    for _ in 0..100 {
+        let pkt = Packet::data(0, f, 0, 500, Nanos::ZERO);
+        sim.send_from(src, pkt);
+    }
+    sim.run_until(Nanos::from_secs(2));
+    assert_eq!(sim.world.delivered.len(), 100);
+    let mut distinct = std::collections::HashSet::new();
+    for (host, pkt) in &sim.world.delivered {
+        let decoded = recon.reconstruct(src, *host, &pkt.headers).unwrap();
+        assert_eq!(decoded.0, pkt.gt_path);
+        distinct.insert(decoded);
+    }
+    assert_eq!(distinct.len(), 4, "per-packet records must expose all 4 paths");
+}
+
+#[test]
+fn fattree_intra_pod_failover_detour_reconstructs_in_band() {
+    // Fig-4-style: the direct down link Agg(0,0)->ToR(0,1) fails; packets
+    // pinned through Agg(0,0) bounce via a third ToR (k=6 pods have three)
+    // and the 5-switch detour must be traced in-band with two tags.
+    let ft = FatTree::build(FatTreeParams { k: 6 });
+    let policy = FatTreeCherryPick::new(ft.clone());
+    let recon = FatTreeReconstructor::new(ft.clone());
+    let (src, dst) = (ft.host(0, 0, 0), ft.host(0, 1, 0));
+    let mut saw_five_switch_detour = false;
+    for sport in 0..24u16 {
+        let mut sim = Simulator::new(
+            &ft,
+            SimConfig::for_tests(),
+            Box::new(FatTreeCherryPick::new(ft.clone())),
+            Collector::default(),
+        );
+        let f = flow_between(&ft, src, dst, 901 + sport);
+        sim.set_link_down(ft.agg(0, 0), ft.tor(0, 1), true);
+        sim.install_quirk(
+            ft.tor(0, 0),
+            pathdump_simnet::Quirk::ForwardFlowTo {
+                flow: f,
+                port: sim.link_port(ft.tor(0, 0), ft.agg(0, 0)),
+            },
+        );
+        sim.send_from(src, Packet::data(0, f, 0, 500, Nanos::ZERO));
+        sim.run_until(Nanos::from_secs(2));
+        // Depending on the ECMP hash at the bounce ToR, the walk is either
+        // the 5-switch in-band detour or a longer punted one; check the
+        // in-band case whenever it occurs.
+        for (host, pkt) in &sim.world.delivered {
+            let gt = Path::new(pkt.gt_path.clone());
+            assert!(gt.len() > 3, "detour must be longer than shortest: {gt}");
+            let decoded = recon
+                .reconstruct(src, *host, &pkt.headers)
+                .unwrap_or_else(|e| panic!("sport {sport}, {gt}: {e}"));
+            assert_eq!(decoded, gt);
+            if gt.len() == 5 {
+                saw_five_switch_detour = true;
+            }
+        }
+    }
+    let _ = policy;
+    assert!(
+        saw_five_switch_detour,
+        "at least one flow must take the 5-switch in-band detour"
+    );
+}
+
+#[test]
+fn vl2_reconstruction_matches_ground_truth() {
+    let v = Vl2::build(Vl2Params {
+        da: 4,
+        di: 4,
+        hosts_per_tor: 2,
+    });
+    let policy = Vl2CherryPick::new(v.clone());
+    let recon = Vl2Reconstructor::new(v.clone());
+    let mut sim = Simulator::new(
+        &v,
+        SimConfig::for_tests(),
+        Box::new(policy),
+        Collector::default(),
+    );
+    let n = v.topology_ref().num_hosts() as u32;
+    let mut sent = 0;
+    for a in 0..n {
+        for b in 0..n {
+            if a == b {
+                continue;
+            }
+            let (src, dst) = (HostId(a), HostId(b));
+            let t = v.topology_ref();
+            let f = FlowId::tcp(t.host(src).ip, 20_000 + sent as u16, t.host(dst).ip, 80);
+            sim.send_from(src, Packet::data(0, f, 0, 400, Nanos::ZERO));
+            sent += 1;
+        }
+    }
+    sim.run_until(Nanos::from_secs(2));
+    assert_eq!(sim.world.delivered.len(), sent);
+    for (host, pkt) in &sim.world.delivered {
+        let src = v.topology_ref().host_by_ip(pkt.flow.src_ip).unwrap();
+        let decoded = recon
+            .reconstruct(src, *host, &pkt.headers)
+            .unwrap_or_else(|e| panic!("flow {}: {e}", pkt.flow));
+        assert_eq!(decoded.0, pkt.gt_path);
+    }
+}
+
+#[test]
+fn punted_walks_recoverable_by_controller_search() {
+    let ft = FatTree::build(FatTreeParams { k: 4 });
+    let policy = FatTreeCherryPick::new(ft.clone());
+    let recon = FatTreeReconstructor::new(ft.clone());
+    let mut sim = Simulator::new(
+        &ft,
+        SimConfig::for_tests(),
+        Box::new(policy),
+        Collector::default(),
+    );
+    // Force a down-path bounce in the destination pod: the walk needs 3
+    // samples, so the dst ToR punts it to the controller, where the search
+    // recovers the full trajectory from the carried tags.
+    let (src, dst) = (ft.host(0, 0, 0), ft.host(1, 1, 0));
+    let f = flow_between(&ft, src, dst, 733);
+    // Kill both down links from the dst-pod aggs to ToR(1,1) so the packet
+    // bounces via ToR(1,0).
+    sim.set_link_down(ft.agg(1, 0), ft.tor(1, 1), true);
+    sim.install_quirk(
+        ft.tor(0, 0),
+        pathdump_simnet::Quirk::ForwardFlowTo {
+            flow: f,
+            port: sim.link_port(ft.tor(0, 0), ft.agg(0, 0)),
+        },
+    );
+    sim.send_from(src, Packet::data(0, f, 0, 500, Nanos::ZERO));
+    sim.run_until(Nanos::from_secs(2));
+    assert_eq!(sim.world.punts.len(), 1, "3-tag walk must punt");
+    let punt = &sim.world.punts[0];
+    // The controller knows the punting switch's ingress port, which anchors
+    // the walk's penultimate switch and disambiguates pod-agnostic core
+    // samples.
+    let prev = punt.in_port.and_then(|p| {
+        match ft.topology_ref().peer(punt.sw, p) {
+            pathdump_topology::Peer::Switch { sw, .. } => Some(sw),
+            _ => None,
+        }
+    });
+    let walks = recon.search_walk(
+        ft.tor(0, 0),
+        punt.sw,
+        prev,
+        &punt.pkt.headers.tags,
+        punt.pkt.gt_path.len() + 2,
+    );
+    assert_eq!(walks.len(), 1, "controller search must be unambiguous");
+    assert_eq!(walks[0].0, punt.pkt.gt_path);
+}

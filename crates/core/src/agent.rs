@@ -1,0 +1,593 @@
+//! The per-host PathDump agent (§2.2, §3.2).
+//!
+//! On every arriving packet the agent extracts the trajectory headers,
+//! updates the per-path flow record in trajectory memory, and strips the
+//! headers before the packet would reach the upper stack. FIN/RST or the
+//! idle timeout evicts records; the trajectory-construction step (cache +
+//! reconstructor) turns link IDs into full paths and writes TIB records.
+//! Installed invariants (path conformance, §2.3/§4.1) are checked the
+//! moment a new path appears, raising alarms in real time.
+
+use crate::alarm::{Alarm, Reason};
+use crate::query::{Query, Response};
+use pathdump_cherrypick::{
+    CacheKey, FatTreeReconstructor, ReconstructError, TrajectoryCache, Vl2Reconstructor,
+};
+use pathdump_simnet::{Packet, TcpFlags};
+use pathdump_tib::{MemKey, PendingRecord, Tib, TibRecord, TrajectoryMemory};
+use pathdump_topology::{HostId, LinkPattern, Nanos, Path, SwitchId, Topology};
+
+/// The reconstruction backend: which structured topology the fabric runs.
+#[derive(Clone, Debug)]
+pub enum Fabric {
+    /// K-ary fat-tree.
+    FatTree(FatTreeReconstructor),
+    /// VL2.
+    Vl2(Vl2Reconstructor),
+}
+
+impl Fabric {
+    /// The underlying static topology (the agent's "ground truth", §2.2).
+    pub fn topology(&self) -> &Topology {
+        use pathdump_topology::UpDownRouting;
+        match self {
+            Fabric::FatTree(r) => r.fattree().topology(),
+            Fabric::Vl2(r) => r.vl2().topology(),
+        }
+    }
+
+    /// Reconstructs a delivered packet's path from its samples.
+    pub fn reconstruct(
+        &self,
+        src: HostId,
+        dst: HostId,
+        dscp_sample: Option<u8>,
+        tags: &[u16],
+    ) -> Result<Path, ReconstructError> {
+        let mut headers = pathdump_simnet::TagHeaders {
+            tags: tags.to_vec(),
+            dscp: 0,
+        };
+        if let Some(s) = dscp_sample {
+            headers.set_dscp_sample(s);
+        }
+        match self {
+            Fabric::FatTree(r) => r.reconstruct(src, dst, &headers),
+            Fabric::Vl2(r) => r.reconstruct(src, dst, &headers),
+        }
+    }
+}
+
+/// A path-conformance invariant installed on an agent (§2.3: "path length
+/// no more than 6, or packets must avoid switchID").
+#[derive(Clone, Debug, Default)]
+pub struct Invariant {
+    /// Maximum allowed hop count (paper counting; `None` = unlimited).
+    pub max_hops: Option<usize>,
+    /// Switches packets must avoid.
+    pub forbidden: Vec<SwitchId>,
+    /// Restrict to one flow (`None` = all flows).
+    pub flow_filter: Option<pathdump_topology::FlowId>,
+}
+
+impl Invariant {
+    /// Returns true if `path` violates this invariant for `flow`.
+    pub fn violated(&self, flow: &pathdump_topology::FlowId, path: &Path) -> bool {
+        if let Some(f) = &self.flow_filter {
+            if f != flow {
+                return false;
+            }
+        }
+        if let Some(max) = self.max_hops {
+            if path.num_hops() > max {
+                return true;
+            }
+        }
+        self.forbidden.iter().any(|sw| path.contains(*sw))
+    }
+}
+
+/// Agent configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AgentConfig {
+    /// Trajectory-memory idle eviction timeout (paper: 5 s).
+    pub idle_timeout: Nanos,
+    /// Trajectory-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Raise [`Reason::InfeasiblePath`] alarms on reconstruction failures.
+    pub alarm_on_infeasible: bool,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            idle_timeout: Nanos::from_secs(5),
+            cache_capacity: 4096,
+            alarm_on_infeasible: true,
+        }
+    }
+}
+
+/// The per-host agent state.
+#[derive(Debug)]
+pub struct HostAgent {
+    host: HostId,
+    cfg: AgentConfig,
+    /// Active per-path flow records.
+    pub memory: TrajectoryMemory,
+    /// Trajectory cache (srcIP + link IDs → path).
+    pub cache: TrajectoryCache,
+    /// The queryable store.
+    pub tib: Tib,
+    invariants: Vec<Invariant>,
+    alarms: Vec<Alarm>,
+    /// Reconstruction failures (infeasible trajectories seen).
+    pub recon_failures: u64,
+    /// Packets observed.
+    pub packets_seen: u64,
+}
+
+impl HostAgent {
+    /// Creates an agent for `host`.
+    pub fn new(host: HostId, cfg: AgentConfig) -> Self {
+        HostAgent {
+            host,
+            cfg,
+            memory: TrajectoryMemory::new(cfg.idle_timeout),
+            cache: TrajectoryCache::new(cfg.cache_capacity),
+            tib: Tib::new(),
+            invariants: Vec::new(),
+            alarms: Vec::new(),
+            recon_failures: 0,
+            packets_seen: 0,
+        }
+    }
+
+    /// The host this agent runs on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Installs a path-conformance invariant checked per new path.
+    pub fn install_invariant(&mut self, inv: Invariant) {
+        self.invariants.push(inv);
+    }
+
+    /// Removes all invariants.
+    pub fn clear_invariants(&mut self) {
+        self.invariants.clear();
+    }
+
+    /// Drains raised alarms.
+    pub fn drain_alarms(&mut self) -> Vec<Alarm> {
+        std::mem::take(&mut self.alarms)
+    }
+
+    /// Processes one arriving packet (the OVS receive hook of Figure 2).
+    pub fn on_packet(&mut self, fabric: &Fabric, pkt: &Packet, now: Nanos) {
+        self.packets_seen += 1;
+        let key = MemKey {
+            flow: pkt.flow,
+            dscp_sample: pkt.headers.dscp_sample(),
+            tags: pkt.headers.tags.clone(),
+        };
+        let is_new_path = self.memory.peek(&key).is_none();
+        self.memory.update(key.clone(), pkt.wire_size(), now);
+
+        // Real-time invariant checks on first sight of a (flow, path) pair.
+        if is_new_path && !self.invariants.is_empty() {
+            match self.construct(fabric, &key) {
+                Ok(path) => {
+                    let violations: Vec<&Invariant> = self
+                        .invariants
+                        .iter()
+                        .filter(|inv| inv.violated(&pkt.flow, &path))
+                        .collect();
+                    if !violations.is_empty() {
+                        self.alarms.push(Alarm {
+                            flow: pkt.flow,
+                            reason: Reason::PcFail,
+                            paths: vec![path],
+                            host: self.host,
+                            at: now,
+                        });
+                    }
+                }
+                Err(_) => self.note_infeasible(pkt.flow, now),
+            }
+        }
+
+        if pkt.flags.contains(TcpFlags::FIN) || pkt.flags.contains(TcpFlags::RST) {
+            let evicted = self.memory.evict_flow(&pkt.flow, now);
+            self.finalize_batch(fabric, evicted, now);
+        }
+    }
+
+    /// Periodic tick: idle evictions (the NetFlow-style 5-second scan).
+    pub fn tick(&mut self, fabric: &Fabric, now: Nanos) {
+        let evicted = self.memory.evict_idle(now);
+        self.finalize_batch(fabric, evicted, now);
+    }
+
+    /// Flushes everything from trajectory memory into the TIB.
+    pub fn flush(&mut self, fabric: &Fabric, now: Nanos) {
+        let evicted = self.memory.flush(now);
+        self.finalize_batch(fabric, evicted, now);
+    }
+
+    fn finalize_batch(&mut self, fabric: &Fabric, batch: Vec<PendingRecord>, now: Nanos) {
+        for rec in batch {
+            self.finalize(fabric, rec, now);
+        }
+    }
+
+    /// Trajectory construction for one evicted record (Figure 2).
+    fn finalize(&mut self, fabric: &Fabric, rec: PendingRecord, now: Nanos) {
+        let key = MemKey {
+            flow: rec.flow,
+            dscp_sample: rec.dscp_sample,
+            tags: rec.tags.clone(),
+        };
+        match self.construct(fabric, &key) {
+            Ok(path) => {
+                self.tib.insert(TibRecord {
+                    flow: rec.flow,
+                    path,
+                    stime: rec.stime,
+                    etime: rec.etime,
+                    bytes: rec.bytes,
+                    pkts: rec.pkts,
+                });
+            }
+            Err(_) => self.note_infeasible(rec.flow, now),
+        }
+    }
+
+    fn construct(&mut self, fabric: &Fabric, key: &MemKey) -> Result<Path, ReconstructError> {
+        let topo = fabric.topology();
+        let src = topo
+            .host_by_ip(key.flow.src_ip)
+            .ok_or(ReconstructError::Inconsistent("unknown source IP"))?;
+        let cache_key = CacheKey {
+            src_ip: key.flow.src_ip,
+            dscp_sample: key.dscp_sample,
+            tags: key.tags.clone(),
+        };
+        let host = self.host;
+        self.cache.get_or_insert_with(cache_key, || {
+            fabric.reconstruct(src, host, key.dscp_sample, &key.tags)
+        })
+    }
+
+    fn note_infeasible(&mut self, flow: pathdump_topology::FlowId, now: Nanos) {
+        self.recon_failures += 1;
+        if self.cfg.alarm_on_infeasible {
+            self.alarms.push(Alarm {
+                flow,
+                reason: Reason::InfeasiblePath,
+                paths: Vec::new(),
+                host: self.host,
+                at: now,
+            });
+        }
+    }
+
+    /// Executes a TIB query locally; `include_live` additionally folds in
+    /// the not-yet-exported trajectory-memory records (§3.2: alarm-driven
+    /// debugging "trigger[s] the access to the memory for debugging at even
+    /// finer-grained time scales").
+    ///
+    /// `GetPoorTcp` is answered empty here — that signal lives in the
+    /// transport engine and is supplied by the world wrapper.
+    pub fn execute(&mut self, fabric: &Fabric, q: &Query, include_live: bool) -> Response {
+        let mut resp = execute_on_tib(&self.tib, q);
+        if include_live {
+            let live = self.live_tib(fabric);
+            resp.merge(execute_on_tib(&live, q));
+        }
+        resp
+    }
+
+    /// Builds a transient TIB view of the live trajectory memory.
+    fn live_tib(&mut self, fabric: &Fabric) -> Tib {
+        let keys: Vec<MemKey> = self.memory.live_keys().cloned().collect();
+        let mut tib = Tib::new();
+        for key in keys {
+            let Some(snap) = self.memory.snapshot(&key) else {
+                continue;
+            };
+            if let Ok(path) = self.construct(fabric, &key) {
+                tib.insert(TibRecord {
+                    flow: snap.flow,
+                    path,
+                    stime: snap.stime,
+                    etime: snap.etime,
+                    bytes: snap.bytes,
+                    pkts: snap.pkts,
+                });
+            }
+        }
+        tib
+    }
+}
+
+/// Executes a query against one TIB (the pure storage-level evaluator,
+/// shared by agents and by the Figure 11/12 cluster harness).
+pub fn execute_on_tib(tib: &Tib, q: &Query) -> Response {
+    match q {
+        Query::GetFlows { link, range } => Response::Flows(tib.get_flows(*link, *range)),
+        Query::GetPaths { flow, link, range } => {
+            Response::Paths(tib.get_paths(*flow, *link, *range))
+        }
+        Query::GetCount { flow, path, range } => {
+            let (bytes, pkts) = tib.get_count(*flow, path.as_ref(), *range);
+            Response::Count { bytes, pkts }
+        }
+        Query::GetDuration { flow, path, range } => {
+            Response::Duration(tib.get_duration(*flow, path.as_ref(), *range))
+        }
+        Query::GetPoorTcp { .. } => Response::Flows(Vec::new()),
+        Query::FlowSizeDist {
+            link,
+            range,
+            bin_bytes,
+        } => {
+            let counts = tib.link_flow_counts(*link, *range);
+            let mut bins: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+            for (_, (bytes, _)) in counts {
+                *bins.entry(bytes / bin_bytes.max(&1)).or_insert(0) += 1;
+            }
+            let mut v: Vec<(u64, u64)> = bins.into_iter().collect();
+            v.sort_unstable();
+            Response::Hist {
+                bin_bytes: *bin_bytes,
+                bins: v,
+            }
+        }
+        Query::TopK { k, range } => Response::TopK {
+            k: *k,
+            entries: tib.top_k_flows(*k as usize, *range),
+        },
+        Query::TrafficMatrix { range } => {
+            let counts = tib.link_flow_counts(LinkPattern::ANY, *range);
+            let mut map: std::collections::HashMap<(pathdump_topology::Ip, pathdump_topology::Ip), u64> =
+                std::collections::HashMap::new();
+            for (flow, (bytes, _)) in counts {
+                *map.entry((flow.src_ip, flow.dst_ip)).or_insert(0) += bytes;
+            }
+            let mut v: Vec<_> = map.into_iter().collect();
+            v.sort_unstable();
+            Response::Matrix(v)
+        }
+        Query::HeavyHitters { min_bytes, range } => {
+            let counts = tib.link_flow_counts(LinkPattern::ANY, *range);
+            let mut flows: Vec<(u64, pathdump_topology::FlowId)> = counts
+                .into_iter()
+                .filter(|(_, (b, _))| b >= min_bytes)
+                .map(|(f, (b, _))| (b, f))
+                .collect();
+            flows.sort_by(|a, b| b.cmp(a));
+            Response::Flows(flows.into_iter().map(|(_, f)| f).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathdump_cherrypick::FatTreeCherryPick;
+    use pathdump_simnet::TagPolicy;
+    use pathdump_topology::TimeRange;
+    use pathdump_topology::{FatTree, FatTreeParams, FlowId, PortNo, UpDownRouting};
+
+    fn fabric() -> (FatTree, Fabric, FatTreeCherryPick) {
+        let ft = FatTree::build(FatTreeParams { k: 4 });
+        let f = Fabric::FatTree(FatTreeReconstructor::new(ft.clone()));
+        let p = FatTreeCherryPick::new(ft.clone());
+        (ft, f, p)
+    }
+
+    /// Builds the packet a given shortest path would deliver.
+    fn pkt_on_path(
+        ft: &FatTree,
+        policy: &FatTreeCherryPick,
+        flow: FlowId,
+        path: &Path,
+        bytes: u32,
+        fin: bool,
+    ) -> Packet {
+        let mut pkt = Packet::data(1, flow, 0, bytes, Nanos::ZERO);
+        if fin {
+            pkt.flags = TcpFlags::FIN;
+        }
+        // Apply the tag policy along the path exactly like the dataplane.
+        let topo = ft.topology();
+        for (i, &sw) in path.0.iter().enumerate() {
+            let in_port = if i == 0 {
+                topo.switch(sw)
+                    .ports
+                    .iter()
+                    .position(|p| matches!(p, pathdump_topology::Peer::Host(_)))
+                    .map(|p| PortNo(p as u8))
+            } else {
+                topo.switch(sw).port_towards(path.0[i - 1])
+            };
+            policy.on_forward(sw, in_port, PortNo(0), &mut pkt.headers);
+        }
+        pkt
+    }
+
+    fn flow_of(ft: &FatTree, src: HostId, dst: HostId, sport: u16) -> FlowId {
+        let t = ft.topology();
+        FlowId::tcp(t.host(src).ip, sport, t.host(dst).ip, 80)
+    }
+
+    #[test]
+    fn packet_to_tib_lifecycle() {
+        let (ft, fabric, policy) = fabric();
+        let (src, dst) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        let mut agent = HostAgent::new(dst, AgentConfig::default());
+        let flow = flow_of(&ft, src, dst, 1000);
+        let path = ft.all_paths(src, dst).remove(0);
+        // Two packets, then FIN: record must land in the TIB with counts.
+        for fin in [false, false, true] {
+            let pkt = pkt_on_path(&ft, &policy, flow, &path, 1000, fin);
+            agent.on_packet(&fabric, &pkt, Nanos::from_millis(1));
+        }
+        assert_eq!(agent.tib.len(), 1, "FIN evicts straight to the TIB");
+        let rec = &agent.tib.records()[0];
+        assert_eq!(rec.path, path);
+        assert_eq!(rec.pkts, 3);
+        assert!(agent.memory.is_empty());
+        assert_eq!(agent.recon_failures, 0);
+    }
+
+    #[test]
+    fn idle_tick_evicts() {
+        let (ft, fabric, policy) = fabric();
+        let (src, dst) = (ft.host(0, 0, 0), ft.host(0, 1, 0));
+        let mut agent = HostAgent::new(dst, AgentConfig::default());
+        let flow = flow_of(&ft, src, dst, 1001);
+        let path = ft.all_paths(src, dst).remove(0);
+        let pkt = pkt_on_path(&ft, &policy, flow, &path, 500, false);
+        agent.on_packet(&fabric, &pkt, Nanos::from_secs(1));
+        agent.tick(&fabric, Nanos::from_secs(2));
+        assert_eq!(agent.tib.len(), 0, "not idle long enough");
+        agent.tick(&fabric, Nanos::from_secs(7));
+        assert_eq!(agent.tib.len(), 1, "5s idle evicts");
+    }
+
+    #[test]
+    fn per_path_records_under_spraying() {
+        let (ft, fabric, policy) = fabric();
+        let (src, dst) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        let mut agent = HostAgent::new(dst, AgentConfig::default());
+        let flow = flow_of(&ft, src, dst, 1002);
+        for path in ft.all_paths(src, dst) {
+            let pkt = pkt_on_path(&ft, &policy, flow, &path, 700, false);
+            agent.on_packet(&fabric, &pkt, Nanos::from_millis(5));
+        }
+        agent.flush(&fabric, Nanos::from_secs(1));
+        assert_eq!(agent.tib.len(), 4, "one record per distinct path");
+        let paths = agent
+            .tib
+            .get_paths(flow, LinkPattern::ANY, TimeRange::ANY);
+        assert_eq!(paths.len(), 4);
+    }
+
+    #[test]
+    fn invariant_raises_pc_fail_in_real_time() {
+        let (ft, fabric, policy) = fabric();
+        let (src, dst) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        let mut agent = HostAgent::new(dst, AgentConfig::default());
+        // Forbid one specific core switch.
+        let forbidden = ft.core(0);
+        agent.install_invariant(Invariant {
+            max_hops: None,
+            forbidden: vec![forbidden],
+            flow_filter: None,
+        });
+        let flow = flow_of(&ft, src, dst, 1003);
+        let via_core0 = ft
+            .all_paths(src, dst)
+            .into_iter()
+            .find(|p| p.contains(forbidden))
+            .unwrap();
+        let pkt = pkt_on_path(&ft, &policy, flow, &via_core0, 400, false);
+        agent.on_packet(&fabric, &pkt, Nanos::from_millis(9));
+        let alarms = agent.drain_alarms();
+        assert_eq!(alarms.len(), 1, "violation alarmed before eviction");
+        assert_eq!(alarms[0].reason, Reason::PcFail);
+        assert_eq!(alarms[0].paths, vec![via_core0]);
+        // A conforming path raises nothing.
+        let ok_path = ft
+            .all_paths(src, dst)
+            .into_iter()
+            .find(|p| !p.contains(forbidden))
+            .unwrap();
+        let pkt = pkt_on_path(&ft, &policy, flow_of(&ft, src, dst, 1004), &ok_path, 400, false);
+        agent.on_packet(&fabric, &pkt, Nanos::from_millis(10));
+        assert!(agent.drain_alarms().is_empty());
+    }
+
+    #[test]
+    fn max_hops_invariant() {
+        let inv = Invariant {
+            max_hops: Some(6),
+            forbidden: vec![],
+            flow_filter: None,
+        };
+        let f = FlowId::tcp(
+            pathdump_topology::Ip(1),
+            1,
+            pathdump_topology::Ip(2),
+            2,
+        );
+        let short = Path::new((0..5).map(SwitchId).collect());
+        let long = Path::new((0..7).map(SwitchId).collect());
+        assert!(!inv.violated(&f, &short), "6 hops allowed");
+        assert!(inv.violated(&f, &long), "8 hops rejected");
+    }
+
+    #[test]
+    fn corrupted_tags_raise_infeasible() {
+        let (ft, fabric, _) = fabric();
+        let (src, dst) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        let mut agent = HostAgent::new(dst, AgentConfig::default());
+        agent.install_invariant(Invariant::default());
+        let flow = flow_of(&ft, src, dst, 1005);
+        let mut pkt = Packet::data(1, flow, 0, 100, Nanos::ZERO);
+        // A lying switch: class-A tag for the wrong source ToR position.
+        pkt.headers.push_tag(3); // tor_pos 1, agg_pos 1 for k=4
+        pkt.headers.push_tag(4); // class B core 0
+        agent.on_packet(&fabric, &pkt, Nanos::from_millis(1));
+        assert_eq!(agent.recon_failures, 1);
+        let alarms = agent.drain_alarms();
+        assert_eq!(alarms.len(), 1);
+        assert_eq!(alarms[0].reason, Reason::InfeasiblePath);
+    }
+
+    #[test]
+    fn live_memory_visible_to_queries() {
+        let (ft, fabric, policy) = fabric();
+        let (src, dst) = (ft.host(0, 0, 0), ft.host(2, 0, 0));
+        let mut agent = HostAgent::new(dst, AgentConfig::default());
+        let flow = flow_of(&ft, src, dst, 1006);
+        let path = ft.all_paths(src, dst).remove(0);
+        let pkt = pkt_on_path(&ft, &policy, flow, &path, 900, false);
+        agent.on_packet(&fabric, &pkt, Nanos::from_millis(1));
+        // Not yet exported: TIB-only query sees nothing.
+        let q = Query::GetPaths {
+            flow,
+            link: LinkPattern::ANY,
+            range: TimeRange::ANY,
+        };
+        assert_eq!(
+            agent.execute(&fabric, &q, false),
+            Response::Paths(vec![])
+        );
+        // Live view sees the path immediately.
+        assert_eq!(
+            agent.execute(&fabric, &q, true),
+            Response::Paths(vec![path])
+        );
+    }
+
+    #[test]
+    fn cache_accelerates_repeated_paths() {
+        let (ft, fabric, policy) = fabric();
+        let (src, dst) = (ft.host(0, 0, 0), ft.host(1, 1, 1));
+        let mut agent = HostAgent::new(dst, AgentConfig::default());
+        let path = ft.all_paths(src, dst).remove(0);
+        for sport in 0..20 {
+            let flow = flow_of(&ft, src, dst, 2000 + sport);
+            let mut pkt = pkt_on_path(&ft, &policy, flow, &path, 100, false);
+            pkt.flags = TcpFlags::FIN; // immediate eviction/construction
+            agent.on_packet(&fabric, &pkt, Nanos::from_millis(sport as u64));
+        }
+        let (hits, misses) = agent.cache.stats();
+        assert_eq!(misses, 1, "same srcIP+tags constructs once");
+        assert_eq!(hits, 19);
+        assert_eq!(agent.tib.len(), 20);
+    }
+}

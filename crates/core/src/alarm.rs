@@ -1,0 +1,119 @@
+//! Alarms: `Alarm(flowID, Reason, Paths)` from the Host API (Table 1).
+
+use pathdump_topology::{FlowId, HostId, Nanos, Path};
+use pathdump_wire::{Decode, Decoder, Encode, Encoder, WireError, WireResult};
+
+/// Why an alarm was raised.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Reason {
+    /// TCP performance alert: repeated retransmissions (§2.3, §3.2).
+    PoorPerf,
+    /// Path conformance violation (§4.1).
+    PcFail,
+    /// A trajectory that is infeasible against the topology — a switch
+    /// inserted a wrong ID, or tags were corrupted (§2.4).
+    InfeasiblePath,
+    /// A routing loop detected from trapped packets (§4.5).
+    LoopDetected,
+    /// Installed-invariant violation (generic).
+    InvariantViolated,
+}
+
+impl Reason {
+    /// Stable wire discriminant.
+    pub fn code(self) -> u8 {
+        match self {
+            Reason::PoorPerf => 0,
+            Reason::PcFail => 1,
+            Reason::InfeasiblePath => 2,
+            Reason::LoopDetected => 3,
+            Reason::InvariantViolated => 4,
+        }
+    }
+
+    /// Decodes a wire discriminant.
+    pub fn from_code(c: u8) -> Option<Reason> {
+        Some(match c {
+            0 => Reason::PoorPerf,
+            1 => Reason::PcFail,
+            2 => Reason::InfeasiblePath,
+            3 => Reason::LoopDetected,
+            4 => Reason::InvariantViolated,
+            _ => return None,
+        })
+    }
+}
+
+/// One alarm raised by a host agent toward the controller.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Alarm {
+    /// The flow concerned.
+    pub flow: FlowId,
+    /// Reason code.
+    pub reason: Reason,
+    /// Supporting paths (may be empty, e.g. the POOR_PERF alert of §2.3).
+    pub paths: Vec<Path>,
+    /// The host that raised it.
+    pub host: HostId,
+    /// When it was raised (simulated time).
+    pub at: Nanos,
+}
+
+impl Encode for Alarm {
+    fn encode(&self, enc: &mut Encoder) {
+        self.flow.encode(enc);
+        enc.put_u8(self.reason.code());
+        self.paths.encode(enc);
+        self.host.encode(enc);
+        self.at.encode(enc);
+    }
+}
+
+impl Decode for Alarm {
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        let flow = FlowId::decode(dec)?;
+        let code = dec.get_u8()?;
+        let reason = Reason::from_code(code).ok_or(WireError::InvalidTag(code as u32))?;
+        Ok(Alarm {
+            flow,
+            reason,
+            paths: Vec::<Path>::decode(dec)?,
+            host: HostId::decode(dec)?,
+            at: Nanos::decode(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathdump_topology::{Ip, SwitchId};
+    use pathdump_wire::{from_bytes, to_bytes};
+
+    #[test]
+    fn reason_codes_roundtrip() {
+        for r in [
+            Reason::PoorPerf,
+            Reason::PcFail,
+            Reason::InfeasiblePath,
+            Reason::LoopDetected,
+            Reason::InvariantViolated,
+        ] {
+            assert_eq!(Reason::from_code(r.code()), Some(r));
+        }
+        assert_eq!(Reason::from_code(200), None);
+    }
+
+    #[test]
+    fn alarm_wire_roundtrip() {
+        let a = Alarm {
+            flow: FlowId::tcp(Ip::new(10, 0, 0, 2), 4000, Ip::new(10, 2, 0, 2), 80),
+            reason: Reason::PcFail,
+            paths: vec![Path::new(vec![SwitchId(0), SwitchId(9), SwitchId(2)])],
+            host: HostId(7),
+            at: Nanos::from_millis(123),
+        };
+        let back: Alarm = from_bytes(&to_bytes(&a)).unwrap();
+        assert_eq!(back, a);
+    }
+}

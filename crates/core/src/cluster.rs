@@ -1,0 +1,472 @@
+//! Distributed query execution: direct queries and the multi-level
+//! aggregation tree (§3.2 "query processing", evaluated in §5.2).
+//!
+//! The cluster holds one TIB per end-host. Queries and responses cross a
+//! modeled management network (per-message latency + serialization at the
+//! configured bandwidth — the paper's dedicated 1 GbE channel), while every
+//! *computation* (local query execution, response merging) is measured in
+//! real wall-clock time on real data. Response *bytes* come from actual
+//! wire-encoded frames.
+//!
+//! Direct query: the controller unicasts the query to every host and
+//! merges all responses itself — aggregation time grows linearly with the
+//! number of hosts. Multi-level query: hosts form a tree (the paper's
+//! 4-level, 7/4/4 fan-out over 112 hosts); interior hosts execute the query
+//! locally *and* merge their children's responses, so controller-side work
+//! stays flat and massive reductions (top-k discards `(n−1)·k` pairs)
+//! happen in the tree.
+
+use crate::agent::execute_on_tib;
+use crate::query::{Query, Response};
+use pathdump_tib::Tib;
+use pathdump_topology::{Nanos, MICROS};
+use pathdump_wire::Frame;
+use std::time::Instant;
+
+/// Frame type tags on the management channel.
+pub const FRAME_QUERY: u16 = 1;
+/// Response frame tag.
+pub const FRAME_RESPONSE: u16 = 2;
+
+/// The modeled management network.
+#[derive(Clone, Copy, Debug)]
+pub struct MgmtNet {
+    /// One-way per-message latency (propagation + kernel/IPC overheads).
+    pub one_way_latency: Nanos,
+    /// Channel bandwidth in bits/s (paper: dedicated 1 GbE).
+    pub bandwidth_bps: u64,
+}
+
+impl Default for MgmtNet {
+    fn default() -> Self {
+        MgmtNet {
+            one_way_latency: Nanos(100 * MICROS),
+            bandwidth_bps: 1_000_000_000,
+        }
+    }
+}
+
+impl MgmtNet {
+    /// Time for one message of `bytes` to cross the channel.
+    pub fn transfer(&self, bytes: usize) -> Nanos {
+        Nanos(self.one_way_latency.0 + bytes as u64 * 8 * 1_000_000_000 / self.bandwidth_bps)
+    }
+}
+
+/// The result of a distributed query, with its cost breakdown.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The merged response.
+    pub response: Response,
+    /// Modeled end-to-end response time (network model + measured compute).
+    pub elapsed: Nanos,
+    /// Total bytes that crossed the management network (frames included).
+    pub wire_bytes: u64,
+    /// Sum of per-host execution compute (measured).
+    pub exec_compute: Nanos,
+    /// Sum of merge compute across controller/interior nodes (measured).
+    pub merge_compute: Nanos,
+}
+
+/// A query cluster: one TIB per host plus the network model.
+pub struct Cluster {
+    /// Per-host TIBs (index = host).
+    pub tibs: Vec<Tib>,
+    /// Management network model.
+    pub net: MgmtNet,
+}
+
+/// One node of the aggregation tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeNode {
+    /// Host index.
+    pub host: usize,
+    /// Children (each itself a subtree).
+    pub children: Vec<TreeNode>,
+}
+
+impl TreeNode {
+    /// Total hosts in the subtree.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// Depth of the subtree (1 = leaf).
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(|c| c.depth())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Builds the aggregation tree over `hosts` with per-level fan-outs
+/// (the paper's 112-host tree uses `[7, 4, 4]`: 7 level-1 aggregators,
+/// 4 children each at level 2, 4 each at level 3 — all of them end-hosts
+/// executing the query too).
+pub fn build_tree(hosts: &[usize], fanouts: &[usize]) -> Vec<TreeNode> {
+    if hosts.is_empty() {
+        return Vec::new();
+    }
+    struct Node {
+        host: usize,
+        children: Vec<usize>,
+    }
+    let f0 = fanouts.first().copied().unwrap_or(usize::MAX).max(1);
+    let n_roots = f0.min(hosts.len());
+    let mut arena: Vec<Node> = hosts[..n_roots]
+        .iter()
+        .map(|&h| Node {
+            host: h,
+            children: Vec::new(),
+        })
+        .collect();
+    let mut level: Vec<usize> = (0..n_roots).collect();
+    let mut pos = n_roots;
+    let mut fan_idx = 1;
+    while pos < hosts.len() {
+        let fan = fanouts.get(fan_idx).copied().unwrap_or(usize::MAX).max(1);
+        let mut next_level = Vec::new();
+        'outer: for &parent in &level {
+            for _ in 0..fan {
+                if pos >= hosts.len() {
+                    break 'outer;
+                }
+                arena.push(Node {
+                    host: hosts[pos],
+                    children: Vec::new(),
+                });
+                let id = arena.len() - 1;
+                arena[parent].children.push(id);
+                next_level.push(id);
+                pos += 1;
+            }
+        }
+        level = next_level;
+        fan_idx += 1;
+    }
+    fn materialize(arena: &[Node], id: usize) -> TreeNode {
+        TreeNode {
+            host: arena[id].host,
+            children: arena[id]
+                .children
+                .iter()
+                .map(|&c| materialize(arena, c))
+                .collect(),
+        }
+    }
+    (0..n_roots).map(|i| materialize(&arena, i)).collect()
+}
+
+/// Internal: result of evaluating one subtree.
+struct SubtreeOutcome {
+    finish: Nanos,
+    response: Response,
+    resp_bytes: usize,
+    wire_bytes: u64,
+    exec_compute: Nanos,
+    merge_compute: Nanos,
+}
+
+impl Cluster {
+    /// Creates a cluster over per-host TIBs.
+    pub fn new(tibs: Vec<Tib>, net: MgmtNet) -> Self {
+        Cluster { tibs, net }
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.tibs.len()
+    }
+
+    fn query_frame_bytes(q: &Query) -> usize {
+        Frame::new(FRAME_QUERY, pathdump_wire::to_bytes(q)).wire_len()
+    }
+
+    fn response_frame_bytes(r: &Response) -> usize {
+        Frame::new(FRAME_RESPONSE, pathdump_wire::to_bytes(r)).wire_len()
+    }
+
+    /// Executes `q` on `hosts` with the **direct** mechanism: controller →
+    /// every host, all responses merged at the controller.
+    pub fn direct_query(&self, hosts: &[usize], q: &Query) -> QueryOutcome {
+        let q_bytes = Self::query_frame_bytes(q);
+        let mut arrivals: Vec<(Nanos, Response, usize)> = Vec::with_capacity(hosts.len());
+        let mut exec_compute = Nanos::ZERO;
+        let mut wire_bytes = (hosts.len() * q_bytes) as u64;
+        for &h in hosts {
+            let t0 = Instant::now();
+            let resp = execute_on_tib(&self.tibs[h], q);
+            let exec = Nanos(t0.elapsed().as_nanos() as u64);
+            exec_compute += exec;
+            let rb = Self::response_frame_bytes(&resp);
+            wire_bytes += rb as u64;
+            let arrival = self.net.transfer(q_bytes) + exec + self.net.transfer(rb);
+            arrivals.push((arrival, resp, rb));
+        }
+        // The controller merges responses in arrival order, serially.
+        arrivals.sort_by_key(|(t, _, _)| *t);
+        let mut merged = Response::empty_for(q);
+        let mut clock = Nanos::ZERO;
+        let mut merge_compute = Nanos::ZERO;
+        for (arrival, resp, _) in arrivals {
+            let start = clock.max(arrival);
+            let t0 = Instant::now();
+            merged.merge(resp);
+            let m = Nanos(t0.elapsed().as_nanos() as u64);
+            merge_compute += m;
+            clock = start + m;
+        }
+        QueryOutcome {
+            response: merged,
+            elapsed: clock,
+            wire_bytes,
+            exec_compute,
+            merge_compute,
+        }
+    }
+
+    /// Executes `q` over `hosts` with the **multi-level** mechanism using
+    /// the given per-level fan-outs.
+    pub fn multilevel_query(&self, hosts: &[usize], q: &Query, fanouts: &[usize]) -> QueryOutcome {
+        let roots = build_tree(hosts, fanouts);
+        let q_bytes = Self::query_frame_bytes(q);
+        let mut arrivals: Vec<(Nanos, Response, usize)> = Vec::new();
+        let mut wire_bytes = 0u64;
+        let mut exec_compute = Nanos::ZERO;
+        let mut merge_compute = Nanos::ZERO;
+        for root in &roots {
+            let out = self.eval_subtree(root, q, q_bytes, 1);
+            wire_bytes += out.wire_bytes + q_bytes as u64 + out.resp_bytes as u64;
+            exec_compute += out.exec_compute;
+            merge_compute += out.merge_compute;
+            arrivals.push((
+                out.finish + self.net.transfer(out.resp_bytes),
+                out.response,
+                out.resp_bytes,
+            ));
+        }
+        arrivals.sort_by_key(|(t, _, _)| *t);
+        let mut merged = Response::empty_for(q);
+        let mut clock = Nanos::ZERO;
+        for (arrival, resp, _) in arrivals {
+            let start = clock.max(arrival);
+            let t0 = Instant::now();
+            merged.merge(resp);
+            let m = Nanos(t0.elapsed().as_nanos() as u64);
+            merge_compute += m;
+            clock = start + m;
+        }
+        QueryOutcome {
+            response: merged,
+            elapsed: clock,
+            wire_bytes,
+            exec_compute,
+            merge_compute,
+        }
+    }
+
+    fn eval_subtree(
+        &self,
+        node: &TreeNode,
+        q: &Query,
+        q_bytes: usize,
+        depth: u32,
+    ) -> SubtreeOutcome {
+        // The query cascades down one transfer per level.
+        let query_arrival = Nanos(self.net.transfer(q_bytes).0 * depth as u64);
+        let t0 = Instant::now();
+        let local = execute_on_tib(&self.tibs[node.host], q);
+        let exec = Nanos(t0.elapsed().as_nanos() as u64);
+        let mut exec_compute = exec;
+        let mut merge_compute = Nanos::ZERO;
+        let mut wire_bytes = 0u64;
+        let mut child_arrivals: Vec<(Nanos, Response)> = Vec::new();
+        for child in &node.children {
+            let out = self.eval_subtree(child, q, q_bytes, depth + 1);
+            wire_bytes += out.wire_bytes + q_bytes as u64 + out.resp_bytes as u64;
+            exec_compute += out.exec_compute;
+            merge_compute += out.merge_compute;
+            child_arrivals.push((out.finish + self.net.transfer(out.resp_bytes), out.response));
+        }
+        child_arrivals.sort_by_key(|(t, _)| *t);
+        let mut merged = local;
+        let mut clock = query_arrival + exec;
+        for (arrival, resp) in child_arrivals {
+            let start = clock.max(arrival);
+            let t0 = Instant::now();
+            merged.merge(resp);
+            let m = Nanos(t0.elapsed().as_nanos() as u64);
+            merge_compute += m;
+            clock = start + m;
+        }
+        let resp_bytes = Self::response_frame_bytes(&merged);
+        SubtreeOutcome {
+            finish: clock,
+            response: merged,
+            resp_bytes,
+            wire_bytes,
+            exec_compute,
+            merge_compute,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathdump_tib::TibRecord;
+    use pathdump_topology::{FlowId, Ip, LinkPattern, Path, SwitchId, TimeRange};
+
+    fn tib_with(host: usize, n: usize) -> Tib {
+        let mut t = Tib::new();
+        for i in 0..n {
+            t.insert(TibRecord {
+                flow: FlowId::tcp(
+                    Ip::new(10, host as u8, 0, 2),
+                    1000 + i as u16,
+                    Ip::new(10, 99, 0, 2),
+                    80,
+                ),
+                path: Path::new(vec![SwitchId(0), SwitchId(8), SwitchId(4)]),
+                stime: Nanos(i as u64),
+                etime: Nanos(i as u64 + 10),
+                bytes: (host * 1000 + i * 17) as u64,
+                pkts: 1,
+            });
+        }
+        t
+    }
+
+    fn cluster(n_hosts: usize, records: usize) -> Cluster {
+        Cluster::new(
+            (0..n_hosts).map(|h| tib_with(h, records)).collect(),
+            MgmtNet::default(),
+        )
+    }
+
+    #[test]
+    fn tree_shape_112() {
+        let hosts: Vec<usize> = (0..112).collect();
+        let roots = build_tree(&hosts, &[7, 4, 4]);
+        assert_eq!(roots.len(), 7);
+        let total: usize = roots.iter().map(|r| r.size()).sum();
+        assert_eq!(total, 112, "every host appears exactly once");
+        let max_depth = roots.iter().map(|r| r.depth()).max().unwrap();
+        assert_eq!(max_depth, 3, "controller + 3 host levels = 4 levels");
+        // Level-2 width: each root has up to 4 children.
+        for r in &roots {
+            assert!(r.children.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn tree_shape_small() {
+        let hosts: Vec<usize> = (0..5).collect();
+        let roots = build_tree(&hosts, &[7, 4, 4]);
+        assert_eq!(roots.len(), 5, "fewer hosts than fan-out: all roots");
+        let hosts: Vec<usize> = (0..10).collect();
+        let roots = build_tree(&hosts, &[7, 4, 4]);
+        let total: usize = roots.iter().map(|r| r.size()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn tree_handles_empty() {
+        assert!(build_tree(&[], &[7, 4, 4]).is_empty());
+    }
+
+    #[test]
+    fn direct_and_multilevel_agree_on_results() {
+        let c = cluster(30, 50);
+        let hosts: Vec<usize> = (0..30).collect();
+        let queries = [
+            Query::FlowSizeDist {
+                link: LinkPattern::ANY,
+                range: TimeRange::ANY,
+                bin_bytes: 1000,
+            },
+            Query::TopK {
+                k: 20,
+                range: TimeRange::ANY,
+            },
+            Query::GetFlows {
+                link: LinkPattern::exact(SwitchId(0), SwitchId(8)),
+                range: TimeRange::ANY,
+            },
+            Query::TrafficMatrix {
+                range: TimeRange::ANY,
+            },
+        ];
+        for q in &queries {
+            let d = c.direct_query(&hosts, q);
+            let m = c.multilevel_query(&hosts, q, &[7, 4, 4]);
+            // Order-insensitive comparison for list-shaped responses.
+            match (&d.response, &m.response) {
+                (Response::Flows(a), Response::Flows(b)) => {
+                    let mut a = a.clone();
+                    let mut b = b.clone();
+                    a.sort();
+                    b.sort();
+                    assert_eq!(a, b);
+                }
+                (x, y) => assert_eq!(x, y, "query {q:?}"),
+            }
+            assert!(d.elapsed > Nanos::ZERO);
+            assert!(m.elapsed > Nanos::ZERO);
+            assert!(d.wire_bytes > 0 && m.wire_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn topk_tree_reduces_traffic() {
+        // With a large k relative to per-host data, the tree discards
+        // (n-1)k pairs per interior node; direct ships every host's full
+        // top-k to the controller. Tree traffic must not exceed direct by
+        // much, and for big responses should be comparable or smaller.
+        let c = cluster(60, 400);
+        let hosts: Vec<usize> = (0..60).collect();
+        let q = Query::TopK {
+            k: 200,
+            range: TimeRange::ANY,
+        };
+        let d = c.direct_query(&hosts, &q);
+        let m = c.multilevel_query(&hosts, &q, &[7, 4, 4]);
+        assert!(
+            (m.wire_bytes as f64) < d.wire_bytes as f64 * 1.6,
+            "tree {} vs direct {}",
+            m.wire_bytes,
+            d.wire_bytes
+        );
+    }
+
+    #[test]
+    fn direct_merge_cost_grows_with_hosts() {
+        let q = Query::FlowSizeDist {
+            link: LinkPattern::ANY,
+            range: TimeRange::ANY,
+            bin_bytes: 1000,
+        };
+        let small = cluster(8, 200);
+        let large = cluster(64, 200);
+        let d_small = small.direct_query(&(0..8).collect::<Vec<_>>(), &q);
+        let d_large = large.direct_query(&(0..64).collect::<Vec<_>>(), &q);
+        assert!(
+            d_large.merge_compute > d_small.merge_compute,
+            "controller merge work must grow with host count"
+        );
+        assert!(d_large.wire_bytes > d_small.wire_bytes);
+    }
+
+    #[test]
+    fn mgmt_net_transfer_math() {
+        let net = MgmtNet {
+            one_way_latency: Nanos(1000),
+            bandwidth_bps: 1_000_000_000,
+        };
+        // 125 bytes at 1 Gb/s = 1 us + 1 us latency.
+        assert_eq!(net.transfer(125), Nanos(2000));
+    }
+}

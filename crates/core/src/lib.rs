@@ -1,0 +1,22 @@
+//! PathDump core: the paper's primary contribution assembled.
+//!
+//! - [`agent`]: the per-host edge agent — trajectory memory → construction
+//!   (cache + CherryPick reconstruction) → TIB, with real-time invariant
+//!   checks and the Host API of Table 1;
+//! - [`query`]/[`cluster`]: serializable queries with merge semantics, and
+//!   the direct vs multi-level distributed execution engines of §3.2/§5.2;
+//! - [`world`]: the full simulation world (agents + TCP + active monitor +
+//!   controller trap handler) used by every §4 experiment;
+//! - [`alarm`]: `Alarm(flowID, Reason, Paths)`.
+
+pub mod agent;
+pub mod alarm;
+pub mod cluster;
+pub mod query;
+pub mod world;
+
+pub use agent::{execute_on_tib, AgentConfig, Fabric, HostAgent, Invariant};
+pub use alarm::{Alarm, Reason};
+pub use cluster::{build_tree, Cluster, MgmtNet, QueryOutcome, TreeNode};
+pub use query::{Query, Response};
+pub use world::{InstalledResult, LoopDetection, PathDumpWorld, WorldConfig};

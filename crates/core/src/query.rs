@@ -1,0 +1,578 @@
+//! Serializable queries, responses, and the merge semantics used by both
+//! the direct and multi-level aggregation mechanisms (§3.2).
+//!
+//! Every query and response crosses the management network through the
+//! `pathdump-wire` codec, so the Figure 11/12 traffic numbers come from
+//! real encoded frames.
+
+use pathdump_topology::{FlowId, Ip, LinkPattern, Nanos, Path, TimeRange};
+use pathdump_wire::{Decode, Decoder, Encode, Encoder, WireError, WireResult};
+use std::collections::HashMap;
+
+/// A query executable on a host agent (the Host API of Table 1 plus the
+/// composite traffic-measurement queries of §2.3).
+#[derive(Clone, PartialEq, Debug)]
+pub enum Query {
+    /// `getFlows(linkID, timeRange)`.
+    GetFlows {
+        /// Link pattern (wildcards allowed).
+        link: LinkPattern,
+        /// Time window.
+        range: TimeRange,
+    },
+    /// `getPaths(flowID, linkID, timeRange)`.
+    GetPaths {
+        /// The flow.
+        flow: FlowId,
+        /// Link pattern.
+        link: LinkPattern,
+        /// Time window.
+        range: TimeRange,
+    },
+    /// `getCount(Flow, timeRange)`.
+    GetCount {
+        /// The flow.
+        flow: FlowId,
+        /// Restrict to one path (the `Flow` pair of §2.1), or all paths.
+        path: Option<Path>,
+        /// Time window.
+        range: TimeRange,
+    },
+    /// `getDuration(Flow, timeRange)`.
+    GetDuration {
+        /// The flow.
+        flow: FlowId,
+        /// Restrict to one path, or all paths.
+        path: Option<Path>,
+        /// Time window.
+        range: TimeRange,
+    },
+    /// `getPoorTCPFlows(threshold)`.
+    GetPoorTcp {
+        /// Consecutive-retransmission threshold.
+        threshold: u32,
+    },
+    /// Flow-size distribution over a link: histogram of per-flow byte
+    /// totals in `bin_bytes` buckets (the §4.2 / Figure 11 query).
+    FlowSizeDist {
+        /// Link pattern.
+        link: LinkPattern,
+        /// Time window.
+        range: TimeRange,
+        /// Histogram bin width in bytes (the paper uses 10 000).
+        bin_bytes: u64,
+    },
+    /// Top-k flows by bytes (the §2.3 / Figure 12 query).
+    TopK {
+        /// How many flows.
+        k: u32,
+        /// Time window.
+        range: TimeRange,
+    },
+    /// Per (srcIP, dstIP) byte totals — the traffic-matrix query.
+    TrafficMatrix {
+        /// Time window.
+        range: TimeRange,
+    },
+    /// Flows exceeding a byte threshold (heavy hitters).
+    HeavyHitters {
+        /// Byte threshold.
+        min_bytes: u64,
+        /// Time window.
+        range: TimeRange,
+    },
+}
+
+/// A response, mergeable across hosts.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Response {
+    /// Flow list (deduplicated on merge).
+    Flows(Vec<FlowId>),
+    /// Path list (deduplicated on merge).
+    Paths(Vec<Path>),
+    /// Byte/packet counters (summed on merge).
+    Count {
+        /// Bytes.
+        bytes: u64,
+        /// Packets.
+        pkts: u64,
+    },
+    /// Duration (max on merge).
+    Duration(Nanos),
+    /// Histogram: bin index → flow count (summed per bin on merge).
+    Hist {
+        /// Bin width in bytes.
+        bin_bytes: u64,
+        /// bin → count.
+        bins: Vec<(u64, u64)>,
+    },
+    /// Top-k (merged and re-truncated to `k`; "(n−1)·k key-value pairs are
+    /// discarded during aggregation", §5.2).
+    TopK {
+        /// k.
+        k: u32,
+        /// (bytes, flow), descending.
+        entries: Vec<(u64, FlowId)>,
+    },
+    /// (srcIP, dstIP) → bytes (summed on merge).
+    Matrix(Vec<((Ip, Ip), u64)>),
+}
+
+impl Response {
+    /// Merges another response of the same variant into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched variants (a protocol error).
+    pub fn merge(&mut self, other: Response) {
+        match (self, other) {
+            (Response::Flows(a), Response::Flows(b)) => {
+                let seen: std::collections::HashSet<FlowId> = a.iter().copied().collect();
+                a.extend(b.into_iter().filter(|f| !seen.contains(f)));
+            }
+            (Response::Paths(a), Response::Paths(b)) => {
+                let seen: std::collections::HashSet<Path> = a.iter().cloned().collect();
+                a.extend(b.into_iter().filter(|p| !seen.contains(p)));
+            }
+            (
+                Response::Count { bytes, pkts },
+                Response::Count {
+                    bytes: b2,
+                    pkts: p2,
+                },
+            ) => {
+                *bytes += b2;
+                *pkts += p2;
+            }
+            (Response::Duration(a), Response::Duration(b)) => {
+                if b > *a {
+                    *a = b;
+                }
+            }
+            (
+                Response::Hist { bin_bytes, bins },
+                Response::Hist {
+                    bin_bytes: bb2,
+                    bins: bins2,
+                },
+            ) => {
+                debug_assert_eq!(*bin_bytes, bb2, "histogram bin widths must agree");
+                let mut map: HashMap<u64, u64> = bins.iter().copied().collect();
+                for (bin, count) in bins2 {
+                    *map.entry(bin).or_insert(0) += count;
+                }
+                let mut v: Vec<(u64, u64)> = map.into_iter().collect();
+                v.sort_unstable();
+                *bins = v;
+            }
+            (
+                Response::TopK { k, entries },
+                Response::TopK {
+                    k: k2,
+                    entries: e2,
+                },
+            ) => {
+                debug_assert_eq!(*k, k2, "k must agree across hosts");
+                entries.extend(e2);
+                entries.sort_by(|a, b| b.cmp(a));
+                entries.dedup_by_key(|e| e.1);
+                entries.truncate(*k as usize);
+            }
+            (Response::Matrix(a), Response::Matrix(b)) => {
+                let mut map: HashMap<(Ip, Ip), u64> = a.iter().copied().collect();
+                for (kx, v) in b {
+                    *map.entry(kx).or_insert(0) += v;
+                }
+                let mut v: Vec<((Ip, Ip), u64)> = map.into_iter().collect();
+                v.sort_unstable();
+                *a = v;
+            }
+            (s, o) => panic!("cannot merge {s:?} with {o:?}"),
+        }
+    }
+
+    /// An empty response of the right shape for a query.
+    pub fn empty_for(q: &Query) -> Response {
+        match q {
+            Query::GetFlows { .. } | Query::GetPoorTcp { .. } | Query::HeavyHitters { .. } => {
+                Response::Flows(Vec::new())
+            }
+            Query::GetPaths { .. } => Response::Paths(Vec::new()),
+            Query::GetCount { .. } => Response::Count { bytes: 0, pkts: 0 },
+            Query::GetDuration { .. } => Response::Duration(Nanos::ZERO),
+            Query::FlowSizeDist { bin_bytes, .. } => Response::Hist {
+                bin_bytes: *bin_bytes,
+                bins: Vec::new(),
+            },
+            Query::TopK { k, .. } => Response::TopK {
+                k: *k,
+                entries: Vec::new(),
+            },
+            Query::TrafficMatrix { .. } => Response::Matrix(Vec::new()),
+        }
+    }
+}
+
+// --- wire encoding ---------------------------------------------------------
+
+impl Encode for Query {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Query::GetFlows { link, range } => {
+                enc.put_u8(0);
+                link.encode(enc);
+                range.encode(enc);
+            }
+            Query::GetPaths { flow, link, range } => {
+                enc.put_u8(1);
+                flow.encode(enc);
+                link.encode(enc);
+                range.encode(enc);
+            }
+            Query::GetCount { flow, path, range } => {
+                enc.put_u8(2);
+                flow.encode(enc);
+                path.encode(enc);
+                range.encode(enc);
+            }
+            Query::GetDuration { flow, path, range } => {
+                enc.put_u8(3);
+                flow.encode(enc);
+                path.encode(enc);
+                range.encode(enc);
+            }
+            Query::GetPoorTcp { threshold } => {
+                enc.put_u8(4);
+                enc.put_varint(*threshold as u64);
+            }
+            Query::FlowSizeDist {
+                link,
+                range,
+                bin_bytes,
+            } => {
+                enc.put_u8(5);
+                link.encode(enc);
+                range.encode(enc);
+                enc.put_varint(*bin_bytes);
+            }
+            Query::TopK { k, range } => {
+                enc.put_u8(6);
+                enc.put_varint(*k as u64);
+                range.encode(enc);
+            }
+            Query::TrafficMatrix { range } => {
+                enc.put_u8(7);
+                range.encode(enc);
+            }
+            Query::HeavyHitters { min_bytes, range } => {
+                enc.put_u8(8);
+                enc.put_varint(*min_bytes);
+                range.encode(enc);
+            }
+        }
+    }
+}
+
+impl Decode for Query {
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        Ok(match dec.get_u8()? {
+            0 => Query::GetFlows {
+                link: LinkPattern::decode(dec)?,
+                range: TimeRange::decode(dec)?,
+            },
+            1 => Query::GetPaths {
+                flow: FlowId::decode(dec)?,
+                link: LinkPattern::decode(dec)?,
+                range: TimeRange::decode(dec)?,
+            },
+            2 => Query::GetCount {
+                flow: FlowId::decode(dec)?,
+                path: Option::<Path>::decode(dec)?,
+                range: TimeRange::decode(dec)?,
+            },
+            3 => Query::GetDuration {
+                flow: FlowId::decode(dec)?,
+                path: Option::<Path>::decode(dec)?,
+                range: TimeRange::decode(dec)?,
+            },
+            4 => Query::GetPoorTcp {
+                threshold: dec.get_varint()? as u32,
+            },
+            5 => Query::FlowSizeDist {
+                link: LinkPattern::decode(dec)?,
+                range: TimeRange::decode(dec)?,
+                bin_bytes: dec.get_varint()?,
+            },
+            6 => Query::TopK {
+                k: dec.get_varint()? as u32,
+                range: TimeRange::decode(dec)?,
+            },
+            7 => Query::TrafficMatrix {
+                range: TimeRange::decode(dec)?,
+            },
+            8 => Query::HeavyHitters {
+                min_bytes: dec.get_varint()?,
+                range: TimeRange::decode(dec)?,
+            },
+            t => return Err(WireError::InvalidTag(t as u32)),
+        })
+    }
+}
+
+impl Encode for Response {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Response::Flows(v) => {
+                enc.put_u8(0);
+                v.encode(enc);
+            }
+            Response::Paths(v) => {
+                enc.put_u8(1);
+                v.encode(enc);
+            }
+            Response::Count { bytes, pkts } => {
+                enc.put_u8(2);
+                enc.put_varint(*bytes);
+                enc.put_varint(*pkts);
+            }
+            Response::Duration(d) => {
+                enc.put_u8(3);
+                d.encode(enc);
+            }
+            Response::Hist { bin_bytes, bins } => {
+                enc.put_u8(4);
+                enc.put_varint(*bin_bytes);
+                bins.encode(enc);
+            }
+            Response::TopK { k, entries } => {
+                enc.put_u8(5);
+                enc.put_varint(*k as u64);
+                enc.put_varint(entries.len() as u64);
+                for (bytes, flow) in entries {
+                    enc.put_varint(*bytes);
+                    flow.encode(enc);
+                }
+            }
+            Response::Matrix(v) => {
+                enc.put_u8(6);
+                enc.put_varint(v.len() as u64);
+                for ((s, d), b) in v {
+                    s.encode(enc);
+                    d.encode(enc);
+                    enc.put_varint(*b);
+                }
+            }
+        }
+    }
+}
+
+impl Decode for Response {
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        Ok(match dec.get_u8()? {
+            0 => Response::Flows(Vec::<FlowId>::decode(dec)?),
+            1 => Response::Paths(Vec::<Path>::decode(dec)?),
+            2 => Response::Count {
+                bytes: dec.get_varint()?,
+                pkts: dec.get_varint()?,
+            },
+            3 => Response::Duration(Nanos::decode(dec)?),
+            4 => Response::Hist {
+                bin_bytes: dec.get_varint()?,
+                bins: Vec::<(u64, u64)>::decode(dec)?,
+            },
+            5 => {
+                let k = dec.get_varint()? as u32;
+                let n = dec.get_len()?;
+                let mut entries = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let bytes = dec.get_varint()?;
+                    let flow = FlowId::decode(dec)?;
+                    entries.push((bytes, flow));
+                }
+                Response::TopK { k, entries }
+            }
+            6 => {
+                let n = dec.get_len()?;
+                let mut v = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let s = Ip::decode(dec)?;
+                    let d = Ip::decode(dec)?;
+                    let b = dec.get_varint()?;
+                    v.push(((s, d), b));
+                }
+                Response::Matrix(v)
+            }
+            t => return Err(WireError::InvalidTag(t as u32)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathdump_topology::SwitchId;
+    use pathdump_wire::{from_bytes, to_bytes};
+
+    fn flow(s: u16) -> FlowId {
+        FlowId::tcp(Ip::new(10, 0, 0, 2), s, Ip::new(10, 1, 0, 2), 80)
+    }
+
+    #[test]
+    fn query_wire_roundtrips() {
+        let queries = vec![
+            Query::GetFlows {
+                link: LinkPattern::exact(SwitchId(1), SwitchId(2)),
+                range: TimeRange::ANY,
+            },
+            Query::GetPaths {
+                flow: flow(1),
+                link: LinkPattern::ANY,
+                range: TimeRange::since(Nanos(5)),
+            },
+            Query::GetCount {
+                flow: flow(2),
+                path: Some(Path::new(vec![SwitchId(0), SwitchId(9)])),
+                range: TimeRange::ANY,
+            },
+            Query::GetDuration {
+                flow: flow(2),
+                path: None,
+                range: TimeRange::ANY,
+            },
+            Query::GetPoorTcp { threshold: 3 },
+            Query::FlowSizeDist {
+                link: LinkPattern::into(SwitchId(7)),
+                range: TimeRange::ANY,
+                bin_bytes: 10_000,
+            },
+            Query::TopK {
+                k: 10_000,
+                range: TimeRange::ANY,
+            },
+            Query::TrafficMatrix { range: TimeRange::ANY },
+            Query::HeavyHitters {
+                min_bytes: 1_000_000,
+                range: TimeRange::ANY,
+            },
+        ];
+        for q in queries {
+            let back: Query = from_bytes(&to_bytes(&q)).unwrap();
+            assert_eq!(back, q);
+        }
+    }
+
+    #[test]
+    fn response_wire_roundtrips() {
+        let responses = vec![
+            Response::Flows(vec![flow(1), flow(2)]),
+            Response::Paths(vec![Path::new(vec![SwitchId(3)])]),
+            Response::Count {
+                bytes: 12345,
+                pkts: 99,
+            },
+            Response::Duration(Nanos::from_millis(7)),
+            Response::Hist {
+                bin_bytes: 10_000,
+                bins: vec![(0, 5), (3, 2)],
+            },
+            Response::TopK {
+                k: 2,
+                entries: vec![(500, flow(9)), (100, flow(3))],
+            },
+            Response::Matrix(vec![((Ip(1), Ip(2)), 777)]),
+        ];
+        for r in responses {
+            let back: Response = from_bytes(&to_bytes(&r)).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn merge_flows_dedups() {
+        let mut a = Response::Flows(vec![flow(1), flow(2)]);
+        a.merge(Response::Flows(vec![flow(2), flow(3)]));
+        assert_eq!(a, Response::Flows(vec![flow(1), flow(2), flow(3)]));
+    }
+
+    #[test]
+    fn merge_counts_and_durations() {
+        let mut c = Response::Count { bytes: 10, pkts: 1 };
+        c.merge(Response::Count { bytes: 5, pkts: 2 });
+        assert_eq!(c, Response::Count { bytes: 15, pkts: 3 });
+        let mut d = Response::Duration(Nanos(5));
+        d.merge(Response::Duration(Nanos(3)));
+        assert_eq!(d, Response::Duration(Nanos(5)));
+        d.merge(Response::Duration(Nanos(9)));
+        assert_eq!(d, Response::Duration(Nanos(9)));
+    }
+
+    #[test]
+    fn merge_hist_adds_bins() {
+        let mut h = Response::Hist {
+            bin_bytes: 10,
+            bins: vec![(0, 1), (2, 5)],
+        };
+        h.merge(Response::Hist {
+            bin_bytes: 10,
+            bins: vec![(2, 1), (7, 4)],
+        });
+        assert_eq!(
+            h,
+            Response::Hist {
+                bin_bytes: 10,
+                bins: vec![(0, 1), (2, 6), (7, 4)],
+            }
+        );
+    }
+
+    #[test]
+    fn merge_topk_truncates() {
+        let mut t = Response::TopK {
+            k: 2,
+            entries: vec![(100, flow(1)), (50, flow(2))],
+        };
+        t.merge(Response::TopK {
+            k: 2,
+            entries: vec![(75, flow(3)), (25, flow(4))],
+        });
+        assert_eq!(
+            t,
+            Response::TopK {
+                k: 2,
+                entries: vec![(100, flow(1)), (75, flow(3))],
+            }
+        );
+    }
+
+    #[test]
+    fn merge_matrix_sums() {
+        let mut m = Response::Matrix(vec![((Ip(1), Ip(2)), 10)]);
+        m.merge(Response::Matrix(vec![((Ip(1), Ip(2)), 5), ((Ip(3), Ip(4)), 7)]));
+        assert_eq!(
+            m,
+            Response::Matrix(vec![((Ip(1), Ip(2)), 15), ((Ip(3), Ip(4)), 7)])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge")]
+    fn mismatched_merge_panics() {
+        let mut a = Response::Flows(vec![]);
+        a.merge(Response::Duration(Nanos(1)));
+    }
+
+    #[test]
+    fn empty_for_matches_variants() {
+        let q = Query::TopK {
+            k: 5,
+            range: TimeRange::ANY,
+        };
+        assert_eq!(
+            Response::empty_for(&q),
+            Response::TopK {
+                k: 5,
+                entries: vec![]
+            }
+        );
+    }
+}

@@ -1,0 +1,308 @@
+//! The userspace software datapath: a vanilla L2/L3 forwarding pipeline and
+//! the PathDump-enabled variant that additionally extracts trajectory
+//! samples, updates the trajectory memory, and strips the tags before
+//! handing the packet to the upper stack — "about 150 lines of C added to
+//! OVS" in the paper (§3.2), reproduced here for the Figure 13 experiment.
+
+use crate::parse::{parse, strip_vlans, ParseError, Parsed};
+use bytes::BytesMut;
+use pathdump_tib::memory::FnvBuild;
+use pathdump_tib::{MemKey, TrajectoryMemory};
+use pathdump_topology::{FlowId, Nanos};
+use std::collections::HashMap;
+
+/// Forwarding verdict for one frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Verdict {
+    /// Forward out of a port.
+    Forward(u16),
+    /// Flood (destination MAC unknown).
+    Flood,
+    /// Drop (parse error); carries the reason.
+    Drop(ParseError),
+}
+
+/// Operating mode of the datapath.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Vanilla forwarding only (the Figure 13 baseline "vSwitch").
+    Vanilla,
+    /// PathDump-enabled: extract samples, update trajectory memory, strip
+    /// tags ("PathDump" in Figure 13).
+    PathDump,
+}
+
+/// The software switch.
+pub struct DataPath {
+    mode: Mode,
+    /// Destination-MAC learning table (MAC bytes → port).
+    l2: HashMap<[u8; 6], u16>,
+    /// The exact-match flow cache (OVS's EMC): every packet classifies
+    /// against it in *both* modes — this is baseline vSwitch work, shared
+    /// with the PathDump pipeline exactly as in the paper's patched OVS.
+    emc: HashMap<FlowId, u16, FnvBuild>,
+    /// The PathDump trajectory memory updated on every packet.
+    pub memory: TrajectoryMemory,
+    /// Frames processed.
+    pub packets: u64,
+    /// Bytes processed.
+    pub bytes: u64,
+    /// Parse failures.
+    pub errors: u64,
+    clock: Nanos,
+    /// Reusable key so the per-packet hook does not allocate.
+    scratch: MemKey,
+}
+
+impl DataPath {
+    /// Builds a datapath in the given mode.
+    pub fn new(mode: Mode) -> Self {
+        DataPath {
+            mode,
+            l2: HashMap::new(),
+            emc: HashMap::default(),
+            memory: TrajectoryMemory::default(),
+            packets: 0,
+            bytes: 0,
+            errors: 0,
+            clock: Nanos::ZERO,
+            scratch: MemKey {
+                flow: pathdump_topology::FlowId::tcp(
+                    pathdump_topology::Ip(0),
+                    0,
+                    pathdump_topology::Ip(0),
+                    0,
+                ),
+                dscp_sample: None,
+                tags: Vec::with_capacity(4),
+            },
+        }
+    }
+
+    /// The operating mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Installs an L2 entry.
+    pub fn learn(&mut self, mac: [u8; 6], port: u16) {
+        self.l2.insert(mac, port);
+    }
+
+    /// Advances the datapath clock (used to timestamp memory updates).
+    pub fn set_clock(&mut self, now: Nanos) {
+        self.clock = now;
+    }
+
+    /// Processes one frame in place. In PathDump mode the VLAN stack is
+    /// removed from `frame` (as OVS does before the upper stack sees it).
+    pub fn process(&mut self, frame: &mut Vec<u8>) -> Verdict {
+        self.packets += 1;
+        self.bytes += frame.len() as u64;
+        let parsed = match parse(frame) {
+            Ok(p) => p,
+            Err(e) => {
+                self.errors += 1;
+                return Verdict::Drop(e);
+            }
+        };
+        if self.mode == Mode::PathDump {
+            self.pathdump_hook(&parsed);
+            if !parsed.tags.is_empty() {
+                // Strip in place; cannot fail after a successful parse.
+                let _ = strip_vlans(frame);
+            }
+        }
+        // Flow classification (EMC), then L2 on a miss — the vanilla
+        // vSwitch fast path.
+        if let Some(&port) = self.emc.get(&parsed.flow) {
+            return Verdict::Forward(port);
+        }
+        let dst_mac: [u8; 6] = frame[0..6].try_into().expect("length checked in parse");
+        match self.l2.get(&dst_mac) {
+            Some(&port) => {
+                self.emc.insert(parsed.flow, port);
+                Verdict::Forward(port)
+            }
+            None => Verdict::Flood,
+        }
+    }
+
+    /// The per-packet PathDump work: derive the per-path flow record key
+    /// and update the trajectory memory (Figure 2's "create/update
+    /// per-path flow record with link IDs").
+    fn pathdump_hook(&mut self, parsed: &Parsed) {
+        // DSCP bit 0 is the hop-parity bit; bits 1..6 hold the VL2 sample.
+        let sample_bits = (parsed.dscp >> 1) & 0x1F;
+        let dscp_sample = if sample_bits == 0 {
+            None
+        } else {
+            Some(sample_bits - 1)
+        };
+        // Reuse the scratch key: zero allocations on the per-packet path.
+        self.scratch.flow = parsed.flow;
+        self.scratch.dscp_sample = dscp_sample;
+        self.scratch.tags.clear();
+        // Tags parse outermost-first; push order is innermost-first.
+        self.scratch.tags.extend(parsed.tags.iter().rev().copied());
+        self.memory
+            .update_borrowed(&self.scratch, parsed.payload_len as u32, self.clock);
+    }
+}
+
+/// A reusable batch of frames for throughput experiments, with per-frame
+/// scratch buffers (modeling an NIC ring).
+pub struct FrameBatch {
+    originals: Vec<Vec<u8>>,
+    scratch: Vec<BytesMut>,
+}
+
+impl FrameBatch {
+    /// Builds a batch from frames.
+    pub fn new(frames: Vec<Vec<u8>>) -> Self {
+        let scratch = frames.iter().map(|f| BytesMut::from(&f[..])).collect();
+        FrameBatch {
+            originals: frames,
+            scratch,
+        }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.originals.len()
+    }
+
+    /// Returns true if the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.originals.is_empty()
+    }
+
+    /// Total wire bytes in the batch.
+    pub fn total_bytes(&self) -> u64 {
+        self.originals.iter().map(|f| f.len() as u64).sum()
+    }
+
+    /// Runs every frame through the datapath once, restoring scratch
+    /// buffers from the originals (so tag-stripping runs each time).
+    /// Returns the number of successfully forwarded frames.
+    pub fn run_once(&mut self, dp: &mut DataPath) -> usize {
+        let mut ok = 0;
+        for (orig, buf) in self.originals.iter().zip(self.scratch.iter_mut()) {
+            buf.clear();
+            buf.extend_from_slice(orig);
+            // Process over a Vec view (strip needs Vec); reuse allocation.
+            let mut v = std::mem::take(buf).to_vec();
+            match dp.process(&mut v) {
+                Verdict::Drop(_) => {}
+                _ => ok += 1,
+            }
+            *buf = BytesMut::from(&v[..]);
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::build_frame;
+    use pathdump_topology::{FlowId, Ip};
+
+    fn flow(sport: u16) -> FlowId {
+        FlowId::tcp(Ip::new(10, 0, 0, 2), sport, Ip::new(10, 1, 0, 2), 80)
+    }
+
+    #[test]
+    fn vanilla_forwards_without_touching_tags() {
+        let mut dp = DataPath::new(Mode::Vanilla);
+        dp.learn([0x02, 0, 0, 0, 0, 0x01], 7);
+        let mut f = build_frame(&flow(1), &[100, 200], 3, 64);
+        let before = f.clone();
+        assert_eq!(dp.process(&mut f), Verdict::Forward(7));
+        assert_eq!(f, before, "vanilla mode must not modify the frame");
+        assert_eq!(dp.memory.len(), 0, "no trajectory state in vanilla mode");
+    }
+
+    #[test]
+    fn pathdump_strips_and_records() {
+        let mut dp = DataPath::new(Mode::PathDump);
+        dp.learn([0x02, 0, 0, 0, 0, 0x01], 3);
+        let mut f = build_frame(&flow(1), &[100, 200], 0, 64);
+        let tagged_len = f.len();
+        assert_eq!(dp.process(&mut f), Verdict::Forward(3));
+        assert_eq!(f.len(), tagged_len - 8, "two tags stripped");
+        assert_eq!(dp.memory.len(), 1);
+        // Push order: innermost tag first (tags parse outermost-first).
+        let key = MemKey {
+            flow: flow(1),
+            dscp_sample: None,
+            tags: vec![200, 100],
+        };
+        assert_eq!(dp.memory.peek(&key), Some((64, 1)));
+    }
+
+    #[test]
+    fn per_path_aggregation_in_memory() {
+        let mut dp = DataPath::new(Mode::PathDump);
+        for _ in 0..5 {
+            let mut f = build_frame(&flow(9), &[42], 0, 100);
+            dp.process(&mut f);
+        }
+        for _ in 0..3 {
+            let mut f = build_frame(&flow(9), &[43], 0, 100);
+            dp.process(&mut f);
+        }
+        assert_eq!(dp.memory.len(), 2, "two paths, two records");
+        let k42 = MemKey {
+            flow: flow(9),
+            dscp_sample: None,
+            tags: vec![42],
+        };
+        assert_eq!(dp.memory.peek(&k42), Some((500, 5)));
+    }
+
+    #[test]
+    fn dscp_sample_decoded() {
+        let mut dp = DataPath::new(Mode::PathDump);
+        // DSCP bits: sample value 3 stored as (3+1)<<1 = 8.
+        let mut f = build_frame(&flow(2), &[], (3 + 1) << 1, 10);
+        dp.process(&mut f);
+        let key = MemKey {
+            flow: flow(2),
+            dscp_sample: Some(3),
+            tags: vec![],
+        };
+        assert!(dp.memory.peek(&key).is_some());
+    }
+
+    #[test]
+    fn unknown_mac_floods_and_errors_counted() {
+        let mut dp = DataPath::new(Mode::PathDump);
+        let mut f = build_frame(&flow(3), &[], 0, 10);
+        assert_eq!(dp.process(&mut f), Verdict::Flood);
+        let mut junk = vec![0u8; 6];
+        assert!(matches!(dp.process(&mut junk), Verdict::Drop(_)));
+        assert_eq!(dp.errors, 1);
+        assert_eq!(dp.packets, 2);
+    }
+
+    #[test]
+    fn batch_replays_consistently() {
+        let frames: Vec<Vec<u8>> = (0..50)
+            .map(|i| build_frame(&flow(i), &[i % 4096], 0, 200))
+            .collect();
+        let mut batch = FrameBatch::new(frames);
+        let mut dp = DataPath::new(Mode::PathDump);
+        for _ in 0..3 {
+            assert_eq!(batch.run_once(&mut dp), 50);
+        }
+        assert_eq!(dp.packets, 150);
+        assert_eq!(dp.memory.len(), 50, "50 distinct flow-path records");
+        let key = MemKey {
+            flow: flow(0),
+            dscp_sample: None,
+            tags: vec![0],
+        };
+        assert_eq!(dp.memory.peek(&key), Some((600, 3)), "3 passes counted");
+    }
+}

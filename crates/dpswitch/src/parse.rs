@@ -1,0 +1,333 @@
+//! Raw packet parsing and synthesis: Ethernet, stacked 802.1Q VLAN tags,
+//! IPv4, TCP/UDP — written from scratch on byte slices.
+//!
+//! This is the wire format the Figure 13 datapath processes: real frames
+//! with 1–2 (or, on punted paths, 3) VLAN tags carrying CherryPick link
+//! IDs, and a DSCP field in the IPv4 TOS byte.
+
+use pathdump_topology::{FlowId, Ip, Protocol};
+
+/// Ethertype for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// Ethertype for 802.1Q VLAN tags (also used for inner QinQ tags here).
+pub const ETHERTYPE_VLAN: u16 = 0x8100;
+
+/// Ethernet header length.
+pub const ETH_LEN: usize = 14;
+/// Bytes per VLAN tag.
+pub const VLAN_LEN: usize = 4;
+/// IPv4 header length (no options).
+pub const IPV4_LEN: usize = 20;
+/// TCP header length (no options).
+pub const TCP_LEN: usize = 20;
+
+/// Parse errors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParseError {
+    /// Frame shorter than the headers it declares.
+    Truncated,
+    /// Not an IPv4 packet under the VLAN stack.
+    NotIpv4,
+    /// IPv4 header with options (unsupported by this fast path).
+    IpOptions,
+    /// More VLAN tags than the parser supports (the ASIC limit analogue).
+    TooManyTags,
+}
+
+/// Maximum VLAN tags the fast path parses (QinQ hardware limit analogue is
+/// enforced by the caller; the parser itself reads up to 4).
+pub const MAX_TAGS: usize = 4;
+
+/// A parsed packet view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Parsed {
+    /// VLAN IDs from outermost to innermost.
+    pub tags: Vec<u16>,
+    /// DSCP (upper 6 bits of the IPv4 TOS byte).
+    pub dscp: u8,
+    /// The 5-tuple.
+    pub flow: FlowId,
+    /// Offset where the IPv4 header starts.
+    pub ip_offset: usize,
+    /// L4 payload bytes.
+    pub payload_len: usize,
+}
+
+/// Parses an Ethernet frame.
+pub fn parse(frame: &[u8]) -> Result<Parsed, ParseError> {
+    if frame.len() < ETH_LEN {
+        return Err(ParseError::Truncated);
+    }
+    let mut off = 12; // skip MACs
+    let mut tags = Vec::new();
+    let mut ethertype = u16::from_be_bytes([frame[off], frame[off + 1]]);
+    off += 2;
+    while ethertype == ETHERTYPE_VLAN {
+        if tags.len() >= MAX_TAGS {
+            return Err(ParseError::TooManyTags);
+        }
+        if frame.len() < off + VLAN_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let tci = u16::from_be_bytes([frame[off], frame[off + 1]]);
+        tags.push(tci & 0x0FFF);
+        ethertype = u16::from_be_bytes([frame[off + 2], frame[off + 3]]);
+        off += VLAN_LEN;
+    }
+    if ethertype != ETHERTYPE_IPV4 {
+        return Err(ParseError::NotIpv4);
+    }
+    if frame.len() < off + IPV4_LEN {
+        return Err(ParseError::Truncated);
+    }
+    let ip = &frame[off..];
+    let ihl = (ip[0] & 0x0F) as usize * 4;
+    if ihl != IPV4_LEN {
+        return Err(ParseError::IpOptions);
+    }
+    let total_len = u16::from_be_bytes([ip[2], ip[3]]) as usize;
+    if frame.len() < off + total_len || total_len < IPV4_LEN {
+        return Err(ParseError::Truncated);
+    }
+    let dscp = ip[1] >> 2;
+    let proto = Protocol::from_number(ip[9]);
+    let src_ip = Ip(u32::from_be_bytes([ip[12], ip[13], ip[14], ip[15]]));
+    let dst_ip = Ip(u32::from_be_bytes([ip[16], ip[17], ip[18], ip[19]]));
+    let l4 = &ip[IPV4_LEN..total_len];
+    let (src_port, dst_port, l4_hdr) = match proto {
+        Protocol::Tcp => {
+            if l4.len() < TCP_LEN {
+                return Err(ParseError::Truncated);
+            }
+            (
+                u16::from_be_bytes([l4[0], l4[1]]),
+                u16::from_be_bytes([l4[2], l4[3]]),
+                TCP_LEN,
+            )
+        }
+        Protocol::Udp => {
+            if l4.len() < 8 {
+                return Err(ParseError::Truncated);
+            }
+            (
+                u16::from_be_bytes([l4[0], l4[1]]),
+                u16::from_be_bytes([l4[2], l4[3]]),
+                8,
+            )
+        }
+        Protocol::Other(_) => (0, 0, 0),
+    };
+    Ok(Parsed {
+        tags,
+        dscp,
+        flow: FlowId {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto,
+        },
+        ip_offset: off,
+        payload_len: total_len - IPV4_LEN - l4_hdr,
+    })
+}
+
+/// Builds a TCP frame with the given VLAN stack, DSCP, and payload size.
+///
+/// # Panics
+///
+/// Panics if a VLAN ID exceeds 12 bits or sizes overflow a u16.
+pub fn build_frame(flow: &FlowId, tags: &[u16], dscp: u8, payload_len: usize) -> Vec<u8> {
+    assert!(tags.iter().all(|&t| t < 4096), "VLAN IDs are 12-bit");
+    let ip_total = IPV4_LEN + TCP_LEN + payload_len;
+    assert!(ip_total <= u16::MAX as usize);
+    let mut f = Vec::with_capacity(ETH_LEN + tags.len() * VLAN_LEN + ip_total);
+    // MACs (synthetic).
+    f.extend_from_slice(&[0x02, 0, 0, 0, 0, 0x01]);
+    f.extend_from_slice(&[0x02, 0, 0, 0, 0, 0x02]);
+    // The VLAN stack: each tag is (ethertype=0x8100, tci); the final
+    // ethertype announces IPv4.
+    for &t in tags {
+        f.extend_from_slice(&ETHERTYPE_VLAN.to_be_bytes());
+        f.extend_from_slice(&t.to_be_bytes());
+    }
+    f.extend_from_slice(&ETHERTYPE_IPV4.to_be_bytes());
+    // IPv4 header.
+    let mut ip = [0u8; IPV4_LEN];
+    ip[0] = 0x45;
+    ip[1] = dscp << 2;
+    ip[2..4].copy_from_slice(&(ip_total as u16).to_be_bytes());
+    ip[8] = 64; // TTL
+    ip[9] = flow.proto.number();
+    ip[12..16].copy_from_slice(&flow.src_ip.0.to_be_bytes());
+    ip[16..20].copy_from_slice(&flow.dst_ip.0.to_be_bytes());
+    let csum = ipv4_checksum(&ip);
+    ip[10..12].copy_from_slice(&csum.to_be_bytes());
+    f.extend_from_slice(&ip);
+    // TCP header.
+    let mut tcp = [0u8; TCP_LEN];
+    tcp[0..2].copy_from_slice(&flow.src_port.to_be_bytes());
+    tcp[2..4].copy_from_slice(&flow.dst_port.to_be_bytes());
+    tcp[12] = 5 << 4; // data offset
+    f.extend_from_slice(&tcp);
+    f.resize(f.len() + payload_len, 0xAB);
+    f
+}
+
+/// IPv4 header checksum (RFC 1071) over a 20-byte header with the checksum
+/// field zeroed.
+pub fn ipv4_checksum(header: &[u8; IPV4_LEN]) -> u16 {
+    let mut sum = 0u32;
+    for i in (0..IPV4_LEN).step_by(2) {
+        if i == 10 {
+            continue; // checksum field treated as zero
+        }
+        sum += u32::from(u16::from_be_bytes([header[i], header[i + 1]]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Strips the VLAN stack from a frame in place (the OVS pop-vlan action of
+/// Figure 2); returns the number of tags removed and the new length.
+pub fn strip_vlans(frame: &mut Vec<u8>) -> Result<usize, ParseError> {
+    if frame.len() < ETH_LEN {
+        return Err(ParseError::Truncated);
+    }
+    // Count the stack first, then remove it with a single memmove.
+    let off = 12;
+    let mut tags = 0usize;
+    loop {
+        let pos = off + tags * VLAN_LEN;
+        if frame.len() < pos + 2 {
+            return Err(ParseError::Truncated);
+        }
+        let ethertype = u16::from_be_bytes([frame[pos], frame[pos + 1]]);
+        if ethertype != ETHERTYPE_VLAN {
+            break;
+        }
+        tags += 1;
+        if tags > MAX_TAGS {
+            return Err(ParseError::TooManyTags);
+        }
+        if frame.len() < pos + VLAN_LEN + 2 {
+            return Err(ParseError::Truncated);
+        }
+    }
+    if tags > 0 {
+        frame.drain(off..off + tags * VLAN_LEN);
+    }
+    Ok(tags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow() -> FlowId {
+        FlowId::tcp(Ip::new(10, 0, 0, 2), 40001, Ip::new(10, 2, 1, 2), 80)
+    }
+
+    #[test]
+    fn roundtrip_no_tags() {
+        let f = build_frame(&flow(), &[], 0, 100);
+        assert_eq!(f.len(), ETH_LEN + IPV4_LEN + TCP_LEN + 100);
+        let p = parse(&f).unwrap();
+        assert_eq!(p.flow, flow());
+        assert!(p.tags.is_empty());
+        assert_eq!(p.dscp, 0);
+        assert_eq!(p.payload_len, 100);
+        assert_eq!(p.ip_offset, ETH_LEN);
+    }
+
+    #[test]
+    fn roundtrip_with_tags_and_dscp() {
+        let f = build_frame(&flow(), &[123, 4095], 0x2B, 64);
+        let p = parse(&f).unwrap();
+        assert_eq!(p.tags, vec![123, 4095]);
+        assert_eq!(p.dscp, 0x2B);
+        assert_eq!(p.ip_offset, ETH_LEN + 2 * VLAN_LEN);
+    }
+
+    #[test]
+    fn udp_ports_parsed() {
+        let mut fl = flow();
+        fl.proto = Protocol::Udp;
+        // Build as TCP layout then fix proto: instead build manually.
+        let mut f = build_frame(&fl, &[], 0, 50);
+        // The builder always lays out 20 L4 bytes; for UDP the parser reads
+        // only 8, so payload_len differs — just verify ports come through.
+        let p = parse(&f).unwrap();
+        assert_eq!(p.flow.src_port, 40001);
+        assert_eq!(p.flow.dst_port, 80);
+        assert_eq!(p.flow.proto, Protocol::Udp);
+        f[23] = 200; // unknown protocol number
+        let p = parse(&f).unwrap();
+        assert_eq!(p.flow.proto, Protocol::Other(200));
+        assert_eq!(p.flow.src_port, 0);
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let f = build_frame(&flow(), &[7], 0, 40);
+        for cut in 0..f.len() - 40 {
+            // Any cut inside the headers must error, never panic.
+            let _ = parse(&f[..cut]);
+        }
+        assert_eq!(parse(&f[..10]), Err(ParseError::Truncated));
+    }
+
+    #[test]
+    fn non_ip_rejected() {
+        let mut f = build_frame(&flow(), &[], 0, 10);
+        f[12] = 0x86; // 0x86DD = IPv6
+        f[13] = 0xDD;
+        assert_eq!(parse(&f), Err(ParseError::NotIpv4));
+    }
+
+    #[test]
+    fn ip_options_rejected() {
+        let mut f = build_frame(&flow(), &[], 0, 10);
+        f[ETH_LEN] = 0x46; // IHL = 6 words
+        assert_eq!(parse(&f), Err(ParseError::IpOptions));
+    }
+
+    #[test]
+    fn too_many_tags_rejected() {
+        let f = build_frame(&flow(), &[1, 2, 3, 4, 5], 0, 10);
+        assert_eq!(parse(&f), Err(ParseError::TooManyTags));
+    }
+
+    #[test]
+    fn checksum_valid() {
+        let f = build_frame(&flow(), &[], 0, 0);
+        let mut hdr = [0u8; IPV4_LEN];
+        hdr.copy_from_slice(&f[ETH_LEN..ETH_LEN + IPV4_LEN]);
+        // Re-computing over the header with its checksum zeroed matches.
+        let stored = u16::from_be_bytes([hdr[10], hdr[11]]);
+        assert_eq!(ipv4_checksum(&hdr), stored);
+    }
+
+    #[test]
+    fn strip_vlans_in_place() {
+        let mut f = build_frame(&flow(), &[100, 200], 5, 32);
+        let with_tags = f.len();
+        let n = strip_vlans(&mut f).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(f.len(), with_tags - 2 * VLAN_LEN);
+        let p = parse(&f).unwrap();
+        assert!(p.tags.is_empty());
+        assert_eq!(p.flow, flow());
+        assert_eq!(p.dscp, 5, "DSCP survives the strip");
+    }
+
+    #[test]
+    fn strip_vlans_noop_without_tags() {
+        let mut f = build_frame(&flow(), &[], 0, 32);
+        let len = f.len();
+        assert_eq!(strip_vlans(&mut f).unwrap(), 0);
+        assert_eq!(f.len(), len);
+    }
+}

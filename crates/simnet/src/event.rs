@@ -1,0 +1,143 @@
+//! The discrete-event queue: a binary min-heap keyed on (time, sequence),
+//! where the monotone sequence number makes tie-breaking — and therefore the
+//! whole simulation — deterministic.
+
+use crate::packet::Packet;
+use crate::traits::Punt;
+use pathdump_topology::{HostId, Nanos, PortNo, SwitchId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    /// A packet arrives at a switch (finished propagation).
+    SwitchRx {
+        sw: SwitchId,
+        in_port: Option<PortNo>,
+        pkt: Packet,
+    },
+    /// A switch egress finishes serializing its head-of-line packet.
+    PortTx { sw: SwitchId, port: PortNo },
+    /// A packet arrives at a host NIC.
+    HostRx { host: HostId, pkt: Packet },
+    /// A host NIC finishes serializing its head-of-line packet.
+    HostTx { host: HostId },
+    /// A host timer fires.
+    Timer { host: HostId, token: u64 },
+    /// The controller receives a punted packet.
+    CtrlRx { punt: Punt },
+}
+
+/// Heap entry; ordered so the earliest (time, seq) pops first.
+#[derive(Debug)]
+pub(crate) struct EventEntry {
+    pub at: Nanos,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for EventEntry {}
+
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the minimum first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Deterministic event queue.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<EventEntry>,
+    seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` at absolute time `at`.
+    pub fn push(&mut self, at: Nanos, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(EventEntry {
+            at,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<EventEntry> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[allow(dead_code)] // used by tests and kept for API symmetry
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Nanos(30), EventKind::HostTx { host: HostId(3) });
+        q.push(Nanos(10), EventKind::HostTx { host: HostId(1) });
+        q.push(Nanos(20), EventKind::HostTx { host: HostId(2) });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.at.0).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for host in 0..10u32 {
+            q.push(Nanos(5), EventKind::HostTx { host: HostId(host) });
+        }
+        let hosts: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::HostTx { host } => host.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(hosts, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Nanos(42), EventKind::HostTx { host: HostId(0) });
+        assert_eq!(q.peek_time(), Some(Nanos(42)));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! Simulated packets: 5-tuple, TCP-ish metadata, and the in-band trajectory
+//! headers (VLAN tag stack + DSCP) that PathDump rides on.
+
+use pathdump_topology::{FlowId, Nanos, SwitchId};
+
+/// TCP header flags (only the bits the transport model uses).
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// SYN bit.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// ACK bit.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    /// FIN bit.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// RST bit.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+
+    /// Returns true if all bits of `other` are set in `self`.
+    pub const fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union of two flag sets.
+    pub const fn union(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+}
+
+/// The in-band trajectory headers a packet carries: up to a few stacked
+/// 12-bit VLAN IDs plus the 6-bit DSCP field (§3.1).
+///
+/// The DSCP field is split exactly as the CherryPick rules use it: bit 0 is
+/// the per-hop parity bit driving "sample one link every two hops", bits
+/// 1..6 hold the pod-local first sample on VL2.
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct TagHeaders {
+    /// VLAN tag stack, in push order (last element = outermost tag).
+    pub tags: Vec<u16>,
+    /// DSCP field (6 bits meaningful).
+    pub dscp: u8,
+}
+
+impl TagHeaders {
+    /// Parity bit mask within DSCP.
+    pub const PARITY_BIT: u8 = 0x01;
+    /// The DSCP sub-field used for VL2's first link sample (bits 1..6).
+    pub const DSCP_SAMPLE_SHIFT: u8 = 1;
+    /// Mask of the 5-bit VL2 sample value after shifting.
+    pub const DSCP_SAMPLE_MASK: u8 = 0x1F;
+
+    /// Reads the hop parity bit.
+    pub fn parity(&self) -> bool {
+        self.dscp & Self::PARITY_BIT != 0
+    }
+
+    /// Toggles the hop parity bit, returning the *new* value.
+    pub fn toggle_parity(&mut self) -> bool {
+        self.dscp ^= Self::PARITY_BIT;
+        self.parity()
+    }
+
+    /// Reads the VL2 DSCP sample: `None` when unused (all-zero sentinel).
+    pub fn dscp_sample(&self) -> Option<u8> {
+        let v = (self.dscp >> Self::DSCP_SAMPLE_SHIFT) & Self::DSCP_SAMPLE_MASK;
+        if v == 0 {
+            None
+        } else {
+            Some(v - 1)
+        }
+    }
+
+    /// Stores a VL2 DSCP sample (values `0..31`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in the 5-bit field.
+    pub fn set_dscp_sample(&mut self, value: u8) {
+        assert!(value < Self::DSCP_SAMPLE_MASK, "DSCP sample out of range");
+        self.dscp = (self.dscp & Self::PARITY_BIT)
+            | ((value + 1) << Self::DSCP_SAMPLE_SHIFT);
+    }
+
+    /// Pushes a 12-bit VLAN tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value exceeds 12 bits.
+    pub fn push_tag(&mut self, id: u16) {
+        assert!(id < 4096, "VLAN IDs are 12-bit");
+        self.tags.push(id);
+    }
+
+    /// Number of stacked VLAN tags.
+    pub fn tag_count(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Clears all trajectory state (what the edge OVS does before handing
+    /// the packet to the upper stack, and what the controller does before
+    /// re-injecting a trapped packet).
+    pub fn strip(&mut self) -> Vec<u16> {
+        self.dscp = 0;
+        std::mem::take(&mut self.tags)
+    }
+}
+
+/// A simulated packet.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Unique packet ID (simulation-wide, for tracing/debug).
+    pub uid: u64,
+    /// The 5-tuple.
+    pub flow: FlowId,
+    /// L4 payload bytes carried.
+    pub payload: u32,
+    /// TCP sequence number (first payload byte).
+    pub seq: u64,
+    /// TCP cumulative acknowledgment number.
+    pub ack: u64,
+    /// TCP flags.
+    pub flags: TcpFlags,
+    /// In-band trajectory headers.
+    pub headers: TagHeaders,
+    /// IP time-to-live (backstop against infinite loops).
+    pub ttl: u8,
+    /// Simulation-only metadata: total flow size in bytes, used by the
+    /// Figure 5 "poor hash" switch quirk that splits traffic by flow size
+    /// (the paper configures its testbed switch the same way).
+    pub flow_size_hint: u64,
+    /// When the packet left the sender.
+    pub sent_at: Nanos,
+    /// Ground-truth trajectory (switches traversed), recorded by the
+    /// simulator for verification only — no PathDump component reads this.
+    pub gt_path: Vec<SwitchId>,
+}
+
+/// Ethernet + IPv4 + TCP framing bytes added to the payload.
+pub const HEADER_BYTES: u32 = 14 + 20 + 20;
+/// Bytes added per stacked VLAN tag.
+pub const VLAN_TAG_BYTES: u32 = 4;
+
+impl Packet {
+    /// Builds a data packet with default headers.
+    pub fn data(uid: u64, flow: FlowId, seq: u64, payload: u32, now: Nanos) -> Self {
+        Packet {
+            uid,
+            flow,
+            payload,
+            seq,
+            ack: 0,
+            flags: TcpFlags::default(),
+            headers: TagHeaders::default(),
+            ttl: 64,
+            flow_size_hint: 0,
+            sent_at: now,
+            gt_path: Vec::new(),
+        }
+    }
+
+    /// Builds a pure ACK for `flow` (an ACK of the reverse data stream).
+    pub fn ack(uid: u64, flow: FlowId, ack: u64, now: Nanos) -> Self {
+        Packet {
+            uid,
+            flow,
+            payload: 0,
+            seq: 0,
+            ack,
+            flags: TcpFlags::ACK,
+            headers: TagHeaders::default(),
+            ttl: 64,
+            flow_size_hint: 0,
+            sent_at: now,
+            gt_path: Vec::new(),
+        }
+    }
+
+    /// Bytes the packet occupies on the wire, including framing and
+    /// currently stacked tags.
+    pub fn wire_size(&self) -> u32 {
+        self.payload + HEADER_BYTES + VLAN_TAG_BYTES * self.headers.tags.len() as u32
+    }
+
+    /// Returns true for pure-ACK packets (no payload).
+    pub fn is_pure_ack(&self) -> bool {
+        self.payload == 0 && self.flags.contains(TcpFlags::ACK)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathdump_topology::Ip;
+
+    fn flow() -> FlowId {
+        FlowId::tcp(Ip::new(10, 0, 0, 2), 40000, Ip::new(10, 1, 0, 2), 80)
+    }
+
+    #[test]
+    fn flags_ops() {
+        let f = TcpFlags::SYN.union(TcpFlags::ACK);
+        assert!(f.contains(TcpFlags::SYN));
+        assert!(f.contains(TcpFlags::ACK));
+        assert!(!f.contains(TcpFlags::FIN));
+    }
+
+    #[test]
+    fn parity_toggles() {
+        let mut h = TagHeaders::default();
+        assert!(!h.parity());
+        assert!(h.toggle_parity());
+        assert!(!h.toggle_parity());
+    }
+
+    #[test]
+    fn dscp_sample_roundtrip() {
+        let mut h = TagHeaders::default();
+        assert_eq!(h.dscp_sample(), None);
+        h.set_dscp_sample(0);
+        assert_eq!(h.dscp_sample(), Some(0));
+        h.set_dscp_sample(30);
+        assert_eq!(h.dscp_sample(), Some(30));
+        // Parity survives sample writes.
+        h.toggle_parity();
+        h.set_dscp_sample(7);
+        assert!(h.parity());
+        assert_eq!(h.dscp_sample(), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dscp_sample_range_checked() {
+        TagHeaders::default().set_dscp_sample(31);
+    }
+
+    #[test]
+    fn tag_stack() {
+        let mut h = TagHeaders::default();
+        h.push_tag(100);
+        h.push_tag(4095);
+        assert_eq!(h.tag_count(), 2);
+        let stripped = h.strip();
+        assert_eq!(stripped, vec![100, 4095]);
+        assert_eq!(h.tag_count(), 0);
+        assert_eq!(h.dscp, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "12-bit")]
+    fn oversized_tag_rejected() {
+        TagHeaders::default().push_tag(4096);
+    }
+
+    #[test]
+    fn wire_size_includes_tags() {
+        let mut p = Packet::data(1, flow(), 0, 1460, Nanos::ZERO);
+        assert_eq!(p.wire_size(), 1460 + 54);
+        p.headers.push_tag(1);
+        p.headers.push_tag(2);
+        assert_eq!(p.wire_size(), 1460 + 54 + 8);
+    }
+
+    #[test]
+    fn ack_is_pure() {
+        let a = Packet::ack(2, flow().reversed(), 1460, Nanos::ZERO);
+        assert!(a.is_pure_ack());
+        let d = Packet::data(3, flow(), 0, 1, Nanos::ZERO);
+        assert!(!d.is_pure_ack());
+    }
+}

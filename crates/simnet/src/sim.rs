@@ -1,0 +1,1172 @@
+//! The discrete-event simulator: switches with match-action forwarding,
+//! output-queued ports, fault injection, tag policies, and the controller
+//! slow path.
+
+use crate::config::SimConfig;
+use crate::event::{EventKind, EventQueue};
+use crate::fault::{FaultState, LoadBalance, Quirk, SwitchQuirks};
+use crate::packet::Packet;
+use crate::stats::{DropReason, DropRecord, SimStats};
+use crate::traits::{CtrlAction, CtrlApi, HostAction, HostApi, Punt, TagPolicy, World};
+use pathdump_topology::{
+    ecmp_hash, HostId, Nanos, Peer, PortNo, RouteTables, SwitchId, Tier, Topology, UpDownRouting,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// One egress queue (switch port or host NIC).
+#[derive(Debug, Default)]
+struct PortState {
+    q: VecDeque<Packet>,
+    busy: bool,
+    fault: FaultState,
+}
+
+/// Dynamic state of one switch.
+#[derive(Debug)]
+struct SwitchState {
+    lb: LoadBalance,
+    quirks: SwitchQuirks,
+    ports: Vec<PortState>,
+}
+
+/// The packet-level network simulator.
+///
+/// Generic over a [`World`] — the edge logic (transport engines, PathDump
+/// agents, controller) — so harnesses retain typed access via
+/// [`Simulator::world`].
+pub struct Simulator<W: World> {
+    cfg: SimConfig,
+    topo: Topology,
+    routes: RouteTables,
+    switches: Vec<SwitchState>,
+    nics: Vec<PortState>,
+    tag_policy: Box<dyn TagPolicy>,
+    /// The edge logic driving and observing the network.
+    pub world: W,
+    clock: Nanos,
+    queue: EventQueue,
+    rng: SmallRng,
+    next_uid: u64,
+    /// Counters (see [`SimStats`]).
+    pub stats: SimStats,
+}
+
+impl<W: World> Simulator<W> {
+    /// Builds a simulator over a routed topology.
+    pub fn new<R: UpDownRouting + ?Sized>(
+        routing: &R,
+        cfg: SimConfig,
+        tag_policy: Box<dyn TagPolicy>,
+        world: W,
+    ) -> Self {
+        let topo = routing.topology().clone();
+        let routes = RouteTables::build(routing);
+        let switches: Vec<SwitchState> = topo
+            .switches
+            .iter()
+            .map(|sw| SwitchState {
+                lb: LoadBalance::default(),
+                quirks: SwitchQuirks::default(),
+                ports: sw.ports.iter().map(|_| PortState::default()).collect(),
+            })
+            .collect();
+        let nics = (0..topo.num_hosts()).map(|_| PortState::default()).collect();
+        let ports_per_switch: Vec<usize> =
+            topo.switches.iter().map(|s| s.ports.len()).collect();
+        let stats = SimStats::new(topo.num_switches(), &ports_per_switch, topo.num_hosts());
+        Simulator {
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            cfg,
+            routes,
+            switches,
+            nics,
+            tag_policy,
+            world,
+            clock: Nanos::ZERO,
+            queue: EventQueue::new(),
+            next_uid: 0,
+            stats,
+            topo,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Nanos {
+        self.clock
+    }
+
+    /// The static topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Allocates a unique packet ID.
+    pub fn alloc_uid(&mut self) -> u64 {
+        self.next_uid += 1;
+        self.next_uid
+    }
+
+    // --- fault & policy installation -------------------------------------
+
+    /// Looks up the egress port of the directed link `from -> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the switches are not adjacent.
+    pub fn link_port(&self, from: SwitchId, to: SwitchId) -> PortNo {
+        self.topo
+            .switch(from)
+            .port_towards(to)
+            .unwrap_or_else(|| panic!("{from} and {to} are not adjacent"))
+    }
+
+    /// Sets the fault state of the directed link `from -> to`.
+    pub fn set_directed_fault(&mut self, from: SwitchId, to: SwitchId, fault: FaultState) {
+        let port = self.link_port(from, to);
+        self.switches[from.index()].ports[port.index()].fault = fault;
+    }
+
+    /// Reads the fault state of the directed link `from -> to`.
+    pub fn directed_fault(&self, from: SwitchId, to: SwitchId) -> FaultState {
+        let port = self.link_port(from, to);
+        self.switches[from.index()].ports[port.index()].fault
+    }
+
+    /// Takes the undirected link `a <-> b` down (both directions).
+    pub fn set_link_down(&mut self, a: SwitchId, b: SwitchId, down: bool) {
+        for (x, y) in [(a, b), (b, a)] {
+            let port = self.link_port(x, y);
+            self.switches[x.index()].ports[port.index()].fault.down = down;
+        }
+    }
+
+    /// Sets the fault state of a host-facing ToR egress (the "interface
+    /// toward host" direction used for drops-on-server scenarios).
+    pub fn set_host_downlink_fault(&mut self, host: HostId, fault: FaultState) {
+        let hm = self.topo.host(host).clone();
+        self.switches[hm.tor.index()].ports[hm.tor_port.index()].fault = fault;
+    }
+
+    /// Sets the fault state of a host NIC (uplink direction).
+    pub fn set_nic_fault(&mut self, host: HostId, fault: FaultState) {
+        self.nics[host.index()].fault = fault;
+    }
+
+    /// Sets the load-balance policy of one switch.
+    pub fn set_lb(&mut self, sw: SwitchId, lb: LoadBalance) {
+        self.switches[sw.index()].lb = lb;
+    }
+
+    /// Sets the load-balance policy of every switch.
+    pub fn set_lb_all(&mut self, lb: LoadBalance) {
+        for s in &mut self.switches {
+            s.lb = lb.clone();
+        }
+    }
+
+    /// Installs a forwarding quirk on a switch.
+    pub fn install_quirk(&mut self, sw: SwitchId, quirk: Quirk) {
+        self.switches[sw.index()].quirks.install(quirk);
+    }
+
+    /// Removes all quirks from a switch.
+    pub fn clear_quirks(&mut self, sw: SwitchId) {
+        self.switches[sw.index()].quirks.clear();
+    }
+
+    // --- injection --------------------------------------------------------
+
+    /// Schedules `World::on_timer(host, token)` after `delay`.
+    pub fn schedule_timer(&mut self, host: HostId, delay: Nanos, token: u64) {
+        self.queue.push(
+            self.clock.saturating_add(delay),
+            EventKind::Timer { host, token },
+        );
+    }
+
+    /// Transmits a packet from `host` (stamping uid/ttl/sent time).
+    pub fn send_from(&mut self, host: HostId, mut pkt: Packet) {
+        if pkt.uid == 0 {
+            pkt.uid = self.alloc_uid();
+        }
+        pkt.ttl = self.cfg.ttl;
+        pkt.sent_at = self.clock;
+        self.stats.injected_pkts += 1;
+        self.nic_enqueue(host, pkt);
+    }
+
+    // --- run loop ----------------------------------------------------------
+
+    /// Processes events until simulated time `t` (inclusive); the clock ends
+    /// at `t` even if the queue drains earlier.
+    pub fn run_until(&mut self, t: Nanos) {
+        while let Some(at) = self.queue.peek_time() {
+            if at > t {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event must pop");
+            self.clock = ev.at;
+            self.stats.events += 1;
+            self.dispatch(ev.kind);
+        }
+        if t > self.clock && t != Nanos::MAX {
+            self.clock = t;
+        }
+    }
+
+    /// Runs until the event queue drains (or `hard_cap` is reached).
+    pub fn run_to_completion(&mut self, hard_cap: Nanos) {
+        self.run_until(hard_cap);
+    }
+
+    /// Number of pending events (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::SwitchRx { sw, in_port, pkt } => self.handle_switch_rx(sw, in_port, pkt),
+            EventKind::PortTx { sw, port } => self.handle_port_tx(sw, port),
+            EventKind::HostRx { host, pkt } => self.handle_host_rx(host, pkt),
+            EventKind::HostTx { host } => self.handle_host_tx(host),
+            EventKind::Timer { host, token } => self.handle_timer(host, token),
+            EventKind::CtrlRx { punt } => self.handle_ctrl_rx(punt),
+        }
+    }
+
+    // --- switch dataplane ---------------------------------------------------
+
+    fn handle_switch_rx(&mut self, sw: SwitchId, in_port: Option<PortNo>, mut pkt: Packet) {
+        self.stats.switches[sw.index()].rx_pkts += 1;
+        if self.cfg.record_ground_truth {
+            pkt.gt_path.push(sw);
+        }
+
+        // ASIC limit: a packet carrying more tags than the ASIC parses
+        // triggers a rule miss and goes to the controller (§3.1).
+        if pkt.headers.tag_count() > self.cfg.asic_tag_limit {
+            self.stats.switches[sw.index()].punts += 1;
+            let punt = Punt {
+                sw,
+                in_port,
+                pkt,
+                punted_at: self.clock,
+            };
+            self.queue.push(
+                self.clock.saturating_add(self.cfg.punt_latency),
+                EventKind::CtrlRx { punt },
+            );
+            return;
+        }
+
+        if pkt.ttl == 0 {
+            self.stats.switches[sw.index()].ttl_drops += 1;
+            let rec = DropRecord {
+                time: self.clock,
+                sw: Some(sw),
+                port: in_port,
+                reason: DropReason::TtlExpired,
+                flow: pkt.flow,
+                uid: pkt.uid,
+            };
+            self.stats.log_drop(self.cfg.collect_drop_log, rec);
+            return;
+        }
+        pkt.ttl -= 1;
+
+        let Some(dst_host) = self.topo.host_by_ip(pkt.flow.dst_ip) else {
+            self.drop_no_route(sw, &pkt);
+            return;
+        };
+        let (dst_tor, dst_port) = {
+            let hm = self.topo.host(dst_host);
+            (hm.tor, hm.tor_port)
+        };
+
+        // Canonical candidates under healthy up-down routing.
+        let candidates: Vec<PortNo> = if dst_tor == sw {
+            vec![dst_port]
+        } else {
+            self.routes.candidates_to_tor(sw, dst_tor).to_vec()
+        };
+
+        // Quirks (misconfigurations) override routing entirely.
+        let quirk_pick = self.switches[sw.index()].quirks.resolve(
+            &pkt.flow,
+            pkt.flow_size_hint,
+            &candidates,
+        );
+
+        let out_port = match quirk_pick {
+            Some(p) => Some(p),
+            None => {
+                let usable: Vec<PortNo> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|p| self.switches[sw.index()].ports[p.index()].fault.usable())
+                    .collect();
+                if !usable.is_empty() {
+                    self.pick_egress(sw, &candidates, &usable, &pkt)
+                } else {
+                    // Failover: bounce out of a usable switch-facing port
+                    // other than the ingress (the "simple failover mechanism"
+                    // of §4.1's testbed), preferring lower-tier peers — a
+                    // bounce toward the edge keeps the detour inside the pod
+                    // where an alternate up-path exists.
+                    let rank = |t: Tier| match t {
+                        Tier::Tor => 0u8,
+                        Tier::Agg => 1,
+                        Tier::Core => 2,
+                    };
+                    let own_rank = rank(self.topo.switch(sw).tier);
+                    let all: Vec<(PortNo, u8)> = self
+                        .topo
+                        .switch_neighbors(sw)
+                        .into_iter()
+                        .filter(|(p, _)| {
+                            Some(*p) != in_port
+                                && self.switches[sw.index()].ports[p.index()].fault.usable()
+                        })
+                        .map(|(p, nb)| (p, rank(self.topo.switch(nb).tier)))
+                        .collect();
+                    let lower: Vec<PortNo> = all
+                        .iter()
+                        .filter(|(_, r)| *r < own_rank)
+                        .map(|(p, _)| *p)
+                        .collect();
+                    let fallback: Vec<PortNo> = if lower.is_empty() {
+                        all.into_iter().map(|(p, _)| p).collect()
+                    } else {
+                        lower
+                    };
+                    self.pick_egress(sw, &fallback, &fallback, &pkt)
+                }
+            }
+        };
+
+        let Some(out_port) = out_port else {
+            self.drop_no_route(sw, &pkt);
+            return;
+        };
+
+        // Trajectory tagging (push_vlan and friends) happens as part of the
+        // forwarding action set.
+        self.tag_policy
+            .on_forward(sw, in_port, out_port, &mut pkt.headers);
+
+        self.switch_enqueue(sw, out_port, pkt);
+    }
+
+    /// Picks one egress among `usable` (all drawn from `canonical`, whose
+    /// order anchors WeightedSpray weights).
+    fn pick_egress(
+        &mut self,
+        sw: SwitchId,
+        canonical: &[PortNo],
+        usable: &[PortNo],
+        pkt: &Packet,
+    ) -> Option<PortNo> {
+        if usable.is_empty() {
+            return None;
+        }
+        if usable.len() == 1 {
+            return Some(usable[0]);
+        }
+        match &self.switches[sw.index()].lb {
+            LoadBalance::Ecmp => {
+                let salt = 0x9E37_79B9_7F4A_7C15u64 ^ (sw.0 as u64);
+                let h = ecmp_hash(&pkt.flow, salt);
+                Some(usable[(h % usable.len() as u64) as usize])
+            }
+            LoadBalance::Spray => {
+                let i = self.rng.gen_range(0..usable.len());
+                Some(usable[i])
+            }
+            LoadBalance::WeightedSpray(weights) => {
+                let w: Vec<u64> = usable
+                    .iter()
+                    .map(|p| {
+                        canonical
+                            .iter()
+                            .position(|c| c == p)
+                            .and_then(|i| weights.get(i))
+                            .copied()
+                            .unwrap_or(1) as u64
+                    })
+                    .collect();
+                let total: u64 = w.iter().sum::<u64>().max(1);
+                let mut x = self.rng.gen_range(0..total);
+                for (i, wi) in w.iter().enumerate() {
+                    if x < *wi {
+                        return Some(usable[i]);
+                    }
+                    x -= wi;
+                }
+                Some(*usable.last().expect("non-empty"))
+            }
+        }
+    }
+
+    fn drop_no_route(&mut self, sw: SwitchId, pkt: &Packet) {
+        self.stats.switches[sw.index()].no_route_drops += 1;
+        let rec = DropRecord {
+            time: self.clock,
+            sw: Some(sw),
+            port: None,
+            reason: DropReason::NoRoute,
+            flow: pkt.flow,
+            uid: pkt.uid,
+        };
+        self.stats.log_drop(self.cfg.collect_drop_log, rec);
+    }
+
+    fn switch_enqueue(&mut self, sw: SwitchId, port: PortNo, pkt: Packet) {
+        let cap = self.cfg.fabric_link.queue_pkts;
+        let st = &mut self.switches[sw.index()].ports[port.index()];
+        if st.q.len() >= cap {
+            self.stats.switch_ports[sw.index()][port.index()].queue_drops += 1;
+            let rec = DropRecord {
+                time: self.clock,
+                sw: Some(sw),
+                port: Some(port),
+                reason: DropReason::QueueFull,
+                flow: pkt.flow,
+                uid: pkt.uid,
+            };
+            self.stats.log_drop(self.cfg.collect_drop_log, rec);
+            return;
+        }
+        st.q.push_back(pkt);
+        if !st.busy {
+            st.busy = true;
+            let tx = self
+                .cfg
+                .fabric_link
+                .tx_time(st.q.front().expect("just pushed").wire_size());
+            self.queue
+                .push(self.clock.saturating_add(tx), EventKind::PortTx { sw, port });
+        }
+    }
+
+    fn handle_port_tx(&mut self, sw: SwitchId, port: PortNo) {
+        let pkt = {
+            let st = &mut self.switches[sw.index()].ports[port.index()];
+            st.q.pop_front().expect("PortTx with empty queue")
+        };
+        let counters = &mut self.stats.switch_ports[sw.index()][port.index()];
+        counters.tx_pkts += 1;
+        counters.tx_bytes += pkt.wire_size() as u64;
+
+        let fault = self.switches[sw.index()].ports[port.index()].fault;
+        let mut dropped: Option<DropReason> = None;
+        if fault.down {
+            self.stats.switch_ports[sw.index()][port.index()].down_drops += 1;
+            dropped = Some(DropReason::LinkDown);
+        } else if fault.blackhole {
+            self.stats.switch_ports[sw.index()][port.index()].blackhole_drops += 1;
+            dropped = Some(DropReason::Blackhole);
+        } else if fault.silent_drop_rate > 0.0
+            && self.rng.gen::<f64>() < fault.silent_drop_rate
+        {
+            self.stats.switch_ports[sw.index()][port.index()].silent_drops += 1;
+            dropped = Some(DropReason::SilentRandom);
+        }
+
+        if let Some(reason) = dropped {
+            let rec = DropRecord {
+                time: self.clock,
+                sw: Some(sw),
+                port: Some(port),
+                reason,
+                flow: pkt.flow,
+                uid: pkt.uid,
+            };
+            self.stats.log_drop(self.cfg.collect_drop_log, rec);
+        } else {
+            let arrive = self.clock.saturating_add(self.cfg.fabric_link.prop_delay);
+            match self.topo.peer(sw, port) {
+                Peer::Switch { sw: nsw, port: nport } => self.queue.push(
+                    arrive,
+                    EventKind::SwitchRx {
+                        sw: nsw,
+                        in_port: Some(nport),
+                        pkt,
+                    },
+                ),
+                Peer::Host(h) => self.queue.push(arrive, EventKind::HostRx { host: h, pkt }),
+                Peer::Unconnected => self.drop_no_route(sw, &pkt),
+            }
+        }
+
+        // Start serializing the next head-of-line packet, if any.
+        let st = &mut self.switches[sw.index()].ports[port.index()];
+        if let Some(front) = st.q.front() {
+            let tx = self.cfg.fabric_link.tx_time(front.wire_size());
+            self.queue
+                .push(self.clock.saturating_add(tx), EventKind::PortTx { sw, port });
+        } else {
+            st.busy = false;
+        }
+    }
+
+    // --- host edge -----------------------------------------------------------
+
+    fn nic_enqueue(&mut self, host: HostId, pkt: Packet) {
+        let cap = self.cfg.host_link.queue_pkts;
+        let nic = &mut self.nics[host.index()];
+        if nic.q.len() >= cap {
+            self.stats.host_nics[host.index()].queue_drops += 1;
+            let rec = DropRecord {
+                time: self.clock,
+                sw: None,
+                port: None,
+                reason: DropReason::QueueFull,
+                flow: pkt.flow,
+                uid: pkt.uid,
+            };
+            self.stats.log_drop(self.cfg.collect_drop_log, rec);
+            return;
+        }
+        nic.q.push_back(pkt);
+        if !nic.busy {
+            nic.busy = true;
+            let tx = self
+                .cfg
+                .host_link
+                .tx_time(nic.q.front().expect("just pushed").wire_size());
+            self.queue
+                .push(self.clock.saturating_add(tx), EventKind::HostTx { host });
+        }
+    }
+
+    fn handle_host_tx(&mut self, host: HostId) {
+        let pkt = {
+            let nic = &mut self.nics[host.index()];
+            nic.q.pop_front().expect("HostTx with empty queue")
+        };
+        let counters = &mut self.stats.host_nics[host.index()];
+        counters.tx_pkts += 1;
+        counters.tx_bytes += pkt.wire_size() as u64;
+
+        let fault = self.nics[host.index()].fault;
+        let mut dropped: Option<DropReason> = None;
+        if fault.down {
+            self.stats.host_nics[host.index()].down_drops += 1;
+            dropped = Some(DropReason::LinkDown);
+        } else if fault.blackhole {
+            self.stats.host_nics[host.index()].blackhole_drops += 1;
+            dropped = Some(DropReason::Blackhole);
+        } else if fault.silent_drop_rate > 0.0
+            && self.rng.gen::<f64>() < fault.silent_drop_rate
+        {
+            self.stats.host_nics[host.index()].silent_drops += 1;
+            dropped = Some(DropReason::SilentRandom);
+        }
+
+        if let Some(reason) = dropped {
+            let rec = DropRecord {
+                time: self.clock,
+                sw: None,
+                port: None,
+                reason,
+                flow: pkt.flow,
+                uid: pkt.uid,
+            };
+            self.stats.log_drop(self.cfg.collect_drop_log, rec);
+        } else {
+            let hm = self.topo.host(host);
+            let (tor, tor_port) = (hm.tor, hm.tor_port);
+            let arrive = self.clock.saturating_add(self.cfg.host_link.prop_delay);
+            self.queue.push(
+                arrive,
+                EventKind::SwitchRx {
+                    sw: tor,
+                    in_port: Some(tor_port),
+                    pkt,
+                },
+            );
+        }
+
+        let nic = &mut self.nics[host.index()];
+        if let Some(front) = nic.q.front() {
+            let tx = self.cfg.host_link.tx_time(front.wire_size());
+            self.queue
+                .push(self.clock.saturating_add(tx), EventKind::HostTx { host });
+        } else {
+            nic.busy = false;
+        }
+    }
+
+    fn handle_host_rx(&mut self, host: HostId, pkt: Packet) {
+        self.stats.delivered_pkts += 1;
+        self.stats.delivered_bytes += pkt.wire_size() as u64;
+        let mut actions = Vec::new();
+        {
+            let mut api = HostApi {
+                now: self.clock,
+                host,
+                actions: &mut actions,
+                rng: &mut self.rng,
+                next_uid: &mut self.next_uid,
+            };
+            self.world.on_packet(&mut api, pkt);
+        }
+        self.apply_host_actions(host, actions);
+    }
+
+    fn handle_timer(&mut self, host: HostId, token: u64) {
+        let mut actions = Vec::new();
+        {
+            let mut api = HostApi {
+                now: self.clock,
+                host,
+                actions: &mut actions,
+                rng: &mut self.rng,
+                next_uid: &mut self.next_uid,
+            };
+            self.world.on_timer(&mut api, token);
+        }
+        self.apply_host_actions(host, actions);
+    }
+
+    fn apply_host_actions(&mut self, host: HostId, actions: Vec<HostAction>) {
+        for a in actions {
+            match a {
+                HostAction::Send(mut pkt) => {
+                    if pkt.uid == 0 {
+                        pkt.uid = self.alloc_uid();
+                    }
+                    pkt.ttl = self.cfg.ttl;
+                    pkt.sent_at = self.clock;
+                    self.stats.injected_pkts += 1;
+                    self.nic_enqueue(host, pkt);
+                }
+                HostAction::Timer { delay, token } => {
+                    self.queue.push(
+                        self.clock.saturating_add(delay),
+                        EventKind::Timer { host, token },
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_ctrl_rx(&mut self, punt: Punt) {
+        let mut actions = Vec::new();
+        {
+            let mut api = CtrlApi {
+                now: self.clock,
+                actions: &mut actions,
+            };
+            self.world.on_punt(&mut api, punt);
+        }
+        for a in actions {
+            match a {
+                CtrlAction::PacketOut { sw, in_port, pkt } => {
+                    self.queue.push(
+                        self.clock.saturating_add(self.cfg.packet_out_latency),
+                        EventKind::SwitchRx { sw, in_port, pkt },
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::TagHeaders;
+    use crate::traits::NoTagging;
+    use pathdump_topology::{FatTree, FatTreeParams, FlowId, Path, MILLIS, SECONDS};
+
+    /// Records deliveries and punts; can re-inject punted packets.
+    #[derive(Default)]
+    struct TestWorld {
+        delivered: Vec<(HostId, Packet)>,
+        punts: Vec<Punt>,
+        reinject_punts: bool,
+    }
+
+    impl World for TestWorld {
+        fn on_packet(&mut self, api: &mut HostApi<'_>, pkt: Packet) {
+            let host = api.host();
+            self.delivered.push((host, pkt));
+        }
+        fn on_timer(&mut self, _api: &mut HostApi<'_>, _token: u64) {}
+        fn on_punt(&mut self, api: &mut CtrlApi<'_>, punt: Punt) {
+            self.punts.push(punt.clone());
+            if self.reinject_punts {
+                let mut pkt = punt.pkt;
+                pkt.headers.strip();
+                api.packet_out(punt.sw, punt.in_port, pkt);
+            }
+        }
+    }
+
+    fn ft4() -> FatTree {
+        FatTree::build(FatTreeParams { k: 4 })
+    }
+
+    fn sim(ft: &FatTree) -> Simulator<TestWorld> {
+        Simulator::new(
+            ft,
+            SimConfig::for_tests(),
+            Box::new(NoTagging),
+            TestWorld::default(),
+        )
+    }
+
+    fn flow(ft: &FatTree, src: HostId, dst: HostId, sport: u16) -> FlowId {
+        let t = ft.topology();
+        FlowId::tcp(t.host(src).ip, sport, t.host(dst).ip, 80)
+    }
+
+    fn one_packet(sim: &mut Simulator<TestWorld>, f: FlowId, src: HostId) {
+        let pkt = Packet::data(0, f, 0, 1000, sim.now());
+        sim.send_from(src, pkt);
+    }
+
+    #[test]
+    fn delivers_same_tor() {
+        let ft = ft4();
+        let mut s = sim(&ft);
+        let (a, b) = (ft.host(0, 0, 0), ft.host(0, 0, 1));
+        one_packet(&mut s, flow(&ft, a, b, 1000), a);
+        s.run_until(Nanos::from_millis(10));
+        assert_eq!(s.world.delivered.len(), 1);
+        let (h, pkt) = &s.world.delivered[0];
+        assert_eq!(*h, b);
+        assert_eq!(pkt.gt_path, vec![ft.tor(0, 0)]);
+    }
+
+    #[test]
+    fn delivers_inter_pod_on_shortest_path() {
+        let ft = ft4();
+        let mut s = sim(&ft);
+        let (a, b) = (ft.host(0, 0, 0), ft.host(2, 1, 1));
+        one_packet(&mut s, flow(&ft, a, b, 1000), a);
+        s.run_until(Nanos::from_millis(10));
+        assert_eq!(s.world.delivered.len(), 1);
+        let gt = Path::new(s.world.delivered[0].1.gt_path.clone());
+        let shortest = ft.all_paths(a, b);
+        assert!(shortest.contains(&gt), "gt {gt} not a shortest path");
+    }
+
+    #[test]
+    fn ecmp_spreads_distinct_flows() {
+        let ft = ft4();
+        let mut s = sim(&ft);
+        let (a, b) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        for sport in 0..64 {
+            one_packet(&mut s, flow(&ft, a, b, 2000 + sport), a);
+        }
+        s.run_until(Nanos::from_millis(100));
+        assert_eq!(s.world.delivered.len(), 64);
+        let distinct: std::collections::HashSet<Vec<SwitchId>> = s
+            .world
+            .delivered
+            .iter()
+            .map(|(_, p)| p.gt_path.clone())
+            .collect();
+        assert!(
+            distinct.len() >= 3,
+            "ECMP used only {} of 4 paths",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn ecmp_pins_single_flow() {
+        let ft = ft4();
+        let mut s = sim(&ft);
+        let (a, b) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        let f = flow(&ft, a, b, 777);
+        for _ in 0..32 {
+            one_packet(&mut s, f, a);
+        }
+        s.run_until(Nanos::from_millis(100));
+        let distinct: std::collections::HashSet<Vec<SwitchId>> = s
+            .world
+            .delivered
+            .iter()
+            .map(|(_, p)| p.gt_path.clone())
+            .collect();
+        assert_eq!(distinct.len(), 1, "one flow must stay on one ECMP path");
+    }
+
+    #[test]
+    fn spraying_uses_all_paths() {
+        let ft = ft4();
+        let mut s = sim(&ft);
+        s.set_lb_all(LoadBalance::Spray);
+        let (a, b) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        let f = flow(&ft, a, b, 777);
+        for _ in 0..200 {
+            one_packet(&mut s, f, a);
+        }
+        s.run_until(Nanos::from_secs(1));
+        let distinct: std::collections::HashSet<Vec<SwitchId>> = s
+            .world
+            .delivered
+            .iter()
+            .map(|(_, p)| p.gt_path.clone())
+            .collect();
+        assert_eq!(distinct.len(), 4, "spraying must hit all 4 paths");
+    }
+
+    #[test]
+    fn weighted_spray_skews() {
+        let ft = ft4();
+        let mut s = sim(&ft);
+        s.set_lb_all(LoadBalance::Spray);
+        // Bias the source ToR's uplinks 9:1.
+        s.set_lb(ft.tor(0, 0), LoadBalance::WeightedSpray(vec![9, 1]));
+        let (a, b) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        let f = flow(&ft, a, b, 777);
+        for _ in 0..100 {
+            one_packet(&mut s, f, a);
+        }
+        s.run_until(Nanos::from_secs(2));
+        let via_agg0 = s
+            .world
+            .delivered
+            .iter()
+            .filter(|(_, p)| p.gt_path.contains(&ft.agg(0, 0)))
+            .count();
+        let total = s.world.delivered.len();
+        assert!(total >= 95, "most packets must arrive, got {total}");
+        assert!(
+            via_agg0 > total * 7 / 10,
+            "expected heavy skew toward agg0: {via_agg0}/{total}"
+        );
+    }
+
+    #[test]
+    fn link_down_triggers_reroute() {
+        let ft = ft4();
+        let mut s = sim(&ft);
+        let (a, b) = (ft.host(0, 0, 0), ft.host(0, 1, 0));
+        // Kill ToR(0,0) -> Agg(0,0); intra-pod flows must all use agg 1.
+        s.set_link_down(ft.tor(0, 0), ft.agg(0, 0), true);
+        for sport in 0..16 {
+            one_packet(&mut s, flow(&ft, a, b, 3000 + sport), a);
+        }
+        s.run_until(Nanos::from_millis(100));
+        assert_eq!(s.world.delivered.len(), 16);
+        for (_, p) in &s.world.delivered {
+            assert_eq!(p.gt_path, vec![ft.tor(0, 0), ft.agg(0, 1), ft.tor(0, 1)]);
+        }
+    }
+
+    #[test]
+    fn full_uplink_failure_bounces() {
+        let ft = ft4();
+        let mut s = sim(&ft);
+        let (a, b) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        // At Agg(0,0): both core uplinks down; packet must bounce and still
+        // get delivered via a longer path.
+        s.set_link_down(ft.agg(0, 0), ft.core(0), true);
+        s.set_link_down(ft.agg(0, 0), ft.core(1), true);
+        // Pin the flow through agg(0,0): only that agg's uplinks are dead.
+        s.install_quirk(
+            ft.tor(0, 0),
+            Quirk::ForwardFlowTo {
+                flow: flow(&ft, a, b, 4000),
+                port: s.link_port(ft.tor(0, 0), ft.agg(0, 0)),
+            },
+        );
+        one_packet(&mut s, flow(&ft, a, b, 4000), a);
+        s.run_until(Nanos::from_millis(100));
+        assert_eq!(s.world.delivered.len(), 1);
+        let gt = &s.world.delivered[0].1.gt_path;
+        assert!(gt.len() > 5, "bounce path must be longer: {gt:?}");
+        assert_eq!(gt.last(), Some(&ft.tor(1, 0)));
+    }
+
+    #[test]
+    fn silent_drops_hidden_from_visible_counters() {
+        let ft = ft4();
+        let mut s = sim(&ft);
+        let (a, b) = (ft.host(0, 0, 0), ft.host(0, 1, 0));
+        let victim = ft.agg(0, 0);
+        s.set_directed_fault(
+            victim,
+            ft.tor(0, 1),
+            FaultState {
+                silent_drop_rate: 1.0,
+                ..FaultState::HEALTHY
+            },
+        );
+        // Force all flows through agg(0,0) by killing the path via agg(0,1).
+        s.set_link_down(ft.tor(0, 0), ft.agg(0, 1), true);
+        for sport in 0..20 {
+            one_packet(&mut s, flow(&ft, a, b, 5000 + sport), a);
+        }
+        s.run_until(Nanos::from_millis(100));
+        assert_eq!(s.world.delivered.len(), 0);
+        let port = s.link_port(victim, ft.tor(0, 1));
+        let c = s.stats.port(victim, port);
+        assert_eq!(c.silent_drops, 20);
+        assert_eq!(c.visible_drops(), 0, "silent drops must stay invisible");
+        assert_eq!(c.tx_pkts, 20, "interface counters look healthy");
+    }
+
+    #[test]
+    fn blackhole_drops_everything() {
+        let ft = ft4();
+        let mut s = sim(&ft);
+        let (a, b) = (ft.host(0, 0, 0), ft.host(0, 1, 0));
+        s.set_directed_fault(
+            ft.tor(0, 0),
+            ft.agg(0, 0),
+            FaultState {
+                blackhole: true,
+                ..FaultState::HEALTHY
+            },
+        );
+        s.set_link_down(ft.tor(0, 0), ft.agg(0, 1), true);
+        for sport in 0..10 {
+            one_packet(&mut s, flow(&ft, a, b, 6000 + sport), a);
+        }
+        s.run_until(Nanos::from_millis(100));
+        assert!(s.world.delivered.is_empty());
+        let port = s.link_port(ft.tor(0, 0), ft.agg(0, 0));
+        assert_eq!(s.stats.port(ft.tor(0, 0), port).blackhole_drops, 10);
+    }
+
+    #[test]
+    fn queue_overflow_tail_drops() {
+        let ft = ft4();
+        let mut cfg = SimConfig::for_tests();
+        cfg.fabric_link.queue_pkts = 4;
+        let mut s = Simulator::new(&ft, cfg, Box::new(NoTagging), TestWorld::default());
+        // Two senders on different ToR host ports burst into one receiver.
+        let (a, b, c) = (ft.host(0, 0, 0), ft.host(0, 0, 1), ft.host(0, 1, 0));
+        for sport in 0..60 {
+            one_packet(&mut s, flow(&ft, a, c, 7000 + sport), a);
+            one_packet(&mut s, flow(&ft, b, c, 8000 + sport), b);
+        }
+        s.run_until(Nanos::from_secs(1));
+        let drops: u64 = (0..2)
+            .map(|t| {
+                let sw = ft.agg(0, t);
+                let p = s.link_port(sw, ft.tor(0, 1));
+                s.stats.port(sw, p).queue_drops
+            })
+            .sum::<u64>()
+            + {
+                // Drops can also occur at the ToR's agg-facing uplinks.
+                let sw = ft.tor(0, 0);
+                (0..2)
+                    .map(|aidx| {
+                        let p = s.link_port(sw, ft.agg(0, aidx));
+                        s.stats.port(sw, p).queue_drops
+                    })
+                    .sum::<u64>()
+            }
+            + {
+                let sw = ft.tor(0, 1);
+                let hm = ft.topology().host(c);
+                s.stats.port(sw, hm.tor_port).queue_drops
+            };
+        assert!(drops > 0, "bursting 120 packets through cap-4 queues must drop");
+        assert!(s.world.delivered.len() < 120);
+        assert!(!s.stats.drop_log.is_empty());
+    }
+
+    /// Tag policy that pushes a constant tag at every switch: after three
+    /// switches the packet exceeds the ASIC limit and must be punted.
+    struct PushAlways;
+    impl TagPolicy for PushAlways {
+        fn on_forward(
+            &self,
+            sw: SwitchId,
+            _in: Option<PortNo>,
+            _out: PortNo,
+            h: &mut TagHeaders,
+        ) {
+            h.push_tag(sw.0 % 4096);
+        }
+    }
+
+    #[test]
+    fn three_tags_punt_to_controller() {
+        let ft = ft4();
+        let mut s = Simulator::new(
+            &ft,
+            SimConfig::for_tests(),
+            Box::new(PushAlways),
+            TestWorld::default(),
+        );
+        let (a, b) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        one_packet(&mut s, flow(&ft, a, b, 9000), a);
+        s.run_until(Nanos::from_secs(1));
+        // tor pushes tag1, agg pushes tag2, core pushes tag3 -> the dst-pod
+        // aggregate sees 3 tags and punts.
+        assert_eq!(s.world.punts.len(), 1);
+        assert_eq!(s.world.delivered.len(), 0);
+        let punt = &s.world.punts[0];
+        assert_eq!(punt.pkt.headers.tag_count(), 3);
+        assert_eq!(ft.coords(punt.sw).0, pathdump_topology::Tier::Agg);
+        assert_eq!(s.stats.total_punts(), 1);
+    }
+
+    #[test]
+    fn controller_reinject_completes_delivery() {
+        let ft = ft4();
+        let mut world = TestWorld::default();
+        world.reinject_punts = true;
+        let mut s = Simulator::new(&ft, SimConfig::for_tests(), Box::new(PushAlways), world);
+        let (a, b) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        one_packet(&mut s, flow(&ft, a, b, 9100), a);
+        s.run_until(Nanos::from_secs(1));
+        // After the controller strips tags and re-injects, the packet
+        // accumulates tags again from the punting switch onward: agg pushes
+        // one, dst ToR pushes one -> 2 tags, delivered.
+        assert_eq!(s.world.punts.len(), 1);
+        assert_eq!(s.world.delivered.len(), 1);
+        // Punt latency dominates delivery time.
+        let cfg = SimConfig::for_tests();
+        assert!(s.world.delivered[0].1.sent_at == Nanos::ZERO);
+        assert!(s.now() >= cfg.punt_latency);
+    }
+
+    #[test]
+    fn ttl_backstops_quirk_loops() {
+        let ft = ft4();
+        let mut s = sim(&ft);
+        let (a, b) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        let f = flow(&ft, a, b, 9200);
+        // agg(0,0) -> core(0) -> agg(1,0) -> core(1) -> agg(0,0) loop.
+        s.install_quirk(
+            ft.agg(1, 0),
+            Quirk::ForwardFlowTo {
+                flow: f,
+                port: s.link_port(ft.agg(1, 0), ft.core(1)),
+            },
+        );
+        s.install_quirk(
+            ft.core(1),
+            Quirk::ForwardFlowTo {
+                flow: f,
+                port: s.link_port(ft.core(1), ft.agg(0, 0)),
+            },
+        );
+        s.install_quirk(
+            ft.agg(0, 0),
+            Quirk::ForwardFlowTo {
+                flow: f,
+                port: s.link_port(ft.agg(0, 0), ft.core(0)),
+            },
+        );
+        s.install_quirk(
+            ft.core(0),
+            Quirk::ForwardFlowTo {
+                flow: f,
+                port: s.link_port(ft.core(0), ft.agg(1, 0)),
+            },
+        );
+        // Pin the first hop into the loop.
+        s.install_quirk(
+            ft.tor(0, 0),
+            Quirk::ForwardFlowTo {
+                flow: f,
+                port: s.link_port(ft.tor(0, 0), ft.agg(0, 0)),
+            },
+        );
+        one_packet(&mut s, f, a);
+        s.run_until(Nanos::from_secs(1));
+        assert!(s.world.delivered.is_empty());
+        let ttl_drops: u64 = s.stats.switches.iter().map(|c| c.ttl_drops).sum();
+        assert_eq!(ttl_drops, 1, "loop must end in a TTL drop (no tags = no punt)");
+    }
+
+    #[test]
+    fn determinism_under_fixed_seed() {
+        let ft = ft4();
+        let run = || {
+            let mut s = sim(&ft);
+            s.set_lb_all(LoadBalance::Spray);
+            let (a, b) = (ft.host(0, 0, 0), ft.host(3, 1, 1));
+            let f = flow(&ft, a, b, 1234);
+            for _ in 0..100 {
+                one_packet(&mut s, f, a);
+            }
+            s.run_until(Nanos(SECONDS));
+            let paths: Vec<Vec<SwitchId>> = s
+                .world
+                .delivered
+                .iter()
+                .map(|(_, p)| p.gt_path.clone())
+                .collect();
+            (paths, s.stats.events)
+        };
+        let (p1, e1) = run();
+        let (p2, e2) = run();
+        assert_eq!(p1, p2);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let ft = ft4();
+        #[derive(Default)]
+        struct TimerWorld {
+            fired: Vec<(u64, Nanos)>,
+        }
+        impl World for TimerWorld {
+            fn on_packet(&mut self, _api: &mut HostApi<'_>, _pkt: Packet) {}
+            fn on_timer(&mut self, api: &mut HostApi<'_>, token: u64) {
+                self.fired.push((token, api.now()));
+                if token == 1 {
+                    api.set_timer(Nanos(5 * MILLIS), 3);
+                }
+            }
+        }
+        let mut s = Simulator::new(
+            &ft,
+            SimConfig::for_tests(),
+            Box::new(NoTagging),
+            TimerWorld::default(),
+        );
+        let h = ft.host(0, 0, 0);
+        s.schedule_timer(h, Nanos(10 * MILLIS), 2);
+        s.schedule_timer(h, Nanos(MILLIS), 1);
+        s.run_until(Nanos::from_secs(1));
+        assert_eq!(
+            s.world.fired,
+            vec![
+                (1, Nanos(MILLIS)),
+                (3, Nanos(6 * MILLIS)),
+                (2, Nanos(10 * MILLIS)),
+            ]
+        );
+    }
+
+    #[test]
+    fn nic_silent_fault_applies() {
+        let ft = ft4();
+        let mut s = sim(&ft);
+        let (a, b) = (ft.host(0, 0, 0), ft.host(0, 0, 1));
+        s.set_nic_fault(
+            a,
+            FaultState {
+                silent_drop_rate: 1.0,
+                ..FaultState::HEALTHY
+            },
+        );
+        one_packet(&mut s, flow(&ft, a, b, 1), a);
+        s.run_until(Nanos::from_millis(10));
+        assert!(s.world.delivered.is_empty());
+        assert_eq!(s.stats.host_nics[a.index()].silent_drops, 1);
+    }
+}

@@ -1,0 +1,22 @@
+//! The Trajectory Information Base (TIB): PathDump's per-host storage and
+//! query engine (§3.2, Figure 2).
+//!
+//! Pipeline: arriving packets update the [`TrajectoryMemory`] (per-path
+//! flow records keyed by flow ID + raw link IDs); FIN/RST or a 5-second
+//! idle timeout evicts records; trajectory construction (in
+//! `pathdump-cherrypick`) turns link IDs into full paths; the finished
+//! `<flowID, path, stime, etime, #bytes, #pkts>` records land in the
+//! indexed [`Tib`], which answers the Host API queries of Table 1.
+//!
+//! The paper stores TIB records in MongoDB; this crate substitutes an
+//! in-memory indexed store with binary snapshots (DESIGN.md §3).
+
+pub mod memory;
+pub mod record;
+pub mod snapshot;
+pub mod tib;
+
+pub use memory::{MemKey, TrajectoryMemory};
+pub use record::{PendingRecord, TibRecord};
+pub use snapshot::{load, save, snapshot_size, SNAPSHOT_MAGIC};
+pub use tib::Tib;

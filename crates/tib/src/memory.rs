@@ -1,0 +1,321 @@
+//! Trajectory memory: the in-kernel-datapath aggregation stage (Figure 2).
+//!
+//! "Using the flow ID and link IDs together as a key, we create or update a
+//! per-path flow record in trajectory memory. ... Similar to NetFlow, if
+//! FIN or RST packet is seen or a per-path flow record is not updated for a
+//! certain time period (e.g., 5 seconds), the flow record is evicted from
+//! the trajectory memory and forwarded to the trajectory construction
+//! sub-module." (§3.2)
+
+use crate::record::PendingRecord;
+use pathdump_topology::{FlowId, Nanos, SECONDS};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast FNV-1a-with-final-mix hasher for the datapath hot path: the
+/// default SipHash costs more than the rest of the per-packet PathDump
+/// hook combined, and trajectory-memory keys are not attacker-controlled
+/// in this reproduction.
+#[derive(Default)]
+pub struct FnvHasher(u64);
+
+impl Hasher for FnvHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche (see `ecmp_hash` for why FNV alone is weak).
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h
+    }
+}
+
+/// Build-hasher alias for [`FnvHasher`].
+pub type FnvBuild = BuildHasherDefault<FnvHasher>;
+
+/// Key of a per-path flow record: flow ID plus raw trajectory samples.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MemKey {
+    /// The 5-tuple.
+    pub flow: FlowId,
+    /// VL2 DSCP sample.
+    pub dscp_sample: Option<u8>,
+    /// VLAN tags in push order.
+    pub tags: Vec<u16>,
+}
+
+#[derive(Clone, Debug)]
+struct MemValue {
+    stime: Nanos,
+    etime: Nanos,
+    bytes: u64,
+    pkts: u64,
+}
+
+/// The active per-path flow records of one edge device.
+#[derive(Clone, Debug)]
+pub struct TrajectoryMemory {
+    records: HashMap<MemKey, MemValue, FnvBuild>,
+    idle_timeout: Nanos,
+    /// Flows marked closed (FIN/RST seen) pending eviction.
+    updates: u64,
+    lookups: u64,
+}
+
+impl Default for TrajectoryMemory {
+    fn default() -> Self {
+        TrajectoryMemory::new(Nanos(5 * SECONDS))
+    }
+}
+
+impl TrajectoryMemory {
+    /// Creates a trajectory memory with the given idle eviction timeout
+    /// (the paper uses 5 seconds).
+    pub fn new(idle_timeout: Nanos) -> Self {
+        TrajectoryMemory {
+            records: HashMap::default(),
+            idle_timeout,
+            updates: 0,
+            lookups: 0,
+        }
+    }
+
+    /// Records one packet: creates or updates the per-path flow record.
+    pub fn update(&mut self, key: MemKey, bytes: u32, now: Nanos) {
+        self.updates += 1;
+        self.lookups += 1;
+        let v = self.records.entry(key).or_insert(MemValue {
+            stime: now,
+            etime: now,
+            bytes: 0,
+            pkts: 0,
+        });
+        v.etime = now;
+        v.bytes += bytes as u64;
+        v.pkts += 1;
+    }
+
+    /// Allocation-free update for the datapath fast path: looks up with a
+    /// borrowed key and clones it only when the record is new (once per
+    /// flow-path, not once per packet — the differential Figure 13
+    /// measures).
+    pub fn update_borrowed(&mut self, key: &MemKey, bytes: u32, now: Nanos) {
+        self.updates += 1;
+        self.lookups += 1;
+        if let Some(v) = self.records.get_mut(key) {
+            v.etime = now;
+            v.bytes += bytes as u64;
+            v.pkts += 1;
+        } else {
+            self.records.insert(
+                key.clone(),
+                MemValue {
+                    stime: now,
+                    etime: now,
+                    bytes: bytes as u64,
+                    pkts: 1,
+                },
+            );
+        }
+    }
+
+    /// Evicts every record of `flow` (FIN or RST observed).
+    pub fn evict_flow(&mut self, flow: &FlowId, now: Nanos) -> Vec<PendingRecord> {
+        let keys: Vec<MemKey> = self
+            .records
+            .keys()
+            .filter(|k| k.flow == *flow)
+            .cloned()
+            .collect();
+        keys.into_iter()
+            .map(|k| self.take(k, true, now))
+            .collect()
+    }
+
+    /// Evicts records idle longer than the timeout.
+    pub fn evict_idle(&mut self, now: Nanos) -> Vec<PendingRecord> {
+        let cutoff = now.saturating_sub(self.idle_timeout);
+        let keys: Vec<MemKey> = self
+            .records
+            .iter()
+            .filter(|(_, v)| v.etime <= cutoff)
+            .map(|(k, _)| k.clone())
+            .collect();
+        keys.into_iter()
+            .map(|k| self.take(k, false, now))
+            .collect()
+    }
+
+    /// Evicts everything (end of run / shutdown flush).
+    pub fn flush(&mut self, now: Nanos) -> Vec<PendingRecord> {
+        let keys: Vec<MemKey> = self.records.keys().cloned().collect();
+        keys.into_iter()
+            .map(|k| self.take(k, false, now))
+            .collect()
+    }
+
+    fn take(&mut self, key: MemKey, closed: bool, _now: Nanos) -> PendingRecord {
+        let v = self.records.remove(&key).expect("key collected from map");
+        PendingRecord {
+            flow: key.flow,
+            dscp_sample: key.dscp_sample,
+            tags: key.tags,
+            stime: v.stime,
+            etime: v.etime,
+            bytes: v.bytes,
+            pkts: v.pkts,
+            closed,
+        }
+    }
+
+    /// Live records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns true when no records are active.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total updates performed (the lookups/updates rate of §5.3).
+    pub fn update_count(&self) -> u64 {
+        self.updates
+    }
+
+    /// Approximate resident bytes (§5.3 storage accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.records
+            .iter()
+            .map(|(k, _)| {
+                std::mem::size_of::<MemKey>()
+                    + k.tags.len() * 2
+                    + std::mem::size_of::<MemValue>()
+            })
+            .sum()
+    }
+
+    /// Peek at a live record's (bytes, pkts) for monitors.
+    pub fn peek(&self, key: &MemKey) -> Option<(u64, u64)> {
+        self.records.get(key).map(|v| (v.bytes, v.pkts))
+    }
+
+    /// Iterates over live record keys (the agent uses this to answer
+    /// queries whose window includes not-yet-exported data, §3.2 "the
+    /// server agent [can] look up the trajectory memory").
+    pub fn live_keys(&self) -> impl Iterator<Item = &MemKey> {
+        self.records.keys()
+    }
+
+    /// Snapshot of a live record as a pending record (not evicted).
+    pub fn snapshot(&self, key: &MemKey) -> Option<PendingRecord> {
+        self.records.get(key).map(|v| PendingRecord {
+            flow: key.flow,
+            dscp_sample: key.dscp_sample,
+            tags: key.tags.clone(),
+            stime: v.stime,
+            etime: v.etime,
+            bytes: v.bytes,
+            pkts: v.pkts,
+            closed: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathdump_topology::Ip;
+
+    fn flow(sport: u16) -> FlowId {
+        FlowId::tcp(Ip::new(10, 0, 0, 2), sport, Ip::new(10, 1, 0, 2), 80)
+    }
+
+    fn key(sport: u16, tags: &[u16]) -> MemKey {
+        MemKey {
+            flow: flow(sport),
+            dscp_sample: None,
+            tags: tags.to_vec(),
+        }
+    }
+
+    #[test]
+    fn per_path_aggregation() {
+        let mut m = TrajectoryMemory::default();
+        m.update(key(1, &[5]), 1000, Nanos(1));
+        m.update(key(1, &[5]), 500, Nanos(2));
+        m.update(key(1, &[6]), 200, Nanos(3));
+        assert_eq!(m.len(), 2, "same flow, two paths = two records");
+        assert_eq!(m.peek(&key(1, &[5])), Some((1500, 2)));
+        assert_eq!(m.peek(&key(1, &[6])), Some((200, 1)));
+    }
+
+    #[test]
+    fn fin_eviction_collects_all_paths_of_flow() {
+        let mut m = TrajectoryMemory::default();
+        m.update(key(1, &[5]), 1000, Nanos(1));
+        m.update(key(1, &[6]), 500, Nanos(2));
+        m.update(key(2, &[5]), 77, Nanos(3));
+        let evicted = m.evict_flow(&flow(1), Nanos(10));
+        assert_eq!(evicted.len(), 2);
+        assert!(evicted.iter().all(|r| r.closed));
+        assert_eq!(m.len(), 1, "other flows untouched");
+    }
+
+    #[test]
+    fn idle_eviction_after_timeout() {
+        let mut m = TrajectoryMemory::new(Nanos::from_secs(5));
+        m.update(key(1, &[]), 10, Nanos::from_secs(1));
+        m.update(key(2, &[]), 10, Nanos::from_secs(4));
+        let evicted = m.evict_idle(Nanos::from_secs(7));
+        assert_eq!(evicted.len(), 1, "only the 6s-idle record evicts");
+        assert_eq!(evicted[0].flow, flow(1));
+        assert!(!evicted[0].closed);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn eviction_preserves_counts_and_times() {
+        let mut m = TrajectoryMemory::default();
+        m.update(key(9, &[1, 2]), 100, Nanos(50));
+        m.update(key(9, &[1, 2]), 200, Nanos(90));
+        let r = m.evict_flow(&flow(9), Nanos(100)).remove(0);
+        assert_eq!(r.bytes, 300);
+        assert_eq!(r.pkts, 2);
+        assert_eq!(r.stime, Nanos(50));
+        assert_eq!(r.etime, Nanos(90));
+        assert_eq!(r.tags, vec![1, 2]);
+    }
+
+    #[test]
+    fn flush_drains_everything() {
+        let mut m = TrajectoryMemory::default();
+        for i in 0..10 {
+            m.update(key(i, &[]), 1, Nanos(i as u64));
+        }
+        let all = m.flush(Nanos(100));
+        assert_eq!(all.len(), 10);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn update_counters() {
+        let mut m = TrajectoryMemory::default();
+        for _ in 0..5 {
+            m.update(key(1, &[]), 1, Nanos(1));
+        }
+        assert_eq!(m.update_count(), 5);
+        assert!(m.approx_bytes() > 0);
+    }
+}

@@ -1,0 +1,357 @@
+//! The Trajectory Information Base: an indexed, queryable store of
+//! per-path flow records (replacing the paper's MongoDB instance).
+//!
+//! Indexes mirror the Host API's access patterns (Table 1): by flow ID
+//! (`getPaths`, `getCount`, `getDuration`), by traversed link
+//! (`getFlows`), plus full scans for traffic measurement queries.
+
+use crate::record::TibRecord;
+use pathdump_topology::{FlowId, LinkDir, LinkPattern, Nanos, Path, TimeRange};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// The per-host TIB.
+#[derive(Clone, Debug, Default)]
+pub struct Tib {
+    records: Vec<TibRecord>,
+    by_flow: HashMap<FlowId, Vec<u32>>,
+    by_link: HashMap<LinkDir, Vec<u32>>,
+}
+
+impl Tib {
+    /// Creates an empty TIB.
+    pub fn new() -> Self {
+        Tib::default()
+    }
+
+    /// Number of records stored.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns true when no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Inserts one record, updating all indexes.
+    pub fn insert(&mut self, rec: TibRecord) {
+        let id = self.records.len() as u32;
+        self.by_flow.entry(rec.flow).or_default().push(id);
+        for link in rec.path.links() {
+            match self.by_link.entry(link) {
+                Entry::Occupied(mut e) => e.get_mut().push(id),
+                Entry::Vacant(e) => {
+                    e.insert(vec![id]);
+                }
+            }
+        }
+        self.records.push(rec);
+    }
+
+    /// Raw access to every record (scans, snapshots, top-k).
+    pub fn records(&self) -> &[TibRecord] {
+        &self.records
+    }
+
+    /// `getFlows(linkID, timeRange)`: flows that traversed a matching link
+    /// during the range (deduplicated, insertion order).
+    pub fn get_flows(&self, link: LinkPattern, range: TimeRange) -> Vec<FlowId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        let mut push = |rec: &TibRecord| {
+            if rec.overlaps(&range) && seen.insert(rec.flow) {
+                out.push(rec.flow);
+            }
+        };
+        if link.is_any() {
+            for rec in &self.records {
+                push(rec);
+            }
+        } else {
+            for (l, ids) in &self.by_link {
+                if link.matches(*l) {
+                    for &id in ids {
+                        push(&self.records[id as usize]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `getPaths(flowID, linkID, timeRange)`: distinct paths of `flow` that
+    /// include a matching link within the range.
+    pub fn get_paths(&self, flow: FlowId, link: LinkPattern, range: TimeRange) -> Vec<Path> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        if let Some(ids) = self.by_flow.get(&flow) {
+            for &id in ids {
+                let rec = &self.records[id as usize];
+                if !rec.overlaps(&range) {
+                    continue;
+                }
+                let matches = link.is_any() || rec.path.links().any(|l| link.matches(l));
+                if matches && seen.insert(rec.path.clone()) {
+                    out.push(rec.path.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// `getCount(Flow, timeRange)`: (bytes, pkts) of a flow within the
+    /// range; `path = None` sums across all paths, `Some` restricts to one
+    /// path (the paper's `Flow` is a `(flowID, Path)` pair).
+    pub fn get_count(
+        &self,
+        flow: FlowId,
+        path: Option<&Path>,
+        range: TimeRange,
+    ) -> (u64, u64) {
+        let mut bytes = 0;
+        let mut pkts = 0;
+        if let Some(ids) = self.by_flow.get(&flow) {
+            for &id in ids {
+                let rec = &self.records[id as usize];
+                if !rec.overlaps(&range) {
+                    continue;
+                }
+                if let Some(p) = path {
+                    if rec.path != *p {
+                        continue;
+                    }
+                }
+                bytes += rec.bytes;
+                pkts += rec.pkts;
+            }
+        }
+        (bytes, pkts)
+    }
+
+    /// `getDuration(Flow, timeRange)`: active span of a flow within the
+    /// range (max etime − min stime over matching records, clamped).
+    pub fn get_duration(&self, flow: FlowId, path: Option<&Path>, range: TimeRange) -> Nanos {
+        let mut lo = Nanos::MAX;
+        let mut hi = Nanos::ZERO;
+        if let Some(ids) = self.by_flow.get(&flow) {
+            for &id in ids {
+                let rec = &self.records[id as usize];
+                if !rec.overlaps(&range) {
+                    continue;
+                }
+                if let Some(p) = path {
+                    if rec.path != *p {
+                        continue;
+                    }
+                }
+                let (s, e) = range.clamp(rec.stime, rec.etime).expect("overlap checked");
+                lo = lo.min(s);
+                hi = hi.max(e);
+            }
+        }
+        if lo >= hi {
+            Nanos::ZERO
+        } else {
+            hi - lo
+        }
+    }
+
+    /// Per-flow byte/packet totals over matching links — the building block
+    /// of the flow-size-distribution and load-imbalance queries (§4.2).
+    pub fn link_flow_counts(
+        &self,
+        link: LinkPattern,
+        range: TimeRange,
+    ) -> HashMap<FlowId, (u64, u64)> {
+        let mut out: HashMap<FlowId, (u64, u64)> = HashMap::new();
+        let mut add = |rec: &TibRecord| {
+            if rec.overlaps(&range) {
+                let e = out.entry(rec.flow).or_insert((0, 0));
+                e.0 += rec.bytes;
+                e.1 += rec.pkts;
+            }
+        };
+        if link.is_any() {
+            for rec in &self.records {
+                add(rec);
+            }
+        } else {
+            let mut seen = std::collections::HashSet::new();
+            for (l, ids) in &self.by_link {
+                if link.matches(*l) {
+                    for &id in ids {
+                        if seen.insert(id) {
+                            add(&self.records[id as usize]);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Top-`k` flows by byte count within a range (§2.3's top-k example).
+    pub fn top_k_flows(&self, k: usize, range: TimeRange) -> Vec<(u64, FlowId)> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let totals = self.link_flow_counts(LinkPattern::ANY, range);
+        // Min-heap of size k, exactly like the paper's heapq snippet.
+        let mut heap: BinaryHeap<Reverse<(u64, FlowId)>> = BinaryHeap::new();
+        for (flow, (bytes, _)) in totals {
+            if heap.len() < k {
+                heap.push(Reverse((bytes, flow)));
+            } else if let Some(Reverse((min_bytes, _))) = heap.peek() {
+                if bytes > *min_bytes {
+                    heap.pop();
+                    heap.push(Reverse((bytes, flow)));
+                }
+            }
+        }
+        let mut out: Vec<(u64, FlowId)> = heap.into_iter().map(|Reverse(x)| x).collect();
+        out.sort_by(|a, b| b.cmp(a));
+        out
+    }
+
+    /// Approximate resident bytes of records + indexes (§5.3).
+    pub fn approx_bytes(&self) -> usize {
+        let recs: usize = self
+            .records
+            .iter()
+            .map(|r| std::mem::size_of::<TibRecord>() + r.path.len() * 2)
+            .sum();
+        let flows = self.by_flow.len() * (std::mem::size_of::<FlowId>() + 16);
+        let links: usize = self
+            .by_link
+            .values()
+            .map(|v| std::mem::size_of::<LinkDir>() + v.len() * 4)
+            .sum();
+        recs + flows + links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathdump_topology::{Ip, SwitchId};
+
+    fn flow(sport: u16) -> FlowId {
+        FlowId::tcp(Ip::new(10, 0, 0, 2), sport, Ip::new(10, 1, 0, 2), 80)
+    }
+
+    fn path(ids: &[u16]) -> Path {
+        Path::new(ids.iter().map(|&i| SwitchId(i)).collect())
+    }
+
+    fn rec(sport: u16, p: &[u16], t0: u64, t1: u64, bytes: u64) -> TibRecord {
+        TibRecord {
+            flow: flow(sport),
+            path: path(p),
+            stime: Nanos(t0),
+            etime: Nanos(t1),
+            bytes,
+            pkts: bytes / 1000 + 1,
+        }
+    }
+
+    fn sample_tib() -> Tib {
+        let mut t = Tib::new();
+        t.insert(rec(1, &[0, 8, 4], 0, 100, 5000));
+        t.insert(rec(1, &[0, 9, 4], 50, 150, 3000));
+        t.insert(rec(2, &[0, 8, 4], 200, 300, 10_000));
+        t.insert(rec(3, &[1, 9, 5], 0, 400, 70_000));
+        t
+    }
+
+    #[test]
+    fn get_flows_by_link() {
+        let t = sample_tib();
+        let l = LinkPattern::exact(SwitchId(0), SwitchId(8));
+        let flows = t.get_flows(l, TimeRange::ANY);
+        assert_eq!(flows.len(), 2);
+        assert!(flows.contains(&flow(1)) && flows.contains(&flow(2)));
+        // Time-restricted: only flow 2 is active after t=180.
+        let flows = t.get_flows(l, TimeRange::since(Nanos(180)));
+        assert_eq!(flows, vec![flow(2)]);
+    }
+
+    #[test]
+    fn get_flows_wildcards() {
+        let t = sample_tib();
+        // <?, S4>: all incoming links of switch 4.
+        let into4 = t.get_flows(LinkPattern::into(SwitchId(4)), TimeRange::ANY);
+        assert_eq!(into4.len(), 2);
+        // <*, *>: everything.
+        assert_eq!(t.get_flows(LinkPattern::ANY, TimeRange::ANY).len(), 3);
+    }
+
+    #[test]
+    fn get_paths_dedup_and_filter() {
+        let mut t = sample_tib();
+        // A second record on the same path must not duplicate.
+        t.insert(rec(1, &[0, 8, 4], 500, 600, 100));
+        let paths = t.get_paths(flow(1), LinkPattern::ANY, TimeRange::ANY);
+        assert_eq!(paths.len(), 2);
+        let via9 = t.get_paths(
+            flow(1),
+            LinkPattern::exact(SwitchId(9), SwitchId(4)),
+            TimeRange::ANY,
+        );
+        assert_eq!(via9, vec![path(&[0, 9, 4])]);
+        assert!(t
+            .get_paths(flow(99), LinkPattern::ANY, TimeRange::ANY)
+            .is_empty());
+    }
+
+    #[test]
+    fn get_count_across_and_per_path() {
+        let t = sample_tib();
+        let (b, _) = t.get_count(flow(1), None, TimeRange::ANY);
+        assert_eq!(b, 8000, "sums across both paths");
+        let (b, _) = t.get_count(flow(1), Some(&path(&[0, 8, 4])), TimeRange::ANY);
+        assert_eq!(b, 5000);
+        let (b, _) = t.get_count(flow(1), None, TimeRange::since(Nanos(120)));
+        assert_eq!(b, 3000, "only the second record overlaps");
+    }
+
+    #[test]
+    fn get_duration_clamped() {
+        let t = sample_tib();
+        assert_eq!(t.get_duration(flow(1), None, TimeRange::ANY), Nanos(150));
+        assert_eq!(
+            t.get_duration(flow(3), None, TimeRange::between(Nanos(100), Nanos(200))),
+            Nanos(100)
+        );
+        assert_eq!(t.get_duration(flow(99), None, TimeRange::ANY), Nanos::ZERO);
+    }
+
+    #[test]
+    fn link_flow_counts_no_double_count() {
+        let t = sample_tib();
+        // Pattern <0, ?> matches links 0->8 and 0->9; flow 1 has one record
+        // on each, flow 2 one record; each record counted once.
+        let counts = t.link_flow_counts(LinkPattern::out_of(SwitchId(0)), TimeRange::ANY);
+        assert_eq!(counts[&flow(1)], (8000, 8000 / 1000 + 2));
+        assert_eq!(counts[&flow(2)].0, 10_000);
+        assert!(!counts.contains_key(&flow(3)));
+    }
+
+    #[test]
+    fn top_k() {
+        let t = sample_tib();
+        let top = t.top_k_flows(2, TimeRange::ANY);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0], (70_000, flow(3)));
+        assert_eq!(top[1], (10_000, flow(2)));
+        // k larger than the population returns everything, sorted.
+        assert_eq!(t.top_k_flows(10, TimeRange::ANY).len(), 3);
+    }
+
+    #[test]
+    fn size_accounting_grows() {
+        let mut t = Tib::new();
+        let a = t.approx_bytes();
+        t.insert(rec(1, &[0, 8, 4], 0, 1, 1));
+        assert!(t.approx_bytes() > a);
+    }
+}

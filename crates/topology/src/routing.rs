@@ -1,0 +1,223 @@
+//! Up–down routing abstractions: ECMP hashing, candidate egress ports,
+//! shortest-path enumeration, and precomputed route tables.
+//!
+//! The paper's testbeds run ECMP or per-packet spraying (§4.2) over the
+//! equal-cost up–down paths of fat-tree/VL2. The simulator asks the topology
+//! for the candidate egress ports at each switch and picks one with an ECMP
+//! hash, a spraying policy, or a fault-induced override.
+
+use crate::graph::{Peer, Topology};
+use crate::ids::{FlowId, HostId, PortNo, SwitchId};
+use crate::path::Path;
+
+/// Routing interface implemented by each structured topology.
+pub trait UpDownRouting {
+    /// The underlying static topology.
+    fn topology(&self) -> &Topology;
+
+    /// Candidate egress ports at `sw` for traffic toward the rack of
+    /// `dst_tor`, under canonical up–down routing with no failures.
+    /// More than one entry means an ECMP group.
+    fn candidates_to_tor(&self, sw: SwitchId, dst_tor: SwitchId) -> Vec<PortNo>;
+
+    /// Candidate egress ports at `sw` toward destination host `dst`.
+    ///
+    /// If the host attaches to `sw` this is its host-facing port; otherwise
+    /// the ToR-level candidates.
+    fn candidates(&self, sw: SwitchId, dst: HostId) -> Vec<PortNo> {
+        let topo = self.topology();
+        let hm = topo.host(dst);
+        if hm.tor == sw {
+            vec![hm.tor_port]
+        } else {
+            self.candidates_to_tor(sw, hm.tor)
+        }
+    }
+
+    /// All equal-cost shortest switch-level paths between two hosts.
+    fn all_paths(&self, src: HostId, dst: HostId) -> Vec<Path>;
+
+    /// Length of the shortest path in the paper's hop counting (host links
+    /// included): intra-rack = 2, intra-pod = 4, inter-pod fat-tree = 6.
+    fn shortest_hops(&self, src: HostId, dst: HostId) -> usize {
+        self.all_paths(src, dst)
+            .first()
+            .map(|p| p.num_hops())
+            .unwrap_or(0)
+    }
+
+    /// Returns true if `path` is one of the canonical shortest paths for the
+    /// host pair. Detour (failover) paths return false.
+    fn is_shortest(&self, src: HostId, dst: HostId, path: &Path) -> bool {
+        self.all_paths(src, dst).contains(path)
+    }
+}
+
+/// 64-bit FNV-1a hash of the 5-tuple plus a per-switch salt.
+///
+/// Commodity switches hash the 5-tuple to pick an ECMP member; the salt
+/// models per-switch hash seeds so consecutive tiers decorrelate.
+pub fn ecmp_hash(flow: &FlowId, salt: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET ^ salt.wrapping_mul(PRIME);
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    };
+    for b in flow.src_ip.0.to_be_bytes() {
+        eat(b);
+    }
+    for b in flow.dst_ip.0.to_be_bytes() {
+        eat(b);
+    }
+    for b in flow.src_port.to_be_bytes() {
+        eat(b);
+    }
+    for b in flow.dst_port.to_be_bytes() {
+        eat(b);
+    }
+    eat(flow.proto.number());
+    // FNV's output keeps near-arithmetic-progression structure for inputs
+    // differing in a few low bytes (e.g. consecutive source ports), which a
+    // single xorshift-multiply finalizer does not fully break modulo small
+    // ECMP group sizes. Fold the halves together first, then finish with a
+    // splitmix64-style mixer.
+    h ^= h.rotate_left(32);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^= h >> 31;
+    h
+}
+
+/// Dense precomputed routing tables: candidate egress ports for every
+/// (switch, destination-ToR) pair.
+///
+/// The simulator's forwarding hot path uses this instead of recomputing
+/// candidates per packet.
+#[derive(Clone, Debug)]
+pub struct RouteTables {
+    tors: Vec<SwitchId>,
+    /// `tor_slot[s]` = dense index of ToR `s`, or `usize::MAX`.
+    tor_slot: Vec<usize>,
+    /// `table[sw][tor_slot]` = candidate ports.
+    table: Vec<Vec<Vec<PortNo>>>,
+}
+
+impl RouteTables {
+    /// Precomputes tables from a routing implementation.
+    pub fn build<R: UpDownRouting + ?Sized>(routing: &R) -> Self {
+        let topo = routing.topology();
+        let tors: Vec<SwitchId> = topo
+            .switches
+            .iter()
+            .filter(|s| s.tier == crate::graph::Tier::Tor)
+            .map(|s| s.id)
+            .collect();
+        let mut tor_slot = vec![usize::MAX; topo.num_switches()];
+        for (i, t) in tors.iter().enumerate() {
+            tor_slot[t.index()] = i;
+        }
+        let table = topo
+            .switches
+            .iter()
+            .map(|sw| {
+                tors.iter()
+                    .map(|&t| routing.candidates_to_tor(sw.id, t))
+                    .collect()
+            })
+            .collect();
+        RouteTables {
+            tors,
+            tor_slot,
+            table,
+        }
+    }
+
+    /// Candidate egress ports at `sw` toward `dst_tor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst_tor` is not a ToR switch.
+    pub fn candidates_to_tor(&self, sw: SwitchId, dst_tor: SwitchId) -> &[PortNo] {
+        let slot = self.tor_slot[dst_tor.index()];
+        assert!(slot != usize::MAX, "{dst_tor} is not a ToR switch");
+        &self.table[sw.index()][slot]
+    }
+
+    /// The ToR switches of the topology, in dense order.
+    pub fn tors(&self) -> &[SwitchId] {
+        &self.tors
+    }
+}
+
+/// Checks that `path` is a contiguous switch walk in the topology and
+/// starts/ends at the ToRs of the given hosts. Used by tests and by the
+/// conformance checker to validate trajectories against ground truth.
+pub fn is_walk(topo: &Topology, src: HostId, dst: HostId, path: &Path) -> bool {
+    let (Some(first), Some(last)) = (path.first(), path.last()) else {
+        return false;
+    };
+    if topo.host(src).tor != first || topo.host(dst).tor != last {
+        return false;
+    }
+    path.links().all(|l| topo.adjacent(l.from, l.to))
+}
+
+/// Picks one ECMP member from a candidate list for a flow.
+///
+/// Returns `None` when the candidate list is empty.
+pub fn ecmp_pick(candidates: &[PortNo], flow: &FlowId, salt: u64) -> Option<PortNo> {
+    if candidates.is_empty() {
+        None
+    } else {
+        let h = ecmp_hash(flow, salt);
+        Some(candidates[(h % candidates.len() as u64) as usize])
+    }
+}
+
+/// Verifies an egress peer exists (the port is wired to something).
+pub fn port_connected(topo: &Topology, sw: SwitchId, port: PortNo) -> bool {
+    !matches!(topo.peer(sw, port), Peer::Unconnected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Ip;
+
+    #[test]
+    fn ecmp_hash_is_deterministic_and_salt_sensitive() {
+        let f = FlowId::tcp(Ip::new(10, 0, 0, 2), 40000, Ip::new(10, 1, 0, 2), 80);
+        assert_eq!(ecmp_hash(&f, 1), ecmp_hash(&f, 1));
+        assert_ne!(ecmp_hash(&f, 1), ecmp_hash(&f, 2));
+        let g = FlowId::tcp(Ip::new(10, 0, 0, 2), 40001, Ip::new(10, 1, 0, 2), 80);
+        assert_ne!(ecmp_hash(&f, 1), ecmp_hash(&g, 1));
+    }
+
+    #[test]
+    fn ecmp_pick_bounds() {
+        let f = FlowId::tcp(Ip::new(10, 0, 0, 2), 40000, Ip::new(10, 1, 0, 2), 80);
+        assert_eq!(ecmp_pick(&[], &f, 0), None);
+        let cands = [PortNo(2), PortNo(3)];
+        for salt in 0..32 {
+            let p = ecmp_pick(&cands, &f, salt).unwrap();
+            assert!(cands.contains(&p));
+        }
+    }
+
+    #[test]
+    fn ecmp_spreads_flows() {
+        // With many flows, both members of a 2-way group should be used.
+        let cands = [PortNo(0), PortNo(1)];
+        let mut seen = [0usize; 2];
+        for sport in 0..64u16 {
+            let f = FlowId::tcp(Ip::new(10, 0, 0, 2), sport, Ip::new(10, 1, 0, 2), 80);
+            let p = ecmp_pick(&cands, &f, 7).unwrap();
+            seen[p.index()] += 1;
+        }
+        assert!(seen[0] > 8 && seen[1] > 8, "badly skewed: {seen:?}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based structural invariants for the topology builders and
+//! up–down routing.
+
+use pathdump_topology::{
+    FatTree, FatTreeParams, HostId, Tier, UpDownRouting, Vl2, Vl2Params,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fat-tree structural invariants hold for every even k.
+    #[test]
+    fn fattree_structure(k in prop_oneof![Just(4u16), Just(6), Just(8), Just(10), Just(12)]) {
+        let ft = FatTree::build(FatTreeParams { k });
+        let topo = ft.topology();
+        let ku = k as usize;
+        prop_assert!(topo.validate().is_ok());
+        prop_assert_eq!(topo.num_switches(), 5 * ku * ku / 4);
+        prop_assert_eq!(topo.num_hosts(), ku * ku * ku / 4);
+        // Link count: ToR-Agg (k * k/2 * k/2) + Agg-Core (same).
+        prop_assert_eq!(topo.links().count(), ku * ku * ku / 2);
+        // Every switch's switch-facing degree matches its tier.
+        for sw in &topo.switches {
+            let deg = topo.switch_neighbors(sw.id).len();
+            match sw.tier {
+                Tier::Tor => prop_assert_eq!(deg, ku / 2),
+                Tier::Agg | Tier::Core => prop_assert_eq!(deg, ku),
+            }
+        }
+    }
+
+    /// Following the first routing candidate at every switch always
+    /// delivers within 4 switch hops (up-down routing is loop-free and
+    /// complete).
+    #[test]
+    fn fattree_routing_progress(
+        k in prop_oneof![Just(4u16), Just(6), Just(8)],
+        src_i in any::<u32>(),
+        dst_i in any::<u32>(),
+        pick in any::<u8>(),
+    ) {
+        let ft = FatTree::build(FatTreeParams { k });
+        let topo = ft.topology();
+        let n = topo.num_hosts() as u32;
+        let (src, dst) = (HostId(src_i % n), HostId(dst_i % n));
+        prop_assume!(src != dst);
+        let mut cur = topo.host(src).tor;
+        let mut hops = 0;
+        loop {
+            let cands = ft.candidates(cur, dst);
+            prop_assert!(!cands.is_empty(), "no candidates at {cur}");
+            let port = cands[pick as usize % cands.len()];
+            match topo.peer(cur, port) {
+                pathdump_topology::Peer::Host(h) => {
+                    prop_assert_eq!(h, dst);
+                    break;
+                }
+                pathdump_topology::Peer::Switch { sw, .. } => {
+                    cur = sw;
+                }
+                pathdump_topology::Peer::Unconnected => {
+                    prop_assert!(false, "candidate points nowhere");
+                }
+            }
+            hops += 1;
+            prop_assert!(hops <= 5, "routing must terminate");
+        }
+    }
+
+    /// all_paths returns exactly the equal-cost set: distinct, valid
+    /// walks, correct count per the pod relationship.
+    #[test]
+    fn fattree_all_paths_complete(
+        k in prop_oneof![Just(4u16), Just(6), Just(8)],
+        src_i in any::<u32>(),
+        dst_i in any::<u32>(),
+    ) {
+        let ft = FatTree::build(FatTreeParams { k });
+        let n = ft.topology().num_hosts() as u32;
+        let (src, dst) = (HostId(src_i % n), HostId(dst_i % n));
+        prop_assume!(src != dst);
+        let half = k as usize / 2;
+        let (sp, st, _) = ft.host_coords(src);
+        let (dp, dt, _) = ft.host_coords(dst);
+        let paths = ft.all_paths(src, dst);
+        let expected = if (sp, st) == (dp, dt) {
+            1
+        } else if sp == dp {
+            half
+        } else {
+            half * half
+        };
+        prop_assert_eq!(paths.len(), expected);
+        let distinct: std::collections::HashSet<_> = paths.iter().collect();
+        prop_assert_eq!(distinct.len(), paths.len(), "paths must be distinct");
+        for p in &paths {
+            prop_assert!(pathdump_topology::routing::is_walk(ft.topology(), src, dst, p));
+        }
+    }
+
+    /// VL2 structure and routing progress.
+    #[test]
+    fn vl2_structure_and_progress(
+        da in prop_oneof![Just(4u16), Just(6), Just(8)],
+        di in prop_oneof![Just(4u16), Just(6), Just(8)],
+        src_i in any::<u32>(),
+        dst_i in any::<u32>(),
+        pick in any::<u8>(),
+    ) {
+        prop_assume!((da as usize * di as usize) % 4 == 0);
+        let v = Vl2::build(Vl2Params { da, di, hosts_per_tor: 2 });
+        let topo = v.topology();
+        prop_assert!(topo.validate().is_ok());
+        let p = v.params();
+        prop_assert_eq!(
+            topo.num_switches(),
+            p.num_tors() + p.num_aggs() + p.num_ints()
+        );
+        let n = topo.num_hosts() as u32;
+        let (src, dst) = (HostId(src_i % n), HostId(dst_i % n));
+        prop_assume!(src != dst);
+        let mut cur = topo.host(src).tor;
+        let mut hops = 0;
+        loop {
+            let cands = v.candidates(cur, dst);
+            prop_assert!(!cands.is_empty());
+            let port = cands[pick as usize % cands.len()];
+            match topo.peer(cur, port) {
+                pathdump_topology::Peer::Host(h) => {
+                    prop_assert_eq!(h, dst);
+                    break;
+                }
+                pathdump_topology::Peer::Switch { sw, .. } => cur = sw,
+                pathdump_topology::Peer::Unconnected => prop_assert!(false),
+            }
+            hops += 1;
+            prop_assert!(hops <= 5);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Simplified TCP transport and workload generation over `pathdump-simnet`.
+//!
+//! Substitutes for the paper's real Linux TCP stacks and `tcpretrans`
+//! probe: slow start + AIMD, fast retransmit, RTO with backoff, FIN-based
+//! completion, per-flow retransmission counters (the `getPoorTCPFlows`
+//! signal), and the pFabric-style web traffic generator used by the §4
+//! experiments.
+
+pub mod engine;
+pub mod tcp;
+pub mod webgen;
+
+pub use engine::{install_flows, FlowEntry, FlowReport, TcpEngine, TcpWorld};
+pub use tcp::{FlowSpec, ReceiverState, SenderState, TcpConfig};
+pub use webgen::{cdf_mean, sample_size, WebWorkload, WEB_SEARCH_CDF};

@@ -1,0 +1,599 @@
+//! Encoder/decoder primitives and the [`Encode`]/[`Decode`] traits.
+
+use std::fmt;
+
+/// Errors produced while decoding.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// The input ended before the value was complete.
+    UnexpectedEof,
+    /// An enum discriminant or tag byte had no defined meaning.
+    InvalidTag(u32),
+    /// A varint exceeded 64 bits.
+    VarintOverflow,
+    /// A string was not valid UTF-8.
+    InvalidUtf8,
+    /// Input remained after the top-level value was decoded.
+    TrailingBytes(usize),
+    /// A declared length exceeded the remaining input (corrupt frame).
+    LengthOverrun,
+    /// Frame checksum mismatch.
+    BadChecksum,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "unexpected end of input"),
+            WireError::InvalidTag(t) => write!(f, "invalid tag {t}"),
+            WireError::VarintOverflow => write!(f, "varint overflows 64 bits"),
+            WireError::InvalidUtf8 => write!(f, "invalid UTF-8 in string"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            WireError::LengthOverrun => write!(f, "declared length exceeds input"),
+            WireError::BadChecksum => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Result alias for wire operations.
+pub type WireResult<T> = Result<T, WireError>;
+
+/// Growable output buffer with primitive write operations.
+#[derive(Default, Debug)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Creates an encoder with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns true if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrows the bytes written so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Writes a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian u16.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an IEEE-754 f64.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a LEB128 varint.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Writes a zig-zag-encoded signed varint.
+    pub fn put_signed(&mut self, v: i64) {
+        self.put_varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// Writes raw bytes with no length prefix.
+    pub fn put_raw(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Writes length-prefixed bytes.
+    pub fn put_bytes(&mut self, data: &[u8]) {
+        self.put_varint(data.len() as u64);
+        self.put_raw(data);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+}
+
+/// Borrowing reader with primitive read operations.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over a byte slice.
+    pub fn new(input: &'a [u8]) -> Self {
+        Decoder { input, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// Fails unless the input was fully consumed.
+    pub fn finish(&self) -> WireResult<()> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof);
+        }
+        let s = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u16.
+    pub fn get_u16(&mut self) -> WireResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn get_u32(&mut self) -> WireResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn get_u64(&mut self) -> WireResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an IEEE-754 f64.
+    pub fn get_f64(&mut self) -> WireResult<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a LEB128 varint.
+    pub fn get_varint(&mut self) -> WireResult<u64> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(WireError::VarintOverflow);
+            }
+            v |= ((byte & 0x7F) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError::VarintOverflow);
+            }
+        }
+    }
+
+    /// Reads a zig-zag-encoded signed varint.
+    pub fn get_signed(&mut self) -> WireResult<i64> {
+        let v = self.get_varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_raw(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Reads length-prefixed bytes.
+    pub fn get_bytes(&mut self) -> WireResult<&'a [u8]> {
+        let n = self.get_varint()? as usize;
+        if n > self.remaining() {
+            return Err(WireError::LengthOverrun);
+        }
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> WireResult<&'a str> {
+        std::str::from_utf8(self.get_bytes()?).map_err(|_| WireError::InvalidUtf8)
+    }
+
+    /// Reads a declared collection length, bounding it by the remaining
+    /// input so corrupt lengths cannot trigger huge allocations.
+    pub fn get_len(&mut self) -> WireResult<usize> {
+        let n = self.get_varint()? as usize;
+        // Every element needs at least one byte on the wire.
+        if n > self.remaining() {
+            return Err(WireError::LengthOverrun);
+        }
+        Ok(n)
+    }
+}
+
+/// Types that can serialize themselves onto an [`Encoder`].
+pub trait Encode {
+    /// Appends the wire representation of `self`.
+    fn encode(&self, enc: &mut Encoder);
+}
+
+/// Types that can deserialize themselves from a [`Decoder`].
+pub trait Decode: Sized {
+    /// Reads one value.
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self>;
+}
+
+// --- implementations for primitives and std containers ---
+
+impl Encode for bool {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(*self as u8);
+    }
+}
+
+impl Decode for bool {
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::InvalidTag(t as u32)),
+        }
+    }
+}
+
+impl Encode for u8 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(*self);
+    }
+}
+
+impl Decode for u8 {
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        dec.get_u8()
+    }
+}
+
+impl Encode for u16 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(*self as u64);
+    }
+}
+
+impl Decode for u16 {
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        let v = dec.get_varint()?;
+        u16::try_from(v).map_err(|_| WireError::VarintOverflow)
+    }
+}
+
+impl Encode for u32 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(*self as u64);
+    }
+}
+
+impl Decode for u32 {
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        let v = dec.get_varint()?;
+        u32::try_from(v).map_err(|_| WireError::VarintOverflow)
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(*self);
+    }
+}
+
+impl Decode for u64 {
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        dec.get_varint()
+    }
+}
+
+impl Encode for usize {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(*self as u64);
+    }
+}
+
+impl Decode for usize {
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        let v = dec.get_varint()?;
+        usize::try_from(v).map_err(|_| WireError::VarintOverflow)
+    }
+}
+
+impl Encode for i64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_signed(*self);
+    }
+}
+
+impl Decode for i64 {
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        dec.get_signed()
+    }
+}
+
+impl Encode for f64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(*self);
+    }
+}
+
+impl Decode for f64 {
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        dec.get_f64()
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self);
+    }
+}
+
+impl Decode for String {
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        Ok(dec.get_str()?.to_owned())
+    }
+}
+
+impl Encode for str {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self);
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.put_u8(0),
+            Some(v) => {
+                enc.put_u8(1);
+                v.encode(enc);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        match dec.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(dec)?)),
+            t => Err(WireError::InvalidTag(t as u32)),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(self.len() as u64);
+        for item in self {
+            item.encode(enc);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        let n = dec.get_len()?;
+        let mut v = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            v.push(T::decode(dec)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Encode> Encode for [T] {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_varint(self.len() as u64);
+        for item in self {
+            item.encode(enc);
+        }
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        Ok((A::decode(dec)?, B::decode(dec)?))
+    }
+}
+
+impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+        self.2.encode(enc);
+    }
+}
+
+impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        Ok((A::decode(dec)?, B::decode(dec)?, C::decode(dec)?))
+    }
+}
+
+impl<T: Encode> Encode for &T {
+    fn encode(&self, enc: &mut Encoder) {
+        (*self).encode(enc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt<T: Encode + Decode + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = crate::to_bytes(&v);
+        let back: T = crate::from_bytes(&bytes).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            rt(v);
+        }
+    }
+
+    #[test]
+    fn varint_sizes() {
+        let mut e = Encoder::new();
+        e.put_varint(127);
+        assert_eq!(e.len(), 1);
+        let mut e = Encoder::new();
+        e.put_varint(128);
+        assert_eq!(e.len(), 2);
+        let mut e = Encoder::new();
+        e.put_varint(u64::MAX);
+        assert_eq!(e.len(), 10);
+    }
+
+    #[test]
+    fn signed_zigzag() {
+        for v in [0i64, -1, 1, -64, 63, i64::MIN, i64::MAX] {
+            rt(v);
+        }
+        // Small magnitudes stay small on the wire.
+        let mut e = Encoder::new();
+        e.put_signed(-1);
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // 11 continuation bytes: overflow.
+        let bytes = [0x80u8; 11];
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_varint(), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn strings_and_bytes() {
+        rt(String::from("hello, 世界"));
+        rt(String::new());
+        let mut e = Encoder::new();
+        e.put_bytes(b"abc");
+        let mut d = Decoder::new(e.bytes());
+        assert_eq!(d.get_bytes().unwrap(), b"abc");
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut e = Encoder::new();
+        e.put_bytes(&[0xff, 0xfe]);
+        let bytes = e.into_bytes();
+        assert_eq!(from_bad_str(&bytes), Err(WireError::InvalidUtf8));
+    }
+
+    fn from_bad_str(bytes: &[u8]) -> WireResult<String> {
+        crate::from_bytes::<String>(bytes)
+    }
+
+    #[test]
+    fn containers() {
+        rt(Some(42u32));
+        rt(Option::<u32>::None);
+        rt(vec![1u64, 2, 3]);
+        rt(Vec::<u64>::new());
+        rt((7u32, String::from("x")));
+        rt((1u8, 2u16, 3u64));
+        rt(vec![(1u32, 2u32), (3, 4)]);
+    }
+
+    #[test]
+    fn corrupt_length_rejected() {
+        // A vec claiming 1000 elements but with 2 bytes of payload.
+        let mut e = Encoder::new();
+        e.put_varint(1000);
+        e.put_u8(1);
+        e.put_u8(2);
+        let r: WireResult<Vec<u32>> = crate::from_bytes(&e.into_bytes());
+        assert_eq!(r, Err(WireError::LengthOverrun));
+    }
+
+    #[test]
+    fn eof_detected() {
+        let r: WireResult<u32> = crate::from_bytes(&[]);
+        assert_eq!(r, Err(WireError::UnexpectedEof));
+        let mut d = Decoder::new(&[1, 2]);
+        assert_eq!(d.get_u32(), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn bool_strictness() {
+        let r: WireResult<bool> = crate::from_bytes(&[2]);
+        assert_eq!(r, Err(WireError::InvalidTag(2)));
+    }
+
+    #[test]
+    fn fixed_width_endianness() {
+        let mut e = Encoder::new();
+        e.put_u32(0x0102_0304);
+        assert_eq!(e.bytes(), &[0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        for v in [0.0f64, -1.5, std::f64::consts::PI, f64::MAX] {
+            rt(v);
+        }
+    }
+}

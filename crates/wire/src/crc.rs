@@ -1,0 +1,104 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! Frames carry a CRC-32 trailer so corrupted management-channel messages
+//! are detected rather than misparsed. Implemented from scratch (no external
+//! crates), reflected form, polynomial `0xEDB88320`.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Lazily built 256-entry lookup table.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    })
+}
+
+/// Computes the CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Incremental CRC-32 state, for hashing a message in pieces.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a new computation.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds bytes into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        for &b in data {
+            self.state = t[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// Finalizes and returns the checksum.
+    pub fn finish(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let mut inc = Crc32::new();
+            inc.update(&data[..split]);
+            inc.update(&data[split..]);
+            assert_eq!(inc.finish(), crc32(data));
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let data = b"some frame payload";
+        let good = crc32(data);
+        let mut bad = data.to_vec();
+        bad[3] ^= 0x10;
+        assert_ne!(crc32(&bad), good);
+    }
+}

@@ -1,0 +1,63 @@
+//! Compact binary wire format for controller ↔ host messages.
+//!
+//! The paper exchanges queries and responses between the controller and the
+//! PathDump agents over a Flask REST channel (§3). This reproduction replaces
+//! that channel with an in-process message bus, but still **serializes every
+//! message** through this codec so that the traffic volumes reported for
+//! Figures 11 and 12 are measured from real encoded bytes rather than
+//! estimated.
+//!
+//! The format is deliberately simple: little-endian fixed-width integers,
+//! LEB128 varints for counts, zig-zag for signed values, and length-prefixed
+//! frames with a CRC-32 trailer.
+
+pub mod codec;
+pub mod crc;
+pub mod frame;
+pub mod types;
+
+pub use codec::{Decode, Decoder, Encode, Encoder, WireError, WireResult};
+pub use frame::{Frame, FRAME_OVERHEAD};
+
+/// Encodes a value into a fresh byte vector.
+pub fn to_bytes<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    value.encode(&mut enc);
+    enc.into_bytes()
+}
+
+/// Decodes a value from a byte slice, requiring the slice to be fully
+/// consumed.
+pub fn from_bytes<T: Decode>(bytes: &[u8]) -> WireResult<T> {
+    let mut dec = Decoder::new(bytes);
+    let value = T::decode(&mut dec)?;
+    dec.finish()?;
+    Ok(value)
+}
+
+/// The encoded size of a value, in bytes (what would go on the management
+/// network for this payload).
+pub fn encoded_len<T: Encode + ?Sized>(value: &T) -> usize {
+    to_bytes(value).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_helpers() {
+        let v: Vec<u32> = vec![1, 2, 3, 500];
+        let bytes = to_bytes(&v);
+        let back: Vec<u32> = from_bytes(&bytes).unwrap();
+        assert_eq!(v, back);
+        assert_eq!(encoded_len(&v), bytes.len());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_bytes(&7u32);
+        bytes.push(0xff);
+        assert!(from_bytes::<u32>(&bytes).is_err());
+    }
+}

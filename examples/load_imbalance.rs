@@ -1,0 +1,63 @@
+//! Load-imbalance diagnosis demo (§4.2): a "poor hash" pins all large
+//! flows onto one uplink; the per-link flow-size distributions recovered
+//! from the TIBs expose the split.
+//!
+//! Run with: `cargo run --release --example load_imbalance`
+
+use pathdump::prelude::*;
+use pathdump_apps::load_imbalance::flow_size_distributions;
+use pathdump_apps::Testbed;
+
+fn main() {
+    let mut tb = Testbed::default_k4();
+    let sagg = tb.ft.tor(0, 0);
+    let link1 = LinkDir::new(sagg, tb.ft.agg(0, 0));
+    let link2 = LinkDir::new(sagg, tb.ft.agg(0, 1));
+    let threshold = 1_000_000;
+    tb.sim.install_quirk(
+        sagg,
+        Quirk::SizeBasedSplit {
+            threshold,
+            big_port: tb.sim.link_port(sagg, tb.ft.agg(0, 0)),
+            small_port: tb.sim.link_port(sagg, tb.ft.agg(0, 1)),
+        },
+    );
+    println!("quirk installed: flows > 1MB from {sagg} all hash onto {link1}");
+
+    // Mixed flow sizes out of rack (0,0).
+    let sizes = [
+        50_000u64, 120_000, 300_000, 700_000, 1_500_000, 2_500_000, 4_000_000, 80_000,
+    ];
+    for (i, &size) in sizes.iter().enumerate() {
+        let src = tb.ft.host(0, 0, i % 2);
+        let dst = tb.ft.host(1 + i % 3, (i / 2) % 2, i % 2);
+        tb.add_flow(src, dst, 6000 + i as u16, size, Nanos::ZERO);
+    }
+    tb.run_and_flush(Nanos::from_secs(600));
+    assert!(tb.sim.world.tcp.all_complete());
+
+    let hosts: Vec<HostId> = (0..16).map(HostId).collect();
+    let dists = flow_size_distributions(
+        &mut tb.sim.world,
+        &hosts,
+        &[link1, link2],
+        TimeRange::ANY,
+        10_000,
+    );
+    for d in &dists {
+        println!(
+            "\nlink {}: {} flows, {} of them >= 1MB",
+            d.link,
+            d.total_flows(),
+            d.flows_at_least(threshold)
+        );
+        for (bytes, frac) in d.cdf() {
+            println!("  <= {:>10} bytes : {:.2}", bytes, frac);
+        }
+    }
+    println!(
+        "\ndiagnosis: the flow-size distributions on the two links are \
+         sharply divided at 1MB — the load imbalance is a size-correlated \
+         hash, exactly the §4.2 scenario."
+    );
+}

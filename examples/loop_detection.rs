@@ -1,0 +1,44 @@
+//! Routing-loop detection demo (§4.5): misconfigure four switches into a
+//! forwarding loop and watch the controller trap catch it in tens of
+//! milliseconds — no TTL expiry, no polling.
+//!
+//! Run with: `cargo run --example loop_detection`
+
+use pathdump::prelude::*;
+use pathdump_apps::routing_loop::{install_loop, run_loop_experiment};
+use pathdump_apps::Testbed;
+
+fn main() {
+    let mut tb = Testbed::default_k4();
+    let (src, dst) = (tb.ft.host(0, 0, 0), tb.ft.host(1, 0, 0));
+    let flow = tb.flow(src, dst, 8800);
+
+    // The Figure 9 scenario: Agg(0,0) is misconfigured to always send this
+    // flow up to Core(0); the cores bounce it between pods forever.
+    let cycle = vec![
+        tb.ft.agg(0, 0),
+        tb.ft.core(0),
+        tb.ft.agg(1, 0),
+        tb.ft.core(1),
+    ];
+    println!("installing a 4-switch loop: {cycle:?}");
+    let entry = tb.ft.tor(0, 0);
+    install_loop(&mut tb, flow, entry, &cycle);
+
+    let out = run_loop_experiment(&mut tb, flow, Nanos::from_secs(3));
+    match out.detection {
+        Some(det) => {
+            println!("loop DETECTED at t={}", det.at);
+            println!("  punting switch : {}", det.punt_switch);
+            println!("  repeated linkID: {}", det.repeated_link_id);
+            println!("  controller visits needed: {}", det.visits);
+            println!("  total punts observed: {}", out.punts);
+            println!(
+                "\nmechanism: the looping packet accumulates a VLAN tag every \
+                 two switches; at three tags the ASIC rule-misses and punts \
+                 to the controller, which spots the repeated link ID."
+            );
+        }
+        None => println!("no loop detected (unexpected!)"),
+    }
+}

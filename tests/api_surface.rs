@@ -1,0 +1,169 @@
+//! Cross-crate integration: the Table 1 API surface, exercised end-to-end
+//! through the facade crate, plus direct/multi-level mechanism agreement.
+
+use pathdump::prelude::*;
+use pathdump_apps::Testbed;
+
+fn loaded() -> (Testbed, FlowId, HostId, HostId) {
+    let mut tb = Testbed::default_k4();
+    let (src, dst) = (tb.ft.host(0, 0, 0), tb.ft.host(2, 1, 0));
+    let flow = tb.flow(src, dst, 4242);
+    tb.add_flow(src, dst, 4242, 400_000, Nanos::ZERO);
+    tb.add_flow(tb.ft.host(1, 0, 0), dst, 4243, 100_000, Nanos::ZERO);
+    tb.run_and_flush(Nanos::from_secs(60));
+    assert!(tb.sim.world.tcp.all_complete());
+    (tb, flow, src, dst)
+}
+
+#[test]
+fn get_flows_get_paths_get_count_get_duration() {
+    let (mut tb, flow, src, dst) = loaded();
+    // getFlows over the destination ToR's incoming links.
+    let tor = tb.ft.topology().host(dst).tor;
+    let resp = tb.sim.world.execute_on_host(
+        dst,
+        &Query::GetFlows {
+            link: LinkPattern::into(tor),
+            range: TimeRange::ANY,
+        },
+        false,
+    );
+    let Response::Flows(flows) = resp else { panic!() };
+    assert!(flows.contains(&flow));
+
+    // getPaths returns a real shortest path.
+    let resp = tb.sim.world.execute_on_host(
+        dst,
+        &Query::GetPaths {
+            flow,
+            link: LinkPattern::ANY,
+            range: TimeRange::ANY,
+        },
+        false,
+    );
+    let Response::Paths(paths) = resp else { panic!() };
+    assert_eq!(paths.len(), 1);
+    assert!(tb.ft.all_paths(src, dst).contains(&paths[0]));
+
+    // getCount covers the transferred bytes.
+    let resp = tb.sim.world.execute_on_host(
+        dst,
+        &Query::GetCount {
+            flow,
+            path: Some(paths[0].clone()),
+            range: TimeRange::ANY,
+        },
+        false,
+    );
+    let Response::Count { bytes, pkts } = resp else { panic!() };
+    assert!(bytes >= 400_000);
+    assert!(pkts >= 400_000 / 1460);
+
+    // getDuration is positive and below the run length.
+    let resp = tb.sim.world.execute_on_host(
+        dst,
+        &Query::GetDuration {
+            flow,
+            path: None,
+            range: TimeRange::ANY,
+        },
+        false,
+    );
+    let Response::Duration(d) = resp else { panic!() };
+    assert!(d > Nanos::ZERO && d < Nanos::from_secs(60));
+}
+
+#[test]
+fn get_poor_tcp_flows_via_world() {
+    let mut tb = Testbed::default_k4();
+    let (src, dst) = (tb.ft.host(0, 0, 0), tb.ft.host(1, 0, 0));
+    for a in 0..2 {
+        tb.sim.set_directed_fault(
+            tb.ft.tor(0, 0),
+            tb.ft.agg(0, a),
+            FaultState {
+                blackhole: true,
+                ..FaultState::HEALTHY
+            },
+        );
+    }
+    let flow = tb.flow(src, dst, 4250);
+    tb.add_flow(src, dst, 4250, 100_000, Nanos::ZERO);
+    tb.sim.run_until(Nanos::from_secs(8));
+    let resp = tb
+        .sim
+        .world
+        .execute_on_host(src, &Query::GetPoorTcp { threshold: 2 }, false);
+    let Response::Flows(flows) = resp else { panic!() };
+    assert_eq!(flows, vec![flow]);
+}
+
+#[test]
+fn direct_and_multilevel_mechanisms_agree_on_live_data() {
+    let (tb, _, _, _) = loaded();
+    // Move the populated TIBs into a query cluster and compare mechanisms.
+    let tibs: Vec<Tib> = tb
+        .sim
+        .world
+        .agents
+        .iter()
+        .map(|a| {
+            let mut t = Tib::new();
+            for r in a.tib.records() {
+                t.insert(r.clone());
+            }
+            t
+        })
+        .collect();
+    let n = tibs.len();
+    let cluster = Cluster::new(tibs, MgmtNet::default());
+    let hosts: Vec<usize> = (0..n).collect();
+    for q in [
+        Query::TopK {
+            k: 5,
+            range: TimeRange::ANY,
+        },
+        Query::FlowSizeDist {
+            link: LinkPattern::ANY,
+            range: TimeRange::ANY,
+            bin_bytes: 10_000,
+        },
+        Query::TrafficMatrix {
+            range: TimeRange::ANY,
+        },
+    ] {
+        let d = cluster.direct_query(&hosts, &q);
+        let m = cluster.multilevel_query(&hosts, &q, &[7, 4, 4]);
+        assert_eq!(d.response, m.response, "query {q:?}");
+        assert!(d.wire_bytes > 0 && m.wire_bytes > 0);
+    }
+}
+
+#[test]
+fn install_and_uninstall_lifecycle() {
+    let mut tb = Testbed::default_k4();
+    let (src, dst) = (tb.ft.host(0, 0, 0), tb.ft.host(1, 0, 0));
+    for a in 0..2 {
+        tb.sim.set_directed_fault(
+            tb.ft.tor(0, 0),
+            tb.ft.agg(0, a),
+            FaultState {
+                blackhole: true,
+                ..FaultState::HEALTHY
+            },
+        );
+    }
+    let id = tb.sim.world.install_query(
+        &[src],
+        Query::GetPoorTcp { threshold: 2 },
+        Some(Reason::PoorPerf),
+    );
+    tb.add_flow(src, dst, 4260, 50_000, Nanos::ZERO);
+    tb.sim.run_until(Nanos::from_secs(4));
+    let before = tb.sim.world.installed_results.len();
+    assert!(before > 0, "installed query must have produced results");
+    tb.sim.world.uninstall_query(id);
+    tb.sim.run_until(Nanos::from_secs(8));
+    let after = tb.sim.world.installed_results.len();
+    assert_eq!(before, after, "uninstalled query must stop executing");
+}

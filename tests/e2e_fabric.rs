@@ -1,0 +1,120 @@
+//! End-to-end fabric integration: web traffic over fat-tree and VL2 with
+//! full PathDump stacks; every TIB record must be a feasible trajectory
+//! equal to what the packets actually traversed.
+
+use pathdump::prelude::*;
+use pathdump_apps::Testbed;
+use pathdump_cherrypick::path_is_feasible;
+
+#[test]
+fn fattree_web_traffic_all_records_feasible() {
+    let mut tb = Testbed::default_k4();
+    let specs = tb.add_web_traffic(0.3, Nanos::from_secs(3), 99);
+    assert!(specs.len() > 10);
+    tb.run_and_flush(Nanos::from_secs(10));
+    let topo = tb.ft.topology();
+    let mut records = 0;
+    for agent in &tb.sim.world.agents {
+        let dst = agent.host();
+        for rec in agent.tib.records() {
+            let src = topo.host_by_ip(rec.flow.src_ip).expect("known src");
+            assert!(
+                path_is_feasible(topo, src, dst, &rec.path),
+                "record path {} infeasible for {}",
+                rec.path,
+                rec.flow
+            );
+            records += 1;
+        }
+    }
+    assert!(records > specs.len(), "data + ACK flows recorded");
+    let failures: u64 = tb.sim.world.agents.iter().map(|a| a.recon_failures).sum();
+    assert_eq!(failures, 0, "healthy fabric: no reconstruction failures");
+}
+
+#[test]
+fn vl2_world_end_to_end() {
+    use pathdump::core::{Fabric, PathDumpWorld, WorldConfig};
+    use pathdump::transport::install_flows;
+
+    let v = Vl2::build(Vl2Params {
+        da: 4,
+        di: 4,
+        hosts_per_tor: 2,
+    });
+    let world = PathDumpWorld::new(
+        Fabric::Vl2(Vl2Reconstructor::new(v.clone())),
+        TcpConfig::default(),
+        WorldConfig::default(),
+    );
+    let mut sim = Simulator::new(
+        &v,
+        SimConfig::for_tests(),
+        Box::new(Vl2CherryPick::new(v.clone())),
+        world,
+    );
+    PathDumpWorld::start(&mut sim);
+    // Flows between non-adjacent racks (via intermediates) and shared-agg
+    // racks (2-hop turn).
+    let topo = v.topology().clone();
+    let mk = |s: HostId, d: HostId, p: u16| FlowSpec {
+        flow: FlowId::tcp(topo.host(s).ip, p, topo.host(d).ip, 80),
+        src: s,
+        dst: d,
+        size: 150_000,
+        start: Nanos::ZERO,
+    };
+    let specs = vec![
+        mk(v.host(0, 0), v.host(1, 0), 6000),
+        mk(v.host(0, 1), v.host(2, 0), 6001),
+        mk(v.host(3, 0), v.host(0, 0), 6002),
+    ];
+    install_flows(&mut sim, &specs, |w| &mut w.tcp);
+    sim.run_until(Nanos::from_secs(30));
+    assert!(sim.world.tcp.all_complete());
+    sim.world.flush_all(sim.now());
+    for spec in &specs {
+        let agent = &sim.world.agents[spec.dst.index()];
+        let paths = agent
+            .tib
+            .get_paths(spec.flow, LinkPattern::ANY, TimeRange::ANY);
+        assert_eq!(paths.len(), 1, "flow {} paths", spec.flow);
+        assert!(
+            v.all_paths(spec.src, spec.dst).contains(&paths[0]),
+            "recorded path must be a canonical VL2 path"
+        );
+    }
+    let failures: u64 = sim.world.agents.iter().map(|a| a.recon_failures).sum();
+    assert_eq!(failures, 0);
+}
+
+#[test]
+fn spraying_world_records_every_path() {
+    let mut tb = Testbed::default_k4();
+    tb.sim.set_lb_all(LoadBalance::Spray);
+    let (src, dst) = (tb.ft.host(0, 0, 0), tb.ft.host(3, 1, 1));
+    let flow = tb.flow(src, dst, 6100);
+    tb.add_flow(src, dst, 6100, 1_000_000, Nanos::ZERO);
+    tb.run_and_flush(Nanos::from_secs(60));
+    let agent = &tb.sim.world.agents[dst.index()];
+    let paths = agent.tib.get_paths(flow, LinkPattern::ANY, TimeRange::ANY);
+    assert_eq!(paths.len(), 4, "per-packet spraying must expose all 4 paths");
+    // Per-path counts sum to at least the flow size.
+    let total: u64 = paths
+        .iter()
+        .map(|p| agent.tib.get_count(flow, Some(p), TimeRange::ANY).0)
+        .sum();
+    assert!(total >= 1_000_000);
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let run = || {
+        let mut tb = Testbed::default_k4();
+        tb.add_web_traffic(0.2, Nanos::from_secs(2), 123);
+        tb.run_and_flush(Nanos::from_secs(8));
+        let records: usize = tb.sim.world.agents.iter().map(|a| a.tib.len()).sum();
+        (records, tb.sim.stats.events, tb.sim.stats.delivered_pkts)
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,225 @@
+//! Property-based tests (proptest) over the core invariants:
+//! - wire codec roundtrips for every message type;
+//! - CherryPick decode∘encode = identity over arbitrary host pairs and
+//!   equal-cost path choices (fat-tree and VL2);
+//! - TIB query results match a naive reference model on arbitrary record
+//!   sets;
+//! - dpswitch build∘parse = identity over arbitrary flows/tags/DSCP;
+//! - bipartite edge coloring is proper on arbitrary graphs.
+
+use pathdump::cherrypick::{
+    tags_for_walk, FatTreeCherryPick, FatTreeReconstructor, Vl2CherryPick, Vl2Reconstructor,
+};
+use pathdump::prelude::*;
+use pathdump::tib::TibRecord;
+use pathdump::topology::coloring::{color_bipartite_multigraph, verify_coloring};
+use proptest::prelude::*;
+
+fn arb_flow() -> impl Strategy<Value = FlowId> {
+    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), any::<u8>()).prop_map(
+        |(s, d, sp, dp, pr)| FlowId {
+            src_ip: Ip(s),
+            dst_ip: Ip(d),
+            src_port: sp,
+            dst_port: dp,
+            proto: pathdump::topology::Protocol::from_number(pr),
+        },
+    )
+}
+
+fn arb_path() -> impl Strategy<Value = Path> {
+    proptest::collection::vec(any::<u16>().prop_map(SwitchId), 0..8).prop_map(Path::new)
+}
+
+fn arb_record() -> impl Strategy<Value = TibRecord> {
+    (
+        arb_flow(),
+        arb_path(),
+        0u64..1_000_000,
+        0u64..1_000_000,
+        any::<u32>(),
+        1u64..1000,
+    )
+        .prop_map(|(flow, path, t0, dt, bytes, pkts)| TibRecord {
+            flow,
+            path,
+            stime: Nanos(t0),
+            etime: Nanos(t0 + dt),
+            bytes: bytes as u64,
+            pkts,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn wire_roundtrip_records(recs in proptest::collection::vec(arb_record(), 0..50)) {
+        let bytes = pathdump::wire::to_bytes(&recs);
+        let back: Vec<TibRecord> = pathdump::wire::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(recs, back);
+    }
+
+    #[test]
+    fn wire_roundtrip_frames(typ in any::<u16>(), payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let f = pathdump::wire::Frame::new(typ, payload);
+        let (back, used) = pathdump::wire::Frame::from_wire(&f.to_wire()).unwrap();
+        prop_assert_eq!(&back, &f);
+        prop_assert_eq!(used, f.wire_len());
+    }
+
+    #[test]
+    fn fattree_reconstruction_identity(
+        k in prop_oneof![Just(4u16), Just(6), Just(8)],
+        src_i in any::<u32>(),
+        dst_i in any::<u32>(),
+        pick in any::<u32>(),
+    ) {
+        let ft = FatTree::build(FatTreeParams { k });
+        let n = ft.topology().num_hosts() as u32;
+        let (src, dst) = (HostId(src_i % n), HostId(dst_i % n));
+        prop_assume!(src != dst);
+        let paths = ft.all_paths(src, dst);
+        let path = &paths[pick as usize % paths.len()];
+        let policy = FatTreeCherryPick::new(ft.clone());
+        let recon = FatTreeReconstructor::new(ft.clone());
+        let headers = tags_for_walk(&policy, &ft, &path.0);
+        prop_assert!(headers.tag_count() <= 2, "shortest paths fit the ASIC limit");
+        let decoded = recon.reconstruct(src, dst, &headers).unwrap();
+        prop_assert_eq!(&decoded, path);
+    }
+
+    #[test]
+    fn vl2_reconstruction_identity(
+        src_i in any::<u32>(),
+        dst_i in any::<u32>(),
+        pick in any::<u32>(),
+    ) {
+        let v = Vl2::build(Vl2Params { da: 6, di: 6, hosts_per_tor: 2 });
+        let n = v.topology().num_hosts() as u32;
+        let (src, dst) = (HostId(src_i % n), HostId(dst_i % n));
+        prop_assume!(src != dst);
+        let paths = v.all_paths(src, dst);
+        let path = &paths[pick as usize % paths.len()];
+        let policy = Vl2CherryPick::new(v.clone());
+        let recon = Vl2Reconstructor::new(v.clone());
+        let headers = tags_for_walk(&policy, &v, &path.0);
+        prop_assert!(headers.tag_count() <= 2);
+        let decoded = recon.reconstruct(src, dst, &headers).unwrap();
+        prop_assert_eq!(&decoded, path);
+    }
+
+    #[test]
+    fn tib_queries_match_naive_model(recs in proptest::collection::vec(arb_record(), 0..60)) {
+        let mut tib = Tib::new();
+        for r in &recs {
+            tib.insert(r.clone());
+        }
+        // getFlows(ANY) == distinct flows of overlapping records.
+        let range = TimeRange::between(Nanos(100_000), Nanos(900_000));
+        let mut naive_flows: Vec<FlowId> = Vec::new();
+        for r in &recs {
+            if range.overlaps(r.stime, r.etime) && !naive_flows.contains(&r.flow) {
+                naive_flows.push(r.flow);
+            }
+        }
+        let mut got = tib.get_flows(LinkPattern::ANY, range);
+        got.sort();
+        naive_flows.sort();
+        prop_assert_eq!(got, naive_flows);
+        // getCount == naive sum per flow.
+        if let Some(r0) = recs.first() {
+            let naive: u64 = recs
+                .iter()
+                .filter(|r| r.flow == r0.flow && range.overlaps(r.stime, r.etime))
+                .map(|r| r.bytes)
+                .sum();
+            let (bytes, _) = tib.get_count(r0.flow, None, range);
+            prop_assert_eq!(bytes, naive);
+        }
+        // Per-link query only returns flows whose paths contain the link.
+        if let Some(link) = recs.iter().flat_map(|r| r.path.links()).next() {
+            let flows = tib.get_flows(LinkPattern::exact(link.from, link.to), TimeRange::ANY);
+            for f in &flows {
+                prop_assert!(recs
+                    .iter()
+                    .any(|r| r.flow == *f && r.path.traverses(link)));
+            }
+        }
+    }
+
+    #[test]
+    fn dpswitch_parse_build_identity(
+        flow in arb_flow().prop_map(|mut f| {
+            // The frame builder lays out a TCP header.
+            f.proto = pathdump::topology::Protocol::Tcp;
+            f
+        }),
+        tags in proptest::collection::vec(0u16..4096, 0..3),
+        dscp in 0u8..64,
+        payload in 0usize..1400,
+    ) {
+        let frame = pathdump::dpswitch::build_frame(&flow, &tags, dscp, payload);
+        let parsed = pathdump::dpswitch::parse(&frame).unwrap();
+        prop_assert_eq!(parsed.flow, flow);
+        prop_assert_eq!(&parsed.tags, &tags);
+        prop_assert_eq!(parsed.dscp, dscp);
+        prop_assert_eq!(parsed.payload_len, payload);
+        // Stripping then re-parsing drops the tags, keeps everything else.
+        let mut stripped = frame.clone();
+        let n = pathdump::dpswitch::strip_vlans(&mut stripped).unwrap();
+        prop_assert_eq!(n, tags.len());
+        let p2 = pathdump::dpswitch::parse(&stripped).unwrap();
+        prop_assert!(p2.tags.is_empty());
+        prop_assert_eq!(p2.flow, flow);
+        prop_assert_eq!(p2.dscp, dscp);
+    }
+
+    #[test]
+    fn edge_coloring_always_proper(
+        left in 1usize..12,
+        right in 1usize..12,
+        edges_raw in proptest::collection::vec((any::<u16>(), any::<u16>()), 0..80),
+    ) {
+        let edges: Vec<(usize, usize)> = edges_raw
+            .into_iter()
+            .map(|(a, b)| (a as usize % left, b as usize % right))
+            .collect();
+        let colors = color_bipartite_multigraph(left, right, &edges);
+        prop_assert!(verify_coloring(left, right, &edges, &colors).is_ok());
+        // Delta-optimality.
+        let mut deg = vec![0usize; left + right];
+        for &(u, v) in &edges {
+            deg[u] += 1;
+            deg[left + v] += 1;
+        }
+        let delta = deg.iter().copied().max().unwrap_or(0) as u32;
+        prop_assert!(colors.iter().all(|&c| c < delta.max(1)));
+    }
+
+    #[test]
+    fn tcp_receiver_reassembly_model(
+        segs in proptest::collection::vec((0u64..20, 1u32..4), 1..30),
+    ) {
+        // Arbitrary (possibly overlapping, out-of-order) MSS-aligned
+        // segments; rcv_next must equal the longest contiguous prefix of
+        // covered bytes.
+        use pathdump::transport::ReceiverState;
+        let mss = 100u64;
+        let mut r = ReceiverState::default();
+        let mut covered = std::collections::HashSet::new();
+        for (i, &(start, len)) in segs.iter().enumerate() {
+            let seq = start * mss;
+            let bytes = len as u64 * mss;
+            for b in start..start + len as u64 {
+                covered.insert(b);
+            }
+            r.on_data(seq, bytes as u32, false, Nanos(i as u64));
+        }
+        let mut expect = 0u64;
+        while covered.contains(&expect) {
+            expect += 1;
+        }
+        prop_assert_eq!(r.rcv_next, expect * mss);
+    }
+}
