@@ -46,21 +46,17 @@ pub fn diagnose(
     expected: Vec<Path>,
     range: TimeRange,
 ) -> BlackholeReport {
-    let observed = match world
-        .fabric
-        .topology()
-        .host_by_ip(flow.dst_ip)
-        .map(|dst| {
-            world.execute_on_host(
-                dst,
-                &Query::GetPaths {
-                    flow,
-                    link: LinkPattern::ANY,
-                    range,
-                },
-                true,
-            )
-        }) {
+    let observed = match world.fabric.topology().host_by_ip(flow.dst_ip).map(|dst| {
+        world.execute_on_host(
+            dst,
+            &Query::GetPaths {
+                flow,
+                link: LinkPattern::ANY,
+                range,
+            },
+            true,
+        )
+    }) {
         Some(Response::Paths(p)) => p,
         _ => Vec::new(),
     };
@@ -71,8 +67,7 @@ pub fn diagnose(
         .cloned()
         .collect();
 
-    let observed_links: HashSet<LinkDir> =
-        observed.iter().flat_map(|p| p.links()).collect();
+    let observed_links: HashSet<LinkDir> = observed.iter().flat_map(|p| p.links()).collect();
     let suspects: Vec<SwitchId> = if missing.is_empty() {
         Vec::new()
     } else if missing.len() == 1 {

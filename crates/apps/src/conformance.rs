@@ -94,7 +94,8 @@ mod tests {
         let entry = tb.ft.tor(0, 0);
         for sport in 9000..9006u16 {
             let flow = tb.flow(src, dst, sport);
-            tb.sim.install_quirk(entry, Quirk::ForwardFlowTo { flow, port });
+            tb.sim
+                .install_quirk(entry, Quirk::ForwardFlowTo { flow, port });
             tb.add_flow(src, dst, sport, 10_000, Nanos::ZERO);
         }
         tb.sim.run_until(Nanos::from_secs(10));
@@ -137,7 +138,10 @@ mod tests {
         tb.add_flow(src, dst, 9200, 20_000, Nanos::ZERO);
         tb.sim.run_until(Nanos::from_secs(5));
         let alarms = tb.sim.world.drain_alarms();
-        assert!(violations(&alarms).is_empty(), "6-hop shortest is conforming");
+        assert!(
+            violations(&alarms).is_empty(),
+            "6-hop shortest is conforming"
+        );
         assert!(infeasible(&alarms).is_empty());
     }
 }

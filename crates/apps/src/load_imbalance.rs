@@ -294,10 +294,8 @@ mod tests {
         let mut tb = Testbed::default_k4();
         tb.sim.set_lb_all(LoadBalance::Spray);
         // Bias the source ToR 4:1 toward agg 0.
-        tb.sim.set_lb(
-            tb.ft.tor(0, 0),
-            LoadBalance::WeightedSpray(vec![4, 1]),
-        );
+        tb.sim
+            .set_lb(tb.ft.tor(0, 0), LoadBalance::WeightedSpray(vec![4, 1]));
         let (src, dst) = (tb.ft.host(0, 0, 0), tb.ft.host(2, 0, 0));
         let flow = tb.flow(src, dst, 6100);
         tb.add_flow(src, dst, 6100, 2_000_000, Nanos::ZERO);

@@ -108,7 +108,11 @@ pub fn diagnose(
             Response::Paths(p) => p,
             _ => Vec::new(),
         };
-        let hops = paths.iter().map(|p| p.num_hops()).min().unwrap_or(usize::MAX);
+        let hops = paths
+            .iter()
+            .map(|p| p.num_hops())
+            .min()
+            .unwrap_or(usize::MAX);
         evidence.push(FlowEvidence {
             flow,
             bytes,
@@ -131,8 +135,7 @@ pub fn diagnose(
     let unfairness = if evidence.is_empty() {
         1.0
     } else {
-        evidence.last().expect("non-empty").throughput_bps
-            / evidence[0].throughput_bps.max(1.0)
+        evidence.last().expect("non-empty").throughput_bps / evidence[0].throughput_bps.max(1.0)
     };
     OutcastReport {
         receiver,

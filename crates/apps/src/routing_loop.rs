@@ -28,15 +28,21 @@ use pathdump_topology::{FlowId, Nanos, SwitchId};
 pub fn install_loop(tb: &mut Testbed, flow: FlowId, entry: SwitchId, cycle: &[SwitchId]) {
     assert!(cycle.len() >= 2, "a loop needs at least two switches");
     let distinct: std::collections::HashSet<_> = cycle.iter().collect();
-    assert_eq!(distinct.len(), cycle.len(), "cycle switches must be distinct");
+    assert_eq!(
+        distinct.len(),
+        cycle.len(),
+        "cycle switches must be distinct"
+    );
     // Entry switch forwards into the cycle.
     let port = tb.sim.link_port(entry, cycle[0]);
-    tb.sim.install_quirk(entry, Quirk::ForwardFlowTo { flow, port });
+    tb.sim
+        .install_quirk(entry, Quirk::ForwardFlowTo { flow, port });
     for i in 0..cycle.len() {
         let from = cycle[i];
         let to = cycle[(i + 1) % cycle.len()];
         let port = tb.sim.link_port(from, to);
-        tb.sim.install_quirk(from, Quirk::ForwardFlowTo { flow, port });
+        tb.sim
+            .install_quirk(from, Quirk::ForwardFlowTo { flow, port });
     }
 }
 
@@ -54,9 +60,7 @@ pub struct LoopExperiment {
 /// Injects one packet of `flow` and runs until `deadline`, reporting the
 /// detection outcome.
 pub fn run_loop_experiment(tb: &mut Testbed, flow: FlowId, deadline: Nanos) -> LoopExperiment {
-    let src = tb
-        .host_by_ip(flow.src_ip)
-        .expect("flow source must exist");
+    let src = tb.host_by_ip(flow.src_ip).expect("flow source must exist");
     let pkt = Packet::data(0, flow, 0, 1000, tb.sim.now());
     tb.sim.send_from(src, pkt);
     tb.sim.run_until(deadline);

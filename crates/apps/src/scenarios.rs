@@ -59,16 +59,19 @@ impl Testbed {
     }
 
     /// Adjacency test on the underlying topology.
-    pub fn adjacent(
-        &self,
-        a: pathdump_topology::SwitchId,
-        b: pathdump_topology::SwitchId,
-    ) -> bool {
+    pub fn adjacent(&self, a: pathdump_topology::SwitchId, b: pathdump_topology::SwitchId) -> bool {
         self.ft.topology().adjacent(a, b)
     }
 
     /// Registers and schedules a single TCP flow.
-    pub fn add_flow(&mut self, src: HostId, dst: HostId, sport: u16, size: u64, start: Nanos) -> FlowSpec {
+    pub fn add_flow(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        sport: u16,
+        size: u64,
+        start: Nanos,
+    ) -> FlowSpec {
         let spec = FlowSpec {
             flow: self.flow(src, dst, sport),
             src,

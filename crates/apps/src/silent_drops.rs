@@ -110,7 +110,11 @@ pub fn score(hypothesis: &[LinkDir], truth: &[LinkDir]) -> Accuracy {
     let fp = hypothesis.len() as f64 - tp;
     let fnn = truth.len() as f64 - tp;
     Accuracy {
-        recall: if truth.is_empty() { 1.0 } else { tp / (tp + fnn) },
+        recall: if truth.is_empty() {
+            1.0
+        } else {
+            tp / (tp + fnn)
+        },
         precision: if hypothesis.is_empty() {
             0.0
         } else {

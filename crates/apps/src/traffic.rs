@@ -48,10 +48,7 @@ pub fn traffic_matrix(
 /// Per-directed-link byte totals reconstructed purely from TIB records —
 /// the switch-pair traffic matrix / link utilization view (Table 2's
 /// "traffic volume between all switch pairs").
-pub fn link_utilization(
-    world: &PathDumpWorld,
-    range: TimeRange,
-) -> HashMap<LinkDir, u64> {
+pub fn link_utilization(world: &PathDumpWorld, range: TimeRange) -> HashMap<LinkDir, u64> {
     let mut out: HashMap<LinkDir, u64> = HashMap::new();
     for agent in &world.agents {
         for rec in agent.tib.records() {
@@ -165,7 +162,12 @@ mod tests {
     fn loaded_testbed() -> (Testbed, Vec<(HostId, HostId, u16, u64)>) {
         let mut tb = Testbed::default_k4();
         let flows = vec![
-            (tb.ft.host(0, 0, 0), tb.ft.host(1, 0, 0), 6000u16, 500_000u64),
+            (
+                tb.ft.host(0, 0, 0),
+                tb.ft.host(1, 0, 0),
+                6000u16,
+                500_000u64,
+            ),
             (tb.ft.host(0, 0, 1), tb.ft.host(2, 0, 0), 6001, 200_000),
             (tb.ft.host(0, 1, 0), tb.ft.host(3, 0, 0), 6002, 50_000),
             (tb.ft.host(1, 0, 0), tb.ft.host(2, 1, 1), 6003, 800_000),
@@ -247,7 +249,13 @@ mod tests {
             .enumerate()
         {
             let src = tb.ft.host(p, t, h);
-            tb.add_flow(src, victim, 7000 + i as u16, 100_000 + i as u64 * 50_000, Nanos::ZERO);
+            tb.add_flow(
+                src,
+                victim,
+                7000 + i as u16,
+                100_000 + i as u64 * 50_000,
+                Nanos::ZERO,
+            );
         }
         tb.run_and_flush(Nanos::from_secs(60));
         let vip = tb.ip_of(victim);

@@ -33,17 +33,13 @@ fn bench_datapath(c: &mut Criterion) {
     for &size in &[64usize, 512, 1500] {
         for (label, mode) in [("vanilla", Mode::Vanilla), ("pathdump", Mode::PathDump)] {
             group.throughput(Throughput::Elements(4096));
-            group.bench_with_input(
-                BenchmarkId::new(label, size),
-                &size,
-                |b, &size| {
-                    let mut dp = DataPath::new(mode);
-                    dp.learn([0x02, 0, 0, 0, 0, 0x01], 1);
-                    let mut batch = batch(size, 4096);
-                    batch.run_once(&mut dp); // warm-up: live flow records
-                    b.iter(|| batch.run_once(&mut dp));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, size), &size, |b, &size| {
+                let mut dp = DataPath::new(mode);
+                dp.learn([0x02, 0, 0, 0, 0, 0x01], 1);
+                let mut batch = batch(size, 4096);
+                batch.run_once(&mut dp); // warm-up: live flow records
+                b.iter(|| batch.run_once(&mut dp));
+            });
         }
     }
     group.finish();

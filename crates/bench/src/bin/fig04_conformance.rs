@@ -31,7 +31,8 @@ fn main() {
     let port = tb.sim.link_port(entry, tb.ft.agg(0, 0));
     for sport in 9000..9008u16 {
         let flow = tb.flow(src, dst, sport);
-        tb.sim.install_quirk(entry, Quirk::ForwardFlowTo { flow, port });
+        tb.sim
+            .install_quirk(entry, Quirk::ForwardFlowTo { flow, port });
         tb.add_flow(src, dst, sport, 20_000, Nanos::ZERO);
     }
     tb.sim.run_until(Nanos::from_secs(10));

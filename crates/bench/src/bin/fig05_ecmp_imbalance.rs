@@ -5,9 +5,7 @@
 //! (c) the per-link flow-size distributions recovered via the multi-level
 //!     TIB query — sharply divided at the 1 MB threshold.
 
-use pathdump_apps::load_imbalance::{
-    cdf_points, flow_size_distributions, ImbalanceSeries,
-};
+use pathdump_apps::load_imbalance::{cdf_points, flow_size_distributions, ImbalanceSeries};
 use pathdump_apps::Testbed;
 use pathdump_bench::{banner, row, Args};
 use pathdump_core::WorldConfig;
@@ -85,7 +83,10 @@ fn main() {
     // Let stragglers finish, then flush memories into TIBs.
     tb.run_and_flush(t.saturating_add(Nanos(10 * SECONDS)));
 
-    println!("\n(b) imbalance rate CDF over {}s windows:", window.0 / SECONDS);
+    println!(
+        "\n(b) imbalance rate CDF over {}s windows:",
+        window.0 / SECONDS
+    );
     row(&["rate(%)".into(), "CDF".into()]);
     let pts = cdf_points(&series.rates);
     for (i, (v, f)) in pts.iter().enumerate() {

@@ -54,11 +54,7 @@ fn main() {
     let balanced = run_case(false, size, args.seed);
     let imbalanced = run_case(true, size, args.seed);
     println!();
-    row(&[
-        "path".into(),
-        "balanced".into(),
-        "imbalanced".into(),
-    ]);
+    row(&["path".into(), "balanced".into(), "imbalanced".into()]);
     for (b, i) in balanced.iter().zip(&imbalanced) {
         row(&[b.0.clone(), fmt_bytes(b.1), fmt_bytes(i.1)]);
     }

@@ -37,13 +37,7 @@ struct RunResult {
     samples: Vec<(f64, f64, f64)>,
 }
 
-fn one_run(
-    n_faulty: usize,
-    loss_rate: f64,
-    load: f64,
-    duration_s: u64,
-    seed: u64,
-) -> RunResult {
+fn one_run(n_faulty: usize, loss_rate: f64, load: f64, duration_s: u64, seed: u64) -> RunResult {
     let mut cfg = SimConfig::default();
     cfg.seed = seed;
     let mut tb = Testbed::fattree(4, cfg, WorldConfig::default());
@@ -117,7 +111,11 @@ fn main() {
             }
         }
         println!("\nfaulty interfaces = {nf}");
-        row(&["time(s)".into(), "avg recall".into(), "avg precision".into()]);
+        row(&[
+            "time(s)".into(),
+            "avg recall".into(),
+            "avg precision".into(),
+        ]);
         for (t, (recs, precs)) in &agg {
             row(&[
                 format!("{t}"),

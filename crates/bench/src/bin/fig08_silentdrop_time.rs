@@ -85,7 +85,14 @@ fn time_to_perfect(
     (recall_at, None)
 }
 
-fn sweep(label: &str, points: &[(f64, f64)], n_faulty: usize, runs: usize, deadline: u64, seed: u64) {
+fn sweep(
+    label: &str,
+    points: &[(f64, f64)],
+    n_faulty: usize,
+    runs: usize,
+    deadline: u64,
+    seed: u64,
+) {
     println!("\n({label}) faulty interfaces = {n_faulty}");
     row(&[
         "x".into(),
@@ -150,13 +157,27 @@ fn main() {
     } else {
         [0.05, 0.10, 0.15, 0.20].iter().map(|&l| (l, 0.7)).collect()
     };
-    sweep("a: loss-rate sweep", &loss_points, 1, runs, deadline, args.seed);
+    sweep(
+        "a: loss-rate sweep",
+        &loss_points,
+        1,
+        runs,
+        deadline,
+        args.seed,
+    );
     // (b) load sweep at fixed loss.
     let fixed_loss = if args.full { 0.01 } else { 0.10 };
     let load_points: Vec<(f64, f64)> = [0.3, 0.5, 0.7, 0.9]
         .iter()
         .map(|&ld| (fixed_loss, ld))
         .collect();
-    sweep("b: load sweep", &load_points, 1, runs, deadline, args.seed + 5000);
+    sweep(
+        "b: load sweep",
+        &load_points,
+        1,
+        runs,
+        deadline,
+        args.seed + 5000,
+    );
     println!("\nresult: convergence time falls as loss rate or load rises, as in Fig. 8");
 }

@@ -13,7 +13,11 @@ use pathdump_core::WorldConfig;
 use pathdump_simnet::SimConfig;
 use pathdump_topology::{Nanos, SwitchId};
 
-fn run_case(cycle_of: impl Fn(&Testbed) -> Vec<SwitchId>, runs: usize, seed: u64) -> (Vec<f64>, u32) {
+fn run_case(
+    cycle_of: impl Fn(&Testbed) -> Vec<SwitchId>,
+    runs: usize,
+    seed: u64,
+) -> (Vec<f64>, u32) {
     let mut times = Vec::new();
     let mut visits = 0;
     for r in 0..runs {
@@ -43,26 +47,30 @@ fn main() {
          same store-strip-reinject-compare procedure",
     );
     let (t4, v4) = run_case(
-        |tb| vec![
-            tb.ft.agg(0, 0),
-            tb.ft.core(0),
-            tb.ft.agg(1, 0),
-            tb.ft.core(1),
-        ],
+        |tb| {
+            vec![
+                tb.ft.agg(0, 0),
+                tb.ft.core(0),
+                tb.ft.agg(1, 0),
+                tb.ft.core(1),
+            ]
+        },
         runs,
         args.seed,
     );
     let (t8, v8) = run_case(
-        |tb| vec![
-            tb.ft.agg(0, 0),
-            tb.ft.core(0),
-            tb.ft.agg(1, 0),
-            tb.ft.tor(1, 0),
-            tb.ft.agg(1, 1),
-            tb.ft.core(2),
-            tb.ft.agg(0, 1),
-            tb.ft.tor(0, 1),
-        ],
+        |tb| {
+            vec![
+                tb.ft.agg(0, 0),
+                tb.ft.core(0),
+                tb.ft.agg(1, 0),
+                tb.ft.tor(1, 0),
+                tb.ft.agg(1, 1),
+                tb.ft.core(2),
+                tb.ft.agg(0, 1),
+                tb.ft.tor(0, 1),
+            ]
+        },
         runs,
         args.seed + 1000,
     );

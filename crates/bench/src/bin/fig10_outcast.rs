@@ -35,7 +35,10 @@ fn main() {
             }
         }
     }
-    println!("senders: 1 close (same rack) + {} far (other racks)", far.len());
+    println!(
+        "senders: 1 close (same rack) + {} far (other racks)",
+        far.len()
+    );
     let size = 1_000_000_000u64; // effectively unbounded within the window
     let mut flows = vec![tb.flow(close, receiver, 5000)];
     tb.add_flow(close, receiver, 5000, size, Nanos::ZERO);
@@ -57,11 +60,7 @@ fn main() {
     let report = diagnose(&mut tb.sim.world, rip, &flows, window);
 
     println!();
-    row(&[
-        "flow".into(),
-        "hops".into(),
-        "throughput(Mbps)".into(),
-    ]);
+    row(&["flow".into(), "hops".into(), "throughput(Mbps)".into()]);
     let mut by_port: Vec<_> = report.flows.iter().collect();
     by_port.sort_by_key(|e| e.flow.src_port);
     for e in by_port {

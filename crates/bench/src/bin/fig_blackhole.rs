@@ -33,21 +33,29 @@ fn run_case(
     tb.add_flow(src, dst, 7700, 100_000, Nanos::ZERO);
     tb.sim.run_until(Nanos::from_secs(15));
     let expected = tb.ft.all_paths(src, dst);
-    let total_switches: std::collections::HashSet<SwitchId> = expected
-        .iter()
-        .flat_map(|p| p.0.iter().copied())
-        .collect();
+    let total_switches: std::collections::HashSet<SwitchId> =
+        expected.iter().flat_map(|p| p.0.iter().copied()).collect();
     let report = diagnose(&mut tb.sim.world, flow, expected, TimeRange::ANY);
     println!("\ncase: {label}");
-    println!("  expected equal-cost paths: 4 ({} switches total)", total_switches.len());
+    println!(
+        "  expected equal-cost paths: 4 ({} switches total)",
+        total_switches.len()
+    );
     println!("  paths observed in dst TIB: {}", report.observed.len());
-    println!("  missing paths: {} (expected {expected_missing})", report.missing.len());
+    println!(
+        "  missing paths: {} (expected {expected_missing})",
+        report.missing.len()
+    );
     println!(
         "  suspects: {:?} ({} switches; paper narrows to {paper_suspects})",
         report.suspects,
         report.suspects.len()
     );
-    assert_eq!(report.missing.len(), expected_missing, "reproduction failed");
+    assert_eq!(
+        report.missing.len(),
+        expected_missing,
+        "reproduction failed"
+    );
     assert_eq!(report.suspects.len(), paper_suspects, "reproduction failed");
 }
 
@@ -64,6 +72,11 @@ fn main() {
     let (tor, agg2) = (tb.ft.tor(0, 0), tb.ft.agg(0, 0));
     drop(tb);
     run_case("blackhole at aggregate-core link", (agg, core), 1, 3);
-    run_case("blackhole at ToR-aggregate link (source pod)", (tor, agg2), 2, 4);
+    run_case(
+        "blackhole at ToR-aggregate link (source pod)",
+        (tor, agg2),
+        2,
+        4,
+    );
     println!("\nresult: debugging search space reduced exactly as in §4.4");
 }

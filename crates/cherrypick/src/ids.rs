@@ -91,9 +91,7 @@ impl FatTreeIds {
                 agg_pos: t % self.half,
             })
         } else if t < 2 * sq {
-            Some(FtTag::AggCore {
-                core_index: t - sq,
-            })
+            Some(FtTag::AggCore { core_index: t - sq })
         } else {
             None
         }
@@ -274,7 +272,13 @@ mod tests {
         let a = ids.ingress_tag(&ft, ft.tor(0, 1), ft.agg(0, 0)).unwrap();
         let b = ids.ingress_tag(&ft, ft.agg(0, 0), ft.tor(0, 1)).unwrap();
         assert_eq!(a, b);
-        assert_eq!(ids.classify(a), Some(FtTag::TorAgg { tor_pos: 1, agg_pos: 0 }));
+        assert_eq!(
+            ids.classify(a),
+            Some(FtTag::TorAgg {
+                tor_pos: 1,
+                agg_pos: 0
+            })
+        );
         // agg(2,1) <-> core(3): class B with core index 3.
         let c = ids.ingress_tag(&ft, ft.agg(2, 1), ft.core(3)).unwrap();
         assert_eq!(ids.classify(c), Some(FtTag::AggCore { core_index: 3 }));
@@ -317,10 +321,7 @@ mod tests {
         let x = ids.ingress_tag(&v, v.tor(2), v.agg(a1)).unwrap();
         let y = ids.ingress_tag(&v, v.agg(a1), v.tor(2)).unwrap();
         assert_eq!(x, y);
-        assert_eq!(
-            ids.classify(x),
-            Some(Vl2Tag::TorAgg { tor: 2, slot: 0 })
-        );
+        assert_eq!(ids.classify(x), Some(Vl2Tag::TorAgg { tor: 2, slot: 0 }));
         let i = ids.ingress_tag(&v, v.agg(0), v.int(1)).unwrap();
         assert_eq!(ids.classify(i), Some(Vl2Tag::AggInt { int: 1, agg: 0 }));
     }

@@ -235,10 +235,7 @@ mod tests {
             ft.tor(0, 1),
         ];
         let h = tags_for_walk(&p, &ft, &path);
-        assert_eq!(
-            h.tags,
-            vec![p.ids().tor_agg(0, 0), p.ids().tor_agg(1, 1)]
-        );
+        assert_eq!(h.tags, vec![p.ids().tor_agg(0, 0), p.ids().tor_agg(1, 1)]);
     }
 
     #[test]

@@ -127,7 +127,11 @@ impl FatTreeReconstructor {
                     .ids
                     .classify(tags[1])
                     .ok_or(ReconstructError::InvalidTag(tags[1]))?;
-                let FtTag::TorAgg { tor_pos, agg_pos: a1 } = t1 else {
+                let FtTag::TorAgg {
+                    tor_pos,
+                    agg_pos: a1,
+                } = t1
+                else {
                     return Err(ReconstructError::Inconsistent(
                         "first sample must be the source ToR-Agg link",
                     ));
@@ -202,7 +206,15 @@ impl FatTreeReconstructor {
     ) -> Vec<Path> {
         let mut results = Vec::new();
         let mut walk = vec![start];
-        self.dfs(end, prev_of_end, tags, max_switches, &mut walk, 0, &mut results);
+        self.dfs(
+            end,
+            prev_of_end,
+            tags,
+            max_switches,
+            &mut walk,
+            0,
+            &mut results,
+        );
         results
     }
 
@@ -222,8 +234,8 @@ impl FatTreeReconstructor {
             return;
         }
         let cur = *walk.last().expect("walk never empty");
-        let prev_ok = prev_of_end.is_none()
-            || (walk.len() >= 2 && prev_of_end == Some(walk[walk.len() - 2]));
+        let prev_ok =
+            prev_of_end.is_none() || (walk.len() >= 2 && prev_of_end == Some(walk[walk.len() - 2]));
         if cur == end && consumed == tags.len() && prev_ok {
             results.push(Path::new(walk.clone()));
             // A longer extension could also end at `end`; keep searching
@@ -247,14 +259,30 @@ impl FatTreeReconstructor {
                 match self.ids.ingress_tag(&self.ft, cur, nb) {
                     Some(tag) if tag == expected => {
                         walk.push(nb);
-                        self.dfs(end, prev_of_end, tags, max_switches, walk, consumed + 1, results);
+                        self.dfs(
+                            end,
+                            prev_of_end,
+                            tags,
+                            max_switches,
+                            walk,
+                            consumed + 1,
+                            results,
+                        );
                         walk.pop();
                     }
                     _ => {}
                 }
             } else {
                 walk.push(nb);
-                self.dfs(end, prev_of_end, tags, max_switches, walk, consumed, results);
+                self.dfs(
+                    end,
+                    prev_of_end,
+                    tags,
+                    max_switches,
+                    walk,
+                    consumed,
+                    results,
+                );
                 walk.pop();
             }
         }
@@ -414,8 +442,8 @@ impl Vl2Reconstructor {
             return;
         }
         let cur = *walk.last().expect("walk never empty");
-        let prev_ok = prev_of_end.is_none()
-            || (walk.len() >= 2 && prev_of_end == Some(walk[walk.len() - 2]));
+        let prev_ok =
+            prev_of_end.is_none() || (walk.len() >= 2 && prev_of_end == Some(walk[walk.len() - 2]));
         if cur == end && consumed == tags.len() && (dscp.is_none() || dscp_done) && prev_ok {
             results.push(Path::new(walk.clone()));
             return;
@@ -430,8 +458,7 @@ impl Vl2Reconstructor {
                 // consumes the DSCP sample; everything else consumes a VLAN.
                 let (cur_t, cur_p) = self.v.coords(cur);
                 let (nb_t, _) = self.v.coords(nb);
-                let takes_dscp =
-                    !dscp_done && cur_t == Tier::Tor && nb_t == Tier::Agg;
+                let takes_dscp = !dscp_done && cur_t == Tier::Tor && nb_t == Tier::Agg;
                 if takes_dscp {
                     let Some(slot_val) = dscp else { continue };
                     let Ok(agg_sw) = self.uplink_agg(cur_p, slot_val) else {
@@ -690,7 +717,11 @@ mod tests {
         // The Figure 9 check: some link ID repeats across the carried tags.
         let mut seen = std::collections::HashSet::new();
         let repeated = headers.tags.iter().any(|t| !seen.insert(*t));
-        assert!(repeated, "loop must repeat a sampled link ID: {:?}", headers.tags);
+        assert!(
+            repeated,
+            "loop must repeat a sampled link ID: {:?}",
+            headers.tags
+        );
     }
 
     #[test]

@@ -130,10 +130,7 @@ mod tests {
             hosts_per_tor: 2,
         });
         for (sw, rc) in vl2_rule_counts(&v) {
-            let switch_facing = v
-                .topology()
-                .switch_neighbors(sw)
-                .len();
+            let switch_facing = v.topology().switch_neighbors(sw).len();
             assert_eq!(rc.tagging, 2 * switch_facing);
         }
     }

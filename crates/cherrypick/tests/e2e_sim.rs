@@ -3,11 +3,11 @@
 //! trajectory the simulator recorded — across ECMP, spraying, failover
 //! detours, and on both supported topologies.
 
-use pathdump_cherrypick::{FatTreeCherryPick, FatTreeReconstructor, Vl2CherryPick, Vl2Reconstructor};
-use pathdump_simnet::{HostApi, LoadBalance, Packet, Punt, SimConfig, Simulator, World};
-use pathdump_topology::{
-    FatTree, FatTreeParams, FlowId, HostId, Nanos, Path, Vl2, Vl2Params,
+use pathdump_cherrypick::{
+    FatTreeCherryPick, FatTreeReconstructor, Vl2CherryPick, Vl2Reconstructor,
 };
+use pathdump_simnet::{HostApi, LoadBalance, Packet, Punt, SimConfig, Simulator, World};
+use pathdump_topology::{FatTree, FatTreeParams, FlowId, HostId, Nanos, Path, Vl2, Vl2Params};
 
 /// Collects every delivered packet with its headers and ground truth.
 #[derive(Default)]
@@ -78,7 +78,10 @@ fn fattree_ecmp_reconstruction_matches_ground_truth() {
     }
     sim.run_until(Nanos::from_secs(2));
     assert_eq!(sim.world.delivered.len(), sent, "all packets delivered");
-    assert!(sim.world.punts.is_empty(), "no punts on healthy shortest paths");
+    assert!(
+        sim.world.punts.is_empty(),
+        "no punts on healthy shortest paths"
+    );
     for (host, pkt) in &sim.world.delivered {
         let src = ft
             .topology_ref()
@@ -87,7 +90,10 @@ fn fattree_ecmp_reconstruction_matches_ground_truth() {
         let decoded = recon
             .reconstruct(src, *host, &pkt.headers)
             .unwrap_or_else(|e| panic!("flow {}: {e}", pkt.flow));
-        assert_eq!(decoded.0, pkt.gt_path, "reconstruction must equal ground truth");
+        assert_eq!(
+            decoded.0, pkt.gt_path,
+            "reconstruction must equal ground truth"
+        );
     }
 }
 
@@ -117,7 +123,11 @@ fn fattree_spraying_reconstruction_matches_ground_truth() {
         assert_eq!(decoded.0, pkt.gt_path);
         distinct.insert(decoded);
     }
-    assert_eq!(distinct.len(), 4, "per-packet records must expose all 4 paths");
+    assert_eq!(
+        distinct.len(),
+        4,
+        "per-packet records must expose all 4 paths"
+    );
 }
 
 #[test]
@@ -243,12 +253,12 @@ fn punted_walks_recoverable_by_controller_search() {
     // The controller knows the punting switch's ingress port, which anchors
     // the walk's penultimate switch and disambiguates pod-agnostic core
     // samples.
-    let prev = punt.in_port.and_then(|p| {
-        match ft.topology_ref().peer(punt.sw, p) {
+    let prev = punt
+        .in_port
+        .and_then(|p| match ft.topology_ref().peer(punt.sw, p) {
             pathdump_topology::Peer::Switch { sw, .. } => Some(sw),
             _ => None,
-        }
-    });
+        });
     let walks = recon.search_walk(
         ft.tor(0, 0),
         punt.sw,

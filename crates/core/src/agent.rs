@@ -350,8 +350,10 @@ pub fn execute_on_tib(tib: &Tib, q: &Query) -> Response {
         },
         Query::TrafficMatrix { range } => {
             let counts = tib.link_flow_counts(LinkPattern::ANY, *range);
-            let mut map: std::collections::HashMap<(pathdump_topology::Ip, pathdump_topology::Ip), u64> =
-                std::collections::HashMap::new();
+            let mut map: std::collections::HashMap<
+                (pathdump_topology::Ip, pathdump_topology::Ip),
+                u64,
+            > = std::collections::HashMap::new();
             for (flow, (bytes, _)) in counts {
                 *map.entry((flow.src_ip, flow.dst_ip)).or_insert(0) += bytes;
             }
@@ -469,9 +471,7 @@ mod tests {
         }
         agent.flush(&fabric, Nanos::from_secs(1));
         assert_eq!(agent.tib.len(), 4, "one record per distinct path");
-        let paths = agent
-            .tib
-            .get_paths(flow, LinkPattern::ANY, TimeRange::ANY);
+        let paths = agent.tib.get_paths(flow, LinkPattern::ANY, TimeRange::ANY);
         assert_eq!(paths.len(), 4);
     }
 
@@ -505,7 +505,14 @@ mod tests {
             .into_iter()
             .find(|p| !p.contains(forbidden))
             .unwrap();
-        let pkt = pkt_on_path(&ft, &policy, flow_of(&ft, src, dst, 1004), &ok_path, 400, false);
+        let pkt = pkt_on_path(
+            &ft,
+            &policy,
+            flow_of(&ft, src, dst, 1004),
+            &ok_path,
+            400,
+            false,
+        );
         agent.on_packet(&fabric, &pkt, Nanos::from_millis(10));
         assert!(agent.drain_alarms().is_empty());
     }
@@ -517,12 +524,7 @@ mod tests {
             forbidden: vec![],
             flow_filter: None,
         };
-        let f = FlowId::tcp(
-            pathdump_topology::Ip(1),
-            1,
-            pathdump_topology::Ip(2),
-            2,
-        );
+        let f = FlowId::tcp(pathdump_topology::Ip(1), 1, pathdump_topology::Ip(2), 2);
         let short = Path::new((0..5).map(SwitchId).collect());
         let long = Path::new((0..7).map(SwitchId).collect());
         assert!(!inv.violated(&f, &short), "6 hops allowed");
@@ -562,10 +564,7 @@ mod tests {
             link: LinkPattern::ANY,
             range: TimeRange::ANY,
         };
-        assert_eq!(
-            agent.execute(&fabric, &q, false),
-            Response::Paths(vec![])
-        );
+        assert_eq!(agent.execute(&fabric, &q, false), Response::Paths(vec![]));
         // Live view sees the path immediately.
         assert_eq!(
             agent.execute(&fabric, &q, true),

@@ -93,12 +93,7 @@ impl TreeNode {
 
     /// Depth of the subtree (1 = leaf).
     pub fn depth(&self) -> usize {
-        1 + self
-            .children
-            .iter()
-            .map(|c| c.depth())
-            .max()
-            .unwrap_or(0)
+        1 + self.children.iter().map(|c| c.depth()).max().unwrap_or(0)
     }
 }
 

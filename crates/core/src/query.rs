@@ -165,13 +165,7 @@ impl Response {
                 v.sort_unstable();
                 *bins = v;
             }
-            (
-                Response::TopK { k, entries },
-                Response::TopK {
-                    k: k2,
-                    entries: e2,
-                },
-            ) => {
+            (Response::TopK { k, entries }, Response::TopK { k: k2, entries: e2 }) => {
                 debug_assert_eq!(*k, k2, "k must agree across hosts");
                 entries.extend(e2);
                 entries.sort_by(|a, b| b.cmp(a));
@@ -449,7 +443,9 @@ mod tests {
                 k: 10_000,
                 range: TimeRange::ANY,
             },
-            Query::TrafficMatrix { range: TimeRange::ANY },
+            Query::TrafficMatrix {
+                range: TimeRange::ANY,
+            },
             Query::HeavyHitters {
                 min_bytes: 1_000_000,
                 range: TimeRange::ANY,
@@ -547,7 +543,10 @@ mod tests {
     #[test]
     fn merge_matrix_sums() {
         let mut m = Response::Matrix(vec![((Ip(1), Ip(2)), 10)]);
-        m.merge(Response::Matrix(vec![((Ip(1), Ip(2)), 5), ((Ip(3), Ip(4)), 7)]));
+        m.merge(Response::Matrix(vec![
+            ((Ip(1), Ip(2)), 5),
+            ((Ip(3), Ip(4)), 7),
+        ]));
         assert_eq!(
             m,
             Response::Matrix(vec![((Ip(1), Ip(2)), 15), ((Ip(3), Ip(4)), 7)])

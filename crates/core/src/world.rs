@@ -237,8 +237,7 @@ impl PathDumpWorld {
         let fabric = Arc::clone(&self.fabric);
         // 1. Trajectory-memory eviction scan.
         self.agents[host.index()].tick(&fabric, now);
-        self.alarms
-            .extend(self.agents[host.index()].drain_alarms());
+        self.alarms.extend(self.agents[host.index()].drain_alarms());
 
         // 2. Active TCP monitoring (the tcpretrans substitute): alert on
         //    flows sourced here with excessive consecutive retransmissions.
@@ -322,8 +321,7 @@ impl World for PathDumpWorld {
         // then the upper stack processes it.
         let fabric = Arc::clone(&self.fabric);
         self.agents[host.index()].on_packet(&fabric, &pkt, api.now());
-        self.alarms
-            .extend(self.agents[host.index()].drain_alarms());
+        self.alarms.extend(self.agents[host.index()].drain_alarms());
         self.tcp.on_packet(api, &pkt);
     }
 
@@ -397,9 +395,7 @@ mod tests {
     use pathdump_topology::{FatTree, FatTreeParams, LinkPattern, TimeRange, UpDownRouting};
     use pathdump_transport::FlowSpec;
 
-    fn setup(
-        ft: &FatTree,
-    ) -> Simulator<PathDumpWorld> {
+    fn setup(ft: &FatTree) -> Simulator<PathDumpWorld> {
         let world = PathDumpWorld::new(
             Fabric::FatTree(FatTreeReconstructor::new(ft.clone())),
             TcpConfig::default(),
@@ -446,11 +442,10 @@ mod tests {
         let src_agent = &sim.world.agents[src.index()];
         assert!(src_agent.packets_seen > 0, "ACKs observed at the sender");
         // Byte counts: at least the flow size made it into the TIB.
-        let (bytes, pkts) = sim.world.agents[dst.index()].tib.get_count(
-            spec.flow,
-            None,
-            TimeRange::ANY,
-        );
+        let (bytes, pkts) =
+            sim.world.agents[dst.index()]
+                .tib
+                .get_count(spec.flow, None, TimeRange::ANY);
         assert!(pkts >= 300_000 / 1460);
         assert!(bytes >= 300_000);
     }

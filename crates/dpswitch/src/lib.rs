@@ -15,4 +15,4 @@ pub mod datapath;
 pub mod parse;
 
 pub use datapath::{DataPath, FrameBatch, Mode, Verdict};
-pub use parse::{build_frame, ipv4_checksum, parse, strip_vlans, Parsed, ParseError};
+pub use parse::{build_frame, ipv4_checksum, parse, strip_vlans, ParseError, Parsed};

@@ -78,8 +78,7 @@ impl TagHeaders {
     /// Panics if the value does not fit in the 5-bit field.
     pub fn set_dscp_sample(&mut self, value: u8) {
         assert!(value < Self::DSCP_SAMPLE_MASK, "DSCP sample out of range");
-        self.dscp = (self.dscp & Self::PARITY_BIT)
-            | ((value + 1) << Self::DSCP_SAMPLE_SHIFT);
+        self.dscp = (self.dscp & Self::PARITY_BIT) | ((value + 1) << Self::DSCP_SAMPLE_SHIFT);
     }
 
     /// Pushes a 12-bit VLAN tag.

@@ -72,9 +72,10 @@ impl<W: World> Simulator<W> {
                 ports: sw.ports.iter().map(|_| PortState::default()).collect(),
             })
             .collect();
-        let nics = (0..topo.num_hosts()).map(|_| PortState::default()).collect();
-        let ports_per_switch: Vec<usize> =
-            topo.switches.iter().map(|s| s.ports.len()).collect();
+        let nics = (0..topo.num_hosts())
+            .map(|_| PortState::default())
+            .collect();
+        let ports_per_switch: Vec<usize> = topo.switches.iter().map(|s| s.ports.len()).collect();
         let stats = SimStats::new(topo.num_switches(), &ports_per_switch, topo.num_hosts());
         Simulator {
             rng: SmallRng::seed_from_u64(cfg.seed),
@@ -299,11 +300,10 @@ impl<W: World> Simulator<W> {
         };
 
         // Quirks (misconfigurations) override routing entirely.
-        let quirk_pick = self.switches[sw.index()].quirks.resolve(
-            &pkt.flow,
-            pkt.flow_size_hint,
-            &candidates,
-        );
+        let quirk_pick =
+            self.switches[sw.index()]
+                .quirks
+                .resolve(&pkt.flow, pkt.flow_size_hint, &candidates);
 
         let out_port = match quirk_pick {
             Some(p) => Some(p),
@@ -451,8 +451,10 @@ impl<W: World> Simulator<W> {
                 .cfg
                 .fabric_link
                 .tx_time(st.q.front().expect("just pushed").wire_size());
-            self.queue
-                .push(self.clock.saturating_add(tx), EventKind::PortTx { sw, port });
+            self.queue.push(
+                self.clock.saturating_add(tx),
+                EventKind::PortTx { sw, port },
+            );
         }
     }
 
@@ -473,9 +475,7 @@ impl<W: World> Simulator<W> {
         } else if fault.blackhole {
             self.stats.switch_ports[sw.index()][port.index()].blackhole_drops += 1;
             dropped = Some(DropReason::Blackhole);
-        } else if fault.silent_drop_rate > 0.0
-            && self.rng.gen::<f64>() < fault.silent_drop_rate
-        {
+        } else if fault.silent_drop_rate > 0.0 && self.rng.gen::<f64>() < fault.silent_drop_rate {
             self.stats.switch_ports[sw.index()][port.index()].silent_drops += 1;
             dropped = Some(DropReason::SilentRandom);
         }
@@ -493,7 +493,10 @@ impl<W: World> Simulator<W> {
         } else {
             let arrive = self.clock.saturating_add(self.cfg.fabric_link.prop_delay);
             match self.topo.peer(sw, port) {
-                Peer::Switch { sw: nsw, port: nport } => self.queue.push(
+                Peer::Switch {
+                    sw: nsw,
+                    port: nport,
+                } => self.queue.push(
                     arrive,
                     EventKind::SwitchRx {
                         sw: nsw,
@@ -510,8 +513,10 @@ impl<W: World> Simulator<W> {
         let st = &mut self.switches[sw.index()].ports[port.index()];
         if let Some(front) = st.q.front() {
             let tx = self.cfg.fabric_link.tx_time(front.wire_size());
-            self.queue
-                .push(self.clock.saturating_add(tx), EventKind::PortTx { sw, port });
+            self.queue.push(
+                self.clock.saturating_add(tx),
+                EventKind::PortTx { sw, port },
+            );
         } else {
             st.busy = false;
         }
@@ -564,9 +569,7 @@ impl<W: World> Simulator<W> {
         } else if fault.blackhole {
             self.stats.host_nics[host.index()].blackhole_drops += 1;
             dropped = Some(DropReason::Blackhole);
-        } else if fault.silent_drop_rate > 0.0
-            && self.rng.gen::<f64>() < fault.silent_drop_rate
-        {
+        } else if fault.silent_drop_rate > 0.0 && self.rng.gen::<f64>() < fault.silent_drop_rate {
             self.stats.host_nics[host.index()].silent_drops += 1;
             dropped = Some(DropReason::SilentRandom);
         }
@@ -978,7 +981,10 @@ mod tests {
                 let hm = ft.topology().host(c);
                 s.stats.port(sw, hm.tor_port).queue_drops
             };
-        assert!(drops > 0, "bursting 120 packets through cap-4 queues must drop");
+        assert!(
+            drops > 0,
+            "bursting 120 packets through cap-4 queues must drop"
+        );
         assert!(s.world.delivered.len() < 120);
         assert!(!s.stats.drop_log.is_empty());
     }
@@ -987,13 +993,7 @@ mod tests {
     /// switches the packet exceeds the ASIC limit and must be punted.
     struct PushAlways;
     impl TagPolicy for PushAlways {
-        fn on_forward(
-            &self,
-            sw: SwitchId,
-            _in: Option<PortNo>,
-            _out: PortNo,
-            h: &mut TagHeaders,
-        ) {
+        fn on_forward(&self, sw: SwitchId, _in: Option<PortNo>, _out: PortNo, h: &mut TagHeaders) {
             h.push_tag(sw.0 % 4096);
         }
     }
@@ -1087,7 +1087,10 @@ mod tests {
         s.run_until(Nanos::from_secs(1));
         assert!(s.world.delivered.is_empty());
         let ttl_drops: u64 = s.stats.switches.iter().map(|c| c.ttl_drops).sum();
-        assert_eq!(ttl_drops, 1, "loop must end in a TTL drop (no tags = no punt)");
+        assert_eq!(
+            ttl_drops, 1,
+            "loop must end in a TTL drop (no tags = no punt)"
+        );
     }
 
     #[test]

@@ -132,7 +132,8 @@ impl CtrlApi<'_> {
 
     /// Sends a packet back down into `sw` as if received on `in_port`.
     pub fn packet_out(&mut self, sw: SwitchId, in_port: Option<PortNo>, pkt: Packet) {
-        self.actions.push(CtrlAction::PacketOut { sw, in_port, pkt });
+        self.actions
+            .push(CtrlAction::PacketOut { sw, in_port, pkt });
     }
 }
 

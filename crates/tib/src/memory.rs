@@ -22,7 +22,11 @@ pub struct FnvHasher(u64);
 impl Hasher for FnvHasher {
     #[inline]
     fn write(&mut self, bytes: &[u8]) {
-        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
         for &b in bytes {
             h ^= b as u64;
             h = h.wrapping_mul(0x1000_0000_01b3);
@@ -138,9 +142,7 @@ impl TrajectoryMemory {
             .filter(|k| k.flow == *flow)
             .cloned()
             .collect();
-        keys.into_iter()
-            .map(|k| self.take(k, true, now))
-            .collect()
+        keys.into_iter().map(|k| self.take(k, true, now)).collect()
     }
 
     /// Evicts records idle longer than the timeout.
@@ -152,17 +154,13 @@ impl TrajectoryMemory {
             .filter(|(_, v)| v.etime <= cutoff)
             .map(|(k, _)| k.clone())
             .collect();
-        keys.into_iter()
-            .map(|k| self.take(k, false, now))
-            .collect()
+        keys.into_iter().map(|k| self.take(k, false, now)).collect()
     }
 
     /// Evicts everything (end of run / shutdown flush).
     pub fn flush(&mut self, now: Nanos) -> Vec<PendingRecord> {
         let keys: Vec<MemKey> = self.records.keys().cloned().collect();
-        keys.into_iter()
-            .map(|k| self.take(k, false, now))
-            .collect()
+        keys.into_iter().map(|k| self.take(k, false, now)).collect()
     }
 
     fn take(&mut self, key: MemKey, closed: bool, _now: Nanos) -> PendingRecord {
@@ -199,9 +197,7 @@ impl TrajectoryMemory {
         self.records
             .iter()
             .map(|(k, _)| {
-                std::mem::size_of::<MemKey>()
-                    + k.tags.len() * 2
-                    + std::mem::size_of::<MemValue>()
+                std::mem::size_of::<MemKey>() + k.tags.len() * 2 + std::mem::size_of::<MemValue>()
             })
             .sum()
     }

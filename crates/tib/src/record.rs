@@ -99,7 +99,13 @@ mod tests {
     fn rec() -> TibRecord {
         TibRecord {
             flow: FlowId::tcp(Ip::new(10, 0, 0, 2), 40000, Ip::new(10, 1, 0, 2), 80),
-            path: Path::new(vec![SwitchId(0), SwitchId(8), SwitchId(16), SwitchId(12), SwitchId(4)]),
+            path: Path::new(vec![
+                SwitchId(0),
+                SwitchId(8),
+                SwitchId(16),
+                SwitchId(12),
+                SwitchId(4),
+            ]),
             stime: Nanos::from_millis(10),
             etime: Nanos::from_millis(250),
             bytes: 123_456,

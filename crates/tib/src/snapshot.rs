@@ -71,7 +71,10 @@ mod tests {
             back.get_flows(pathdump_topology::LinkPattern::ANY, TimeRange::ANY),
             t.get_flows(pathdump_topology::LinkPattern::ANY, TimeRange::ANY)
         );
-        assert_eq!(back.top_k_flows(5, TimeRange::ANY), t.top_k_flows(5, TimeRange::ANY));
+        assert_eq!(
+            back.top_k_flows(5, TimeRange::ANY),
+            t.top_k_flows(5, TimeRange::ANY)
+        );
     }
 
     #[test]
@@ -95,9 +98,6 @@ mod tests {
         let per_record = snapshot_size(&t) as f64 / 1000.0;
         // The paper's MongoDB footprint is ~480 B/record; the binary
         // snapshot must be well under that.
-        assert!(
-            per_record < 64.0,
-            "snapshot uses {per_record:.1} B/record"
-        );
+        assert!(per_record < 64.0, "snapshot uses {per_record:.1} B/record");
     }
 }

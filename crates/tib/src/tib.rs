@@ -103,12 +103,7 @@ impl Tib {
     /// `getCount(Flow, timeRange)`: (bytes, pkts) of a flow within the
     /// range; `path = None` sums across all paths, `Some` restricts to one
     /// path (the paper's `Flow` is a `(flowID, Path)` pair).
-    pub fn get_count(
-        &self,
-        flow: FlowId,
-        path: Option<&Path>,
-        range: TimeRange,
-    ) -> (u64, u64) {
+    pub fn get_count(&self, flow: FlowId, path: Option<&Path>, range: TimeRange) -> (u64, u64) {
         let mut bytes = 0;
         let mut pkts = 0;
         if let Some(ids) = self.by_flow.get(&flow) {

@@ -35,12 +35,7 @@ pub fn color_bipartite_multigraph(
         deg_l[u] += 1;
         deg_r[v] += 1;
     }
-    let delta = deg_l
-        .iter()
-        .chain(deg_r.iter())
-        .copied()
-        .max()
-        .unwrap_or(0);
+    let delta = deg_l.iter().chain(deg_r.iter()).copied().max().unwrap_or(0);
     // at_l[u][c] / at_r[v][c]: index of the color-c edge at the vertex, or
     // usize::MAX when the color is free there.
     let mut at_l = vec![vec![usize::MAX; delta]; left_n];
@@ -256,7 +251,12 @@ mod tests {
             let right = 2 + (next() % 10) as usize;
             let m = 1 + (next() % 80) as usize;
             let edges: Vec<(usize, usize)> = (0..m)
-                .map(|_| ((next() % left as u64) as usize, (next() % right as u64) as usize))
+                .map(|_| {
+                    (
+                        (next() % left as u64) as usize,
+                        (next() % right as u64) as usize,
+                    )
+                })
                 .collect();
             check(left, right, &edges);
         }

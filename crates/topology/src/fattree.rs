@@ -100,12 +100,7 @@ impl FatTree {
             for a in 0..half {
                 for c in 0..half {
                     let j = a * half + c;
-                    topo.connect(
-                        fa(p, a),
-                        PortNo((half + c) as u8),
-                        fc(j),
-                        PortNo(p as u8),
-                    );
+                    topo.connect(fa(p, a), PortNo((half + c) as u8), fc(j), PortNo(p as u8));
                 }
             }
         }
@@ -213,10 +208,7 @@ impl FatTree {
     ///
     /// Panics if called on a core switch.
     pub fn pod_of(&self, sw: SwitchId) -> usize {
-        self.topo
-            .switch(sw)
-            .pod
-            .expect("core switches have no pod") as usize
+        self.topo.switch(sw).pod.expect("core switches have no pod") as usize
     }
 }
 
@@ -346,10 +338,7 @@ mod tests {
         let ft = ft4();
         let h = ft.host(2, 1, 0);
         assert_eq!(ft.topology().host(h).ip, Ip::new(10, 2, 1, 2));
-        assert_eq!(
-            ft.topology().host_by_ip(Ip::new(10, 2, 1, 2)),
-            Some(h)
-        );
+        assert_eq!(ft.topology().host_by_ip(Ip::new(10, 2, 1, 2)), Some(h));
     }
 
     #[test]
@@ -400,15 +389,9 @@ mod tests {
         // At an agg in another pod: all k/2 core uplinks.
         assert_eq!(ft.candidates_to_tor(ft.agg(0, 1), dtor).len(), 2);
         // At a core: the single port toward pod 3.
-        assert_eq!(
-            ft.candidates_to_tor(ft.core(2), dtor),
-            vec![PortNo(3)]
-        );
+        assert_eq!(ft.candidates_to_tor(ft.core(2), dtor), vec![PortNo(3)]);
         // At the destination pod's agg: the single ToR port.
-        assert_eq!(
-            ft.candidates_to_tor(ft.agg(3, 0), dtor),
-            vec![PortNo(1)]
-        );
+        assert_eq!(ft.candidates_to_tor(ft.agg(3, 0), dtor), vec![PortNo(1)]);
         // Full host resolution at the destination ToR.
         assert_eq!(ft.candidates(dtor, dst), vec![PortNo(1)]);
     }

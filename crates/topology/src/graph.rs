@@ -65,11 +65,13 @@ impl SwitchMeta {
 
     /// Returns the port leading to the given neighbor switch, if adjacent.
     pub fn port_towards(&self, neighbor: SwitchId) -> Option<PortNo> {
-        self.ports.iter().position(|p| match p {
-            Peer::Switch { sw, .. } => *sw == neighbor,
-            _ => false,
-        })
-        .map(|i| PortNo(i as u8))
+        self.ports
+            .iter()
+            .position(|p| match p {
+                Peer::Switch { sw, .. } => *sw == neighbor,
+                _ => false,
+            })
+            .map(|i| PortNo(i as u8))
     }
 
     /// Returns the port leading to the given host, if attached.
@@ -112,7 +114,13 @@ impl Topology {
     }
 
     /// Adds a switch and returns its ID.
-    pub fn add_switch(&mut self, tier: Tier, pod: Option<u16>, pos: u16, num_ports: usize) -> SwitchId {
+    pub fn add_switch(
+        &mut self,
+        tier: Tier,
+        pod: Option<u16>,
+        pos: u16,
+        num_ports: usize,
+    ) -> SwitchId {
         let id = SwitchId(self.switches.len() as u16);
         self.switches.push(SwitchMeta {
             id,
@@ -157,11 +165,17 @@ impl Topology {
     /// Panics if either port is already occupied.
     pub fn connect(&mut self, a: SwitchId, pa: PortNo, b: SwitchId, pb: PortNo) {
         assert!(
-            matches!(self.switches[a.index()].ports[pa.index()], Peer::Unconnected),
+            matches!(
+                self.switches[a.index()].ports[pa.index()],
+                Peer::Unconnected
+            ),
             "port {pa} of {a} already occupied"
         );
         assert!(
-            matches!(self.switches[b.index()].ports[pb.index()], Peer::Unconnected),
+            matches!(
+                self.switches[b.index()].ports[pb.index()],
+                Peer::Unconnected
+            ),
             "port {pb} of {b} already occupied"
         );
         self.switches[a.index()].ports[pa.index()] = Peer::Switch { sw: b, port: pb };

@@ -12,9 +12,7 @@ pub const MILLIS: u64 = 1_000_000;
 pub const SECONDS: u64 = 1_000_000_000;
 
 /// A point in simulated time, in nanoseconds since simulation start.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct Nanos(pub u64);
 
 impl Nanos {
@@ -214,10 +212,7 @@ mod tests {
         assert!(r.overlaps(Nanos(20), Nanos(30)));
         assert!(!r.overlaps(Nanos(0), Nanos(9)));
         assert!(!r.overlaps(Nanos(21), Nanos(30)));
-        assert_eq!(
-            r.clamp(Nanos(5), Nanos(15)),
-            Some((Nanos(10), Nanos(15)))
-        );
+        assert_eq!(r.clamp(Nanos(5), Nanos(15)), Some((Nanos(10), Nanos(15))));
         assert_eq!(r.clamp(Nanos(0), Nanos(5)), None);
         assert_eq!(
             TimeRange::ANY.clamp(Nanos(1), Nanos(2)),

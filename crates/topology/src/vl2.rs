@@ -109,12 +109,7 @@ impl Vl2 {
             for (u, a) in [(2 * r) % na, (2 * r + 1) % na].into_iter().enumerate() {
                 let down = agg_down_fill[a];
                 agg_down_fill[a] += 1;
-                topo.connect(
-                    tor(r),
-                    PortNo((hpt + u) as u8),
-                    agg(a),
-                    PortNo(down as u8),
-                );
+                topo.connect(tor(r), PortNo((hpt + u) as u8), agg(a), PortNo(down as u8));
             }
         }
         debug_assert!(agg_down_fill.iter().all(|&f| f == params.da as usize / 2));
@@ -256,8 +251,16 @@ impl UpDownRouting for Vl2 {
         }
         let (sa1, sa2) = self.tor_aggs(sr);
         let (da1, da2) = self.tor_aggs(dr);
-        let s_aggs = if sa1 == sa2 { vec![sa1] } else { vec![sa1, sa2] };
-        let d_aggs = if da1 == da2 { vec![da1] } else { vec![da1, da2] };
+        let s_aggs = if sa1 == sa2 {
+            vec![sa1]
+        } else {
+            vec![sa1, sa2]
+        };
+        let d_aggs = if da1 == da2 {
+            vec![da1]
+        } else {
+            vec![da1, da2]
+        };
         // If the ToRs share an aggregate, the shortest paths turn there.
         let shared: Vec<usize> = s_aggs
             .iter()

@@ -1,9 +1,7 @@
 //! Property-based structural invariants for the topology builders and
 //! up–down routing.
 
-use pathdump_topology::{
-    FatTree, FatTreeParams, HostId, Tier, UpDownRouting, Vl2, Vl2Params,
-};
+use pathdump_topology::{FatTree, FatTreeParams, HostId, Tier, UpDownRouting, Vl2, Vl2Params};
 use proptest::prelude::*;
 
 proptest! {

@@ -251,7 +251,10 @@ impl TcpEngine {
         }
         e.sender.timer_epoch = e.sender.timer_epoch.wrapping_add(1) & 0x3FFF_FFFF;
         let delay = e.sender.rto(&self.cfg);
-        api.set_timer(delay, token::pack(idx, token::Kind::Rto, e.sender.timer_epoch));
+        api.set_timer(
+            delay,
+            token::pack(idx, token::Kind::Rto, e.sender.timer_epoch),
+        );
     }
 
     fn on_ack(&mut self, api: &mut HostApi<'_>, idx: u32, ack: u64) {

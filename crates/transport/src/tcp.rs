@@ -177,8 +177,7 @@ impl SenderState {
     fn note_retransmission(&mut self) {
         self.retrans_total += 1;
         self.consecutive_retrans += 1;
-        self.max_consecutive_retrans =
-            self.max_consecutive_retrans.max(self.consecutive_retrans);
+        self.max_consecutive_retrans = self.max_consecutive_retrans.max(self.consecutive_retrans);
     }
 }
 

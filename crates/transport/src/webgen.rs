@@ -233,9 +233,6 @@ mod tests {
     #[test]
     fn mean_is_stable() {
         let m = cdf_mean(WEB_SEARCH_CDF);
-        assert!(
-            m > 300_000.0 && m < 1_000_000.0,
-            "web mean ~0.5MB, got {m}"
-        );
+        assert!(m > 300_000.0 && m < 1_000_000.0, "web mean ~0.5MB, got {m}");
     }
 }

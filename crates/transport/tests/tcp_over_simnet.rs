@@ -17,7 +17,13 @@ fn sim(ft: &FatTree) -> Simulator<TcpWorld> {
     )
 }
 
-fn spec(ft: &FatTree, src: (usize, usize, usize), dst: (usize, usize, usize), sport: u16, size: u64) -> FlowSpec {
+fn spec(
+    ft: &FatTree,
+    src: (usize, usize, usize),
+    dst: (usize, usize, usize),
+    sport: u16,
+    size: u64,
+) -> FlowSpec {
     let s = ft.host(src.0, src.1, src.2);
     let d = ft.host(dst.0, dst.1, dst.2);
     let t = ft.topology();
@@ -156,7 +162,10 @@ fn congestion_tail_drops_recovered() {
     let total_retrans: u64 = s.world.engine.reports().map(|r| r.retrans_total).sum();
     let total_drops: u64 = s.stats.total_actual_drops();
     assert!(total_drops > 0, "setup must actually overflow queues");
-    assert!(total_retrans > 0, "drops must be repaired by retransmission");
+    assert!(
+        total_retrans > 0,
+        "drops must be repaired by retransmission"
+    );
     for r in s.world.engine.reports() {
         assert_eq!(r.received, r.size, "every byte delivered exactly");
     }
@@ -183,7 +192,10 @@ fn fast_retransmit_fires_on_mid_window_loss() {
     install_flows(&mut s, &[sp], |w| &mut w.engine);
     s.run_until(Nanos::from_secs(120));
     let r = s.world.engine.report(0);
-    assert!(r.completed_at.is_some(), "flow must complete under 0.5% loss");
+    assert!(
+        r.completed_at.is_some(),
+        "flow must complete under 0.5% loss"
+    );
     assert!(
         r.fast_retrans > 0,
         "mid-window losses should trigger dup-ack recovery (fast={}, timeout={})",

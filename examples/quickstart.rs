@@ -18,7 +18,12 @@ fn main() {
 
     // Three TCP flows between pods.
     let flows = [
-        (tb.ft.host(0, 0, 0), tb.ft.host(1, 0, 0), 5000u16, 500_000u64),
+        (
+            tb.ft.host(0, 0, 0),
+            tb.ft.host(1, 0, 0),
+            5000u16,
+            500_000u64,
+        ),
         (tb.ft.host(0, 0, 1), tb.ft.host(2, 1, 0), 5001, 200_000),
         (tb.ft.host(3, 0, 0), tb.ft.host(1, 0, 0), 5002, 80_000),
     ];
@@ -72,7 +77,10 @@ fn main() {
         false,
     );
     if let Response::Flows(fl) = resp {
-        println!("getFlows(<?, {tor}>) across all hosts -> {} flows", fl.len());
+        println!(
+            "getFlows(<?, {tor}>) across all hosts -> {} flows",
+            fl.len()
+        );
         for f in fl {
             println!("  {f}");
         }

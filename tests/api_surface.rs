@@ -28,7 +28,9 @@ fn get_flows_get_paths_get_count_get_duration() {
         },
         false,
     );
-    let Response::Flows(flows) = resp else { panic!() };
+    let Response::Flows(flows) = resp else {
+        panic!()
+    };
     assert!(flows.contains(&flow));
 
     // getPaths returns a real shortest path.
@@ -41,7 +43,9 @@ fn get_flows_get_paths_get_count_get_duration() {
         },
         false,
     );
-    let Response::Paths(paths) = resp else { panic!() };
+    let Response::Paths(paths) = resp else {
+        panic!()
+    };
     assert_eq!(paths.len(), 1);
     assert!(tb.ft.all_paths(src, dst).contains(&paths[0]));
 
@@ -55,7 +59,9 @@ fn get_flows_get_paths_get_count_get_duration() {
         },
         false,
     );
-    let Response::Count { bytes, pkts } = resp else { panic!() };
+    let Response::Count { bytes, pkts } = resp else {
+        panic!()
+    };
     assert!(bytes >= 400_000);
     assert!(pkts >= 400_000 / 1460);
 
@@ -69,7 +75,9 @@ fn get_flows_get_paths_get_count_get_duration() {
         },
         false,
     );
-    let Response::Duration(d) = resp else { panic!() };
+    let Response::Duration(d) = resp else {
+        panic!()
+    };
     assert!(d > Nanos::ZERO && d < Nanos::from_secs(60));
 }
 
@@ -94,7 +102,9 @@ fn get_poor_tcp_flows_via_world() {
         .sim
         .world
         .execute_on_host(src, &Query::GetPoorTcp { threshold: 2 }, false);
-    let Response::Flows(flows) = resp else { panic!() };
+    let Response::Flows(flows) = resp else {
+        panic!()
+    };
     assert_eq!(flows, vec![flow]);
 }
 

@@ -1,0 +1,28 @@
+//! Workspace build smoke test: compiles every figure binary and criterion
+//! bench without running them, so bit-rot in `crates/bench` (which tier-1
+//! `cargo test` does not link) is caught by one command.
+//!
+//! Ignored by default because it spawns nested cargo builds of the whole
+//! workspace; CI runs it explicitly with
+//! `cargo test --test build_smoke -- --ignored`.
+
+use std::path::Path;
+use std::process::Command;
+
+fn cargo(args: &[&str]) {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let status = Command::new(cargo)
+        .args(args)
+        .current_dir(workspace_root)
+        .status()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo {args:?}: {e}"));
+    assert!(status.success(), "cargo {args:?} failed: {status}");
+}
+
+#[test]
+#[ignore = "builds the whole workspace; run via `cargo test --test build_smoke -- --ignored`"]
+fn all_figure_binaries_and_benches_compile() {
+    cargo(&["build", "--release", "--workspace", "--bins", "--benches"]);
+    cargo(&["bench", "--no-run", "--workspace"]);
+}

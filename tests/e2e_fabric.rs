@@ -98,7 +98,11 @@ fn spraying_world_records_every_path() {
     tb.run_and_flush(Nanos::from_secs(60));
     let agent = &tb.sim.world.agents[dst.index()];
     let paths = agent.tib.get_paths(flow, LinkPattern::ANY, TimeRange::ANY);
-    assert_eq!(paths.len(), 4, "per-packet spraying must expose all 4 paths");
+    assert_eq!(
+        paths.len(),
+        4,
+        "per-packet spraying must expose all 4 paths"
+    );
     // Per-path counts sum to at least the flow size.
     let total: u64 = paths
         .iter()

@@ -16,15 +16,20 @@ use pathdump::topology::coloring::{color_bipartite_multigraph, verify_coloring};
 use proptest::prelude::*;
 
 fn arb_flow() -> impl Strategy<Value = FlowId> {
-    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), any::<u8>()).prop_map(
-        |(s, d, sp, dp, pr)| FlowId {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
+    )
+        .prop_map(|(s, d, sp, dp, pr)| FlowId {
             src_ip: Ip(s),
             dst_ip: Ip(d),
             src_port: sp,
             dst_port: dp,
             proto: pathdump::topology::Protocol::from_number(pr),
-        },
-    )
+        })
 }
 
 fn arb_path() -> impl Strategy<Value = Path> {

@@ -1,0 +1,80 @@
+//! Test-runner support types: configuration, case outcome, and the
+//! deterministic RNG driving generation.
+
+use rand::{RngCore, SeedableRng, SmallRng};
+
+/// Subset of `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// Precondition not met (`prop_assume!`) — the case is discarded.
+    Reject,
+    /// Assertion failed — the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(_reason: impl Into<String>) -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Deterministic generation RNG. Seeded from the test name (overridable
+/// with `PROPTEST_SEED`) so failures reproduce run-to-run without a
+/// regression file.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the name, folded with an optional env seed.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = s.trim().parse::<u64>() {
+                h ^= extra.rotate_left(17);
+            }
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(h),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw from `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        let span = (hi - lo) as u64;
+        lo + (self.next_u64() % span) as usize
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`. The workspace only uses serde for
+//! `#[derive(Serialize, Deserialize)]` annotations — the actual byte
+//! codec lives in `pathdump_wire` — so the traits here are markers with a
+//! blanket impl, and the derives (re-exported from the sibling
+//! `serde_derive` stub) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}

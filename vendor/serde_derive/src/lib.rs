@@ -1,0 +1,15 @@
+//! No-op derive macros for the offline `serde` stub. The marker traits in
+//! the stub have blanket impls, so the derives only need to exist for
+//! `#[derive(Serialize, Deserialize)]` to parse — they emit nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
