@@ -129,7 +129,7 @@ mod tests {
         let mut tb = Testbed::default_k4();
         let (src, dst) = (tb.ft.host(0, 0, 0), tb.ft.host(2, 0, 0));
         let hosts: Vec<HostId> = (0..16).map(HostId).collect();
-        ConformancePolicy::example(tb.ft.core(99 % 4)).max_hops; // no-op use
+        let _ = ConformancePolicy::example(tb.ft.core(99 % 4)).max_hops; // no-op use
         ConformancePolicy {
             max_hops: Some(6),
             forbidden: vec![],

@@ -259,15 +259,13 @@ mod tests {
             },
         );
         // Flows from rack (0,0) to pod 1: sizes straddling the threshold.
-        let mut sport = 6000;
         for (i, &size) in [20_000u64, 50_000, 80_000, 150_000, 300_000, 500_000]
             .iter()
             .enumerate()
         {
             let src = tb.ft.host(0, 0, i % 2);
             let dst = tb.ft.host(1, i % 2, i / 3);
-            tb.add_flow(src, dst, sport, size, Nanos::ZERO);
-            sport += 1;
+            tb.add_flow(src, dst, 6000 + i as u16, size, Nanos::ZERO);
         }
         tb.run_and_flush(Nanos::from_secs(60));
         assert!(tb.sim.world.tcp.all_complete());

@@ -128,7 +128,7 @@ pub fn diagnose(
     });
     let worst = evidence.first();
     let min_hops = evidence.iter().map(|e| e.hops).min().unwrap_or(0);
-    let is_outcast = worst.map_or(false, |w| w.hops == min_hops)
+    let is_outcast = worst.is_some_and(|w| w.hops == min_hops)
         && evidence.len() >= 2
         && evidence.last().expect("len >= 2").throughput_bps
             > 1.3 * evidence[0].throughput_bps.max(1.0);

@@ -119,7 +119,7 @@ pub fn ddos_sources(
         .filter(|((_, dst), _)| *dst == victim)
         .map(|((src, _), bytes)| (src, bytes))
         .collect();
-    sources.sort_by(|a, b| b.1.cmp(&a.1));
+    sources.sort_by_key(|&(_, bytes)| std::cmp::Reverse(bytes));
     sources
 }
 

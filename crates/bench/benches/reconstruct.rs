@@ -13,7 +13,7 @@ fn bench_reconstruct(c: &mut Criterion) {
     let recon = FatTreeReconstructor::new(ft.clone());
     // Pre-compute (src, dst, headers) for a mix of inter-pod paths.
     let cases: Vec<_> = (0..64u32)
-        .map(|i| {
+        .filter_map(|i| {
             let src = HostId(i % 128);
             let dst = HostId((i * 37 + 5) % 128);
             if src == dst {
@@ -24,7 +24,6 @@ fn bench_reconstruct(c: &mut Criterion) {
             let headers = tags_for_walk(&policy, &ft, &path.0);
             Some((src, dst, headers))
         })
-        .flatten()
         .collect();
 
     let mut group = c.benchmark_group("reconstruct");

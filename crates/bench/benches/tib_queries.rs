@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pathdump_bench::synth_tib;
 use pathdump_topology::{
-    FatTree, FatTreeParams, HostId, LinkDir, LinkPattern, TimeRange, UpDownRouting,
+    FatTree, FatTreeParams, HostId, LinkDir, LinkPattern, Nanos, TimeRange, UpDownRouting,
 };
 
 fn bench_tib(c: &mut Criterion) {
@@ -22,6 +22,11 @@ fn bench_tib(c: &mut Criterion) {
     });
     group.bench_function("get_flows_wildcard_into_tor", |b| {
         b.iter(|| tib.get_flows(LinkPattern::into(tor), TimeRange::ANY))
+    });
+    group.bench_function("get_flows_wildcard_into_tor_1min", |b| {
+        // Ranged wildcard: posting list intersected with the time index.
+        let r = TimeRange::between(Nanos::from_secs(600), Nanos::from_secs(660));
+        b.iter(|| tib.get_flows(LinkPattern::into(tor), r))
     });
     group.bench_function("get_paths", |b| {
         b.iter(|| tib.get_paths(flow, LinkPattern::ANY, TimeRange::ANY))

@@ -23,6 +23,15 @@ fn bench_codec(c: &mut Criterion) {
     group.bench_function("encode_10k_records", |b| {
         b.iter(|| pathdump_wire::to_bytes(&records))
     });
+    group.bench_function("encode_10k_records_into", |b| {
+        // The streaming path: one buffer reused across iterations.
+        let mut buf = Vec::with_capacity(encoded.len());
+        b.iter(|| {
+            buf.clear();
+            pathdump_wire::encode_into(&records, &mut buf);
+            buf.len()
+        })
+    });
     group.bench_function("decode_10k_records", |b| {
         b.iter(|| pathdump_wire::from_bytes::<Vec<TibRecord>>(&encoded).unwrap())
     });

@@ -1,0 +1,160 @@
+//! Perf-trajectory capture: runs the four Criterion benches
+//! (`tib_queries`, `wire_codec`, `reconstruct`, `dpswitch_throughput`)
+//! via nested `cargo bench` invocations, parses the vendored harness's
+//! `name: median <time> over N samples` lines, and writes one
+//! `BENCH_tib.json` with median nanoseconds per benchmark — the recorded
+//! perf trajectory CI uploads as an artifact so regressions are visible
+//! across PRs.
+//!
+//! Usage: `cargo run --release -p pathdump_bench --bin bench_trajectory
+//! [-- --out PATH]` (default `BENCH_tib.json` in the working directory).
+
+use std::process::Command;
+
+const BENCHES: [&str; 4] = [
+    "tib_queries",
+    "wire_codec",
+    "reconstruct",
+    "dpswitch_throughput",
+];
+
+/// One parsed benchmark result.
+struct Entry {
+    bench: &'static str,
+    name: String,
+    median_ns: f64,
+    samples: u64,
+}
+
+/// Parses the vendored criterion's Duration debug format ("421ns",
+/// "315.789µs", "36.678929ms", "1.2s") into nanoseconds.
+fn parse_duration_ns(s: &str) -> Option<f64> {
+    // Order matters: try the longest suffixes first ("ms" before "s",
+    // "ns"/"µs"/"us" before "s").
+    for (suffix, scale) in [
+        ("ns", 1.0),
+        ("µs", 1e3),
+        ("us", 1e3),
+        ("ms", 1e6),
+        ("s", 1e9),
+    ] {
+        if let Some(num) = s.strip_suffix(suffix) {
+            return num.parse::<f64>().ok().map(|v| v * scale);
+        }
+    }
+    None
+}
+
+/// Parses one harness output line: `group/name: median 1.23ms over 20
+/// samples (...)`. Returns (full benchmark name, median ns, samples).
+fn parse_line(line: &str) -> Option<(String, f64, u64)> {
+    let (name, rest) = line.split_once(": median ")?;
+    let mut words = rest.split_whitespace();
+    let median_ns = parse_duration_ns(words.next()?)?;
+    if words.next()? != "over" {
+        return None;
+    }
+    let samples: u64 = words.next()?.parse().ok()?;
+    Some((name.trim().to_string(), median_ns, samples))
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_tib.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut failures = 0usize;
+    for bench in BENCHES {
+        eprintln!("running bench {bench}...");
+        let result = Command::new(env!("CARGO"))
+            .args(["bench", "-p", "pathdump_bench", "--bench", bench])
+            .output();
+        let output = match result {
+            Ok(o) if o.status.success() => o,
+            Ok(o) => {
+                eprintln!(
+                    "bench {bench} failed with {}:\n{}",
+                    o.status,
+                    String::from_utf8_lossy(&o.stderr)
+                );
+                failures += 1;
+                continue;
+            }
+            Err(e) => {
+                eprintln!("could not spawn cargo for {bench}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        for line in String::from_utf8_lossy(&output.stdout).lines() {
+            if let Some((name, median_ns, samples)) = parse_line(line) {
+                entries.push(Entry {
+                    bench,
+                    name,
+                    median_ns,
+                    samples,
+                });
+            }
+        }
+    }
+
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"name\": \"{}\", \"median_ns\": {}, \"samples\": {}}}{sep}\n",
+            json_escape(e.bench),
+            json_escape(&e.name),
+            e.median_ns,
+            e.samples
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH json");
+    println!("wrote {} benchmark medians to {out_path}", entries.len());
+    if entries.is_empty() || failures > 0 {
+        eprintln!(
+            "{failures} bench target(s) failed, {} parsed",
+            entries.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_parsing() {
+        assert_eq!(parse_duration_ns("421ns"), Some(421.0));
+        assert_eq!(parse_duration_ns("315.789µs"), Some(315_789.0));
+        assert_eq!(parse_duration_ns("36.5ms"), Some(36_500_000.0));
+        assert_eq!(parse_duration_ns("1.2s"), Some(1_200_000_000.0));
+        assert_eq!(parse_duration_ns("xyz"), None);
+    }
+
+    #[test]
+    fn line_parsing() {
+        let (name, ns, n) =
+            parse_line("tib_240k/top_k_10000: median 2.707201ms over 20 samples").unwrap();
+        assert_eq!(name, "tib_240k/top_k_10000");
+        assert!((ns - 2_707_201.0).abs() < 1.0);
+        assert_eq!(n, 20);
+        let (_, ns, _) =
+            parse_line("wire/encode_10k_records: median 313.347µs over 30 samples (1.003 GiB/s)")
+                .unwrap();
+        assert!((ns - 313_347.0).abs() < 1.0);
+        assert_eq!(parse_line("Finished `bench` profile"), None);
+    }
+}

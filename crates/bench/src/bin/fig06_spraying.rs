@@ -9,8 +9,10 @@ use pathdump_simnet::{LoadBalance, SimConfig};
 use pathdump_topology::{Nanos, TimeRange};
 
 fn run_case(imbalanced: bool, size: u64, seed: u64) -> Vec<(String, u64)> {
-    let mut cfg = SimConfig::default();
-    cfg.seed = seed;
+    let cfg = SimConfig {
+        seed,
+        ..Default::default()
+    };
     let mut tb = Testbed::fattree(4, cfg, WorldConfig::default());
     tb.sim.set_lb_all(LoadBalance::Spray);
     if imbalanced {

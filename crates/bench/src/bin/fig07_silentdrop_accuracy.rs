@@ -38,8 +38,10 @@ struct RunResult {
 }
 
 fn one_run(n_faulty: usize, loss_rate: f64, load: f64, duration_s: u64, seed: u64) -> RunResult {
-    let mut cfg = SimConfig::default();
-    cfg.seed = seed;
+    let cfg = SimConfig {
+        seed,
+        ..Default::default()
+    };
     let mut tb = Testbed::fattree(4, cfg, WorldConfig::default());
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA17);
     let cands = candidate_links(&tb);
@@ -69,7 +71,7 @@ fn one_run(n_faulty: usize, loss_rate: f64, load: f64, duration_s: u64, seed: u6
         t = t.saturating_add(step);
         tb.sim.run_until(t);
         app.process_alarms(&mut tb.sim.world, t, Nanos::ZERO);
-        if t.0 % (5 * SECONDS) == 0 {
+        if t.0.is_multiple_of(5 * SECONDS) {
             let acc = score(&app.localize(), &faulty);
             samples.push((t.as_secs_f64(), acc.recall, acc.precision));
         }

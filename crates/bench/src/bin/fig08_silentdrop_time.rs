@@ -41,8 +41,10 @@ fn time_to_perfect(
     deadline_s: u64,
     seed: u64,
 ) -> (Option<f64>, Option<f64>) {
-    let mut cfg = SimConfig::default();
-    cfg.seed = seed;
+    let cfg = SimConfig {
+        seed,
+        ..Default::default()
+    };
     let mut tb = Testbed::fattree(4, cfg, WorldConfig::default());
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xFA17);
     let cands = candidate_links(&tb);

@@ -21,8 +21,10 @@ fn run_case(
     let mut times = Vec::new();
     let mut visits = 0;
     for r in 0..runs {
-        let mut cfg = SimConfig::default();
-        cfg.seed = seed + r as u64;
+        let cfg = SimConfig {
+            seed: seed + r as u64,
+            ..Default::default()
+        };
         let mut tb = Testbed::fattree(4, cfg, WorldConfig::default());
         let (src, dst) = (tb.ft.host(0, 0, 0), tb.ft.host(1, 0, 0));
         let flow = tb.flow(src, dst, 8800 + r as u16);

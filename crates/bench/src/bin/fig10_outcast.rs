@@ -16,8 +16,10 @@ fn main() {
         "the flow closest to the receiver (2-hop) sees the most throughput \
          loss; far flows share the remaining capacity (port blackout)",
     );
-    let mut cfg = SimConfig::default();
-    cfg.seed = args.seed;
+    let mut cfg = SimConfig {
+        seed: args.seed,
+        ..Default::default()
+    };
     // Small buffers accentuate taildrop port blackout, as in the testbed.
     cfg.fabric_link.queue_pkts = 16;
     let mut tb = Testbed::fattree(4, cfg, WorldConfig::default());

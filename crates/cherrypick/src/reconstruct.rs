@@ -250,7 +250,7 @@ impl FatTreeReconstructor {
         }
         let next_pos = walk.len() + 1; // 1-based position of the next switch
         for (_port, nb) in self.ft.topology().switch_neighbors(cur) {
-            if next_pos % 2 == 0 {
+            if next_pos.is_multiple_of(2) {
                 // Even switch: its ingress link must match the next sample.
                 if consumed >= tags.len() {
                     continue;
@@ -453,7 +453,7 @@ impl Vl2Reconstructor {
         }
         let next_pos = walk.len() + 1;
         for (_port, nb) in self.v.topology().switch_neighbors(cur) {
-            if next_pos % 2 == 0 {
+            if next_pos.is_multiple_of(2) {
                 // Mirror the policy: ToR->Agg ingress with DSCP unused
                 // consumes the DSCP sample; everything else consumes a VLAN.
                 let (cur_t, cur_p) = self.v.coords(cur);

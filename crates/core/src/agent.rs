@@ -313,6 +313,12 @@ impl HostAgent {
 
 /// Executes a query against one TIB (the pure storage-level evaluator,
 /// shared by agents and by the Figure 11/12 cluster harness).
+///
+/// Aggregation is pushed down into the TIB's incremental aggregates:
+/// `TopK`, `FlowSizeDist`, `TrafficMatrix` and `HeavyHitters` over an
+/// unrestricted time range are served from the running per-flow totals,
+/// and range-restricted variants from the bucketed time index — no
+/// full record scans on this path.
 pub fn execute_on_tib(tib: &Tib, q: &Query) -> Response {
     match q {
         Query::GetFlows { link, range } => Response::Flows(tib.get_flows(*link, *range)),
@@ -333,9 +339,10 @@ pub fn execute_on_tib(tib: &Tib, q: &Query) -> Response {
             bin_bytes,
         } => {
             let counts = tib.link_flow_counts(*link, *range);
+            let bin = (*bin_bytes).max(1);
             let mut bins: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
             for (_, (bytes, _)) in counts {
-                *bins.entry(bytes / bin_bytes.max(&1)).or_insert(0) += 1;
+                *bins.entry(bytes / bin).or_insert(0) += 1;
             }
             let mut v: Vec<(u64, u64)> = bins.into_iter().collect();
             v.sort_unstable();

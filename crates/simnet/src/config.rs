@@ -38,9 +38,9 @@ pub struct SimConfig {
     /// Number of VLAN tags the switch ASIC parses at line rate (QinQ = 2).
     /// A packet carrying more is punted to the controller (§3.1).
     pub asic_tag_limit: usize,
-    /// Slow-path latency for punting a packet to the controller (switch CPU
-    /// + control channel). Calibrated so Figure 9's 4-hop loop detection
-    /// lands near the paper's ~47 ms.
+    /// Slow-path latency for punting a packet to the controller (switch
+    /// CPU plus control channel). Calibrated so Figure 9's 4-hop loop
+    /// detection lands near the paper's ~47 ms.
     pub punt_latency: Nanos,
     /// Latency for a controller packet-out back into a switch.
     pub packet_out_latency: Nanos,

@@ -37,9 +37,10 @@ impl FaultState {
 }
 
 /// How a switch picks one egress among equal-cost candidates.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub enum LoadBalance {
     /// Flow-level ECMP: FNV hash of the 5-tuple with a per-switch salt.
+    #[default]
     Ecmp,
     /// Per-packet spraying, uniform among candidates (§4.2).
     Spray,
@@ -47,12 +48,6 @@ pub enum LoadBalance {
     /// imbalanced configuration of Figure 6. Weights align positionally
     /// with the candidate list.
     WeightedSpray(Vec<u32>),
-}
-
-impl Default for LoadBalance {
-    fn default() -> Self {
-        LoadBalance::Ecmp
-    }
 }
 
 /// A forwarding misbehavior installed on one switch.
@@ -125,14 +120,12 @@ impl SwitchQuirks {
                     threshold,
                     big_port,
                     small_port,
-                } => {
-                    if candidates.contains(big_port) && candidates.contains(small_port) {
-                        return Some(if flow_size_hint > *threshold {
-                            *big_port
-                        } else {
-                            *small_port
-                        });
-                    }
+                } if candidates.contains(big_port) && candidates.contains(small_port) => {
+                    return Some(if flow_size_hint > *threshold {
+                        *big_port
+                    } else {
+                        *small_port
+                    });
                 }
                 _ => {}
             }

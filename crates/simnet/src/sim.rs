@@ -1023,8 +1023,10 @@ mod tests {
     #[test]
     fn controller_reinject_completes_delivery() {
         let ft = ft4();
-        let mut world = TestWorld::default();
-        world.reinject_punts = true;
+        let world = TestWorld {
+            reinject_punts: true,
+            ..Default::default()
+        };
         let mut s = Simulator::new(&ft, SimConfig::for_tests(), Box::new(PushAlways), world);
         let (a, b) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
         one_packet(&mut s, flow(&ft, a, b, 9100), a);

@@ -18,5 +18,5 @@ pub mod tib;
 
 pub use memory::{MemKey, TrajectoryMemory};
 pub use record::{PendingRecord, TibRecord};
-pub use snapshot::{load, save, snapshot_size, SNAPSHOT_MAGIC};
-pub use tib::Tib;
+pub use snapshot::{load, save, save_into, snapshot_size, SNAPSHOT_MAGIC};
+pub use tib::{Tib, DEFAULT_BUCKET_WIDTH};

@@ -67,6 +67,20 @@ struct MemValue {
     pkts: u64,
 }
 
+/// Builds the exported record for an evicted (key, value) pair.
+fn pending(k: &MemKey, v: &MemValue, closed: bool) -> PendingRecord {
+    PendingRecord {
+        flow: k.flow,
+        dscp_sample: k.dscp_sample,
+        tags: k.tags.clone(),
+        stime: v.stime,
+        etime: v.etime,
+        bytes: v.bytes,
+        pkts: v.pkts,
+        closed,
+    }
+}
+
 /// The active per-path flow records of one edge device.
 #[derive(Clone, Debug)]
 pub struct TrajectoryMemory {
@@ -135,46 +149,54 @@ impl TrajectoryMemory {
     }
 
     /// Evicts every record of `flow` (FIN or RST observed).
-    pub fn evict_flow(&mut self, flow: &FlowId, now: Nanos) -> Vec<PendingRecord> {
-        let keys: Vec<MemKey> = self
-            .records
-            .keys()
-            .filter(|k| k.flow == *flow)
-            .cloned()
-            .collect();
-        keys.into_iter().map(|k| self.take(k, true, now)).collect()
+    ///
+    /// Single `retain` pass: evicted keys move out without the collect-
+    /// then-re-hash round trip the flush path used to make.
+    pub fn evict_flow(&mut self, flow: &FlowId, _now: Nanos) -> Vec<PendingRecord> {
+        let mut out = Vec::new();
+        self.records.retain(|k, v| {
+            if k.flow == *flow {
+                out.push(pending(k, v, true));
+                false
+            } else {
+                true
+            }
+        });
+        out
     }
 
     /// Evicts records idle longer than the timeout.
     pub fn evict_idle(&mut self, now: Nanos) -> Vec<PendingRecord> {
         let cutoff = now.saturating_sub(self.idle_timeout);
-        let keys: Vec<MemKey> = self
-            .records
-            .iter()
-            .filter(|(_, v)| v.etime <= cutoff)
-            .map(|(k, _)| k.clone())
-            .collect();
-        keys.into_iter().map(|k| self.take(k, false, now)).collect()
+        let mut out = Vec::new();
+        self.records.retain(|k, v| {
+            if v.etime <= cutoff {
+                out.push(pending(k, v, false));
+                false
+            } else {
+                true
+            }
+        });
+        out
     }
 
-    /// Evicts everything (end of run / shutdown flush).
-    pub fn flush(&mut self, now: Nanos) -> Vec<PendingRecord> {
-        let keys: Vec<MemKey> = self.records.keys().cloned().collect();
-        keys.into_iter().map(|k| self.take(k, false, now)).collect()
-    }
-
-    fn take(&mut self, key: MemKey, closed: bool, _now: Nanos) -> PendingRecord {
-        let v = self.records.remove(&key).expect("key collected from map");
-        PendingRecord {
-            flow: key.flow,
-            dscp_sample: key.dscp_sample,
-            tags: key.tags,
-            stime: v.stime,
-            etime: v.etime,
-            bytes: v.bytes,
-            pkts: v.pkts,
-            closed,
-        }
+    /// Evicts everything (end of run / shutdown flush). Drains the map in
+    /// place, so keys (including their tag vectors) move into the pending
+    /// records instead of being cloned and re-hashed per entry.
+    pub fn flush(&mut self, _now: Nanos) -> Vec<PendingRecord> {
+        self.records
+            .drain()
+            .map(|(k, v)| PendingRecord {
+                flow: k.flow,
+                dscp_sample: k.dscp_sample,
+                tags: k.tags,
+                stime: v.stime,
+                etime: v.etime,
+                bytes: v.bytes,
+                pkts: v.pkts,
+                closed: false,
+            })
+            .collect()
     }
 
     /// Live records.
@@ -195,8 +217,8 @@ impl TrajectoryMemory {
     /// Approximate resident bytes (§5.3 storage accounting).
     pub fn approx_bytes(&self) -> usize {
         self.records
-            .iter()
-            .map(|(k, _)| {
+            .keys()
+            .map(|k| {
                 std::mem::size_of::<MemKey>() + k.tags.len() * 2 + std::mem::size_of::<MemValue>()
             })
             .sum()

@@ -6,18 +6,30 @@ use crate::record::TibRecord;
 use crate::tib::Tib;
 use pathdump_wire::{Decode, Decoder, Encode, Encoder, WireResult};
 
-/// Magic bytes marking a TIB snapshot.
-pub const SNAPSHOT_MAGIC: u32 = 0x5449_4231; // "TIB1"
+/// Magic bytes marking a TIB snapshot. "TIB2" since the header gained
+/// the bucket width (v1 snapshots carried only the record count).
+pub const SNAPSHOT_MAGIC: u32 = 0x5449_4232; // "TIB2"
 
 /// Serializes the whole TIB to a byte vector (what a disk file would hold).
 pub fn save(tib: &Tib) -> Vec<u8> {
-    let mut enc = Encoder::with_capacity(64 + tib.len() * 48);
+    let mut out = Vec::with_capacity(64 + tib.len() * 48);
+    save_into(tib, &mut out);
+    out
+}
+
+/// Streaming save: appends the snapshot to a caller-provided buffer via
+/// the wire codec's `encode_into` path, so periodic snapshotters reuse
+/// one buffer instead of allocating per save.
+pub fn save_into(tib: &Tib, out: &mut Vec<u8>) {
+    let mut enc = Encoder::from_vec(std::mem::take(out));
     enc.put_u32(SNAPSHOT_MAGIC);
-    enc.put_varint(tib.len() as u64);
-    for rec in tib.records() {
-        rec.encode(&mut enc);
-    }
-    enc.into_bytes()
+    // Persist the time-index configuration so a tuned bucket width
+    // survives the round trip.
+    enc.put_varint(tib.bucket_width().0);
+    // The slice impl writes `varint(len)` then each record — byte-for-byte
+    // the format `load` expects.
+    tib.records().encode(&mut enc);
+    *out = enc.into_bytes();
 }
 
 /// Restores a TIB from snapshot bytes.
@@ -27,8 +39,12 @@ pub fn load(bytes: &[u8]) -> WireResult<Tib> {
     if magic != SNAPSHOT_MAGIC {
         return Err(pathdump_wire::WireError::InvalidTag(magic));
     }
+    let width = dec.get_varint()?;
+    if width == 0 {
+        return Err(pathdump_wire::WireError::InvalidTag(0));
+    }
     let n = dec.get_varint()? as usize;
-    let mut tib = Tib::new();
+    let mut tib = Tib::with_bucket_width(pathdump_topology::Nanos(width));
     for _ in 0..n {
         tib.insert(TibRecord::decode(&mut dec)?);
     }
@@ -75,6 +91,45 @@ mod tests {
             back.top_k_flows(5, TimeRange::ANY),
             t.top_k_flows(5, TimeRange::ANY)
         );
+    }
+
+    #[test]
+    fn bucket_width_survives_roundtrip() {
+        let mut t = crate::tib::Tib::with_bucket_width(Nanos(1000));
+        t.insert(TibRecord {
+            flow: FlowId::tcp(Ip::new(10, 0, 0, 2), 1, Ip::new(10, 1, 0, 2), 80),
+            path: Path::new(vec![SwitchId(0), SwitchId(4)]),
+            stime: Nanos(5),
+            etime: Nanos(9),
+            bytes: 42,
+            pkts: 1,
+        });
+        let back = load(&save(&t)).unwrap();
+        assert_eq!(back.bucket_width(), Nanos(1000));
+        assert_eq!(
+            load(&save(&populate(3))).unwrap().bucket_width(),
+            crate::tib::DEFAULT_BUCKET_WIDTH
+        );
+    }
+
+    #[test]
+    fn save_into_appends_same_bytes() {
+        let t = populate(50);
+        let mut buf = vec![0xEE];
+        save_into(&t, &mut buf);
+        assert_eq!(buf[0], 0xEE, "caller prefix preserved");
+        // Independently hand-built expectation (save delegates to
+        // save_into, so comparing the two would be a tautology).
+        let mut exp = Encoder::new();
+        exp.put_u32(SNAPSHOT_MAGIC);
+        exp.put_varint(t.bucket_width().0);
+        exp.put_varint(t.len() as u64);
+        for rec in t.records() {
+            rec.encode(&mut exp);
+        }
+        assert_eq!(&buf[1..], exp.bytes());
+        let back = load(&buf[1..]).unwrap();
+        assert_eq!(back.len(), t.len());
     }
 
     #[test]

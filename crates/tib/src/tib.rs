@@ -1,27 +1,160 @@
 //! The Trajectory Information Base: an indexed, queryable store of
 //! per-path flow records (replacing the paper's MongoDB instance).
 //!
-//! Indexes mirror the Host API's access patterns (Table 1): by flow ID
-//! (`getPaths`, `getCount`, `getDuration`), by traversed link
-//! (`getFlows`), plus full scans for traffic measurement queries.
+//! # Storage layout
+//!
+//! Records are kept in one insertion-ordered arena (`records`, ids are
+//! arena offsets) with four families of indexes maintained on `insert`:
+//!
+//! - **Posting lists** — `by_flow` (flow → ids) and `by_link`
+//!   (directed link → ids) serve the exact-match Host API lookups
+//!   (`getPaths`, `getCount`, `getDuration`, exact-link `getFlows`).
+//! - **Switch indexes** — `by_switch_in` / `by_switch_out` map a switch
+//!   to the ids (and the deduplicated flow list) of every record whose
+//!   path enters / leaves it, so wildcard link patterns `<?, Sj>` and
+//!   `<Si, ?>` resolve in one lookup instead of iterating every
+//!   `by_link` key.
+//! - **Live aggregates** — `flow_totals` (running per-flow
+//!   `(bytes, pkts)`) and `flows_any` (insertion-ordered deduplicated
+//!   flow list) answer `top_k_flows`, `link_flow_counts(ANY, ANY)` and
+//!   `get_flows(ANY, ANY)` without touching a single record.
+//! - **Time buckets** — records land in fixed-width stime buckets
+//!   (default [`DEFAULT_BUCKET_WIDTH`], ~O(√n) buckets at the paper's
+//!   240K-records-per-hour Table-1 scale); each bucket carries its own
+//!   per-flow totals and the max etime of its records. A `timeRange`
+//!   aggregate sums whole buckets that lie inside the range and
+//!   clamp-scans only the boundary buckets.
+//!
+//! # Query complexity (n records, f distinct flows, b buckets)
+//!
+//! | query                          | cost                                |
+//! |--------------------------------|-------------------------------------|
+//! | `get_paths/get_count/get_duration` | O(records of the flow)          |
+//! | `get_flows(exact, range)`      | O(posting list of the link)         |
+//! | `get_flows(wildcard, ANY)`     | O(distinct flows at the switch) — a memcpy |
+//! | `get_flows(wildcard, range)`   | O(ids at the switch)                |
+//! | `get_flows(ANY, ANY)`          | O(f) — a memcpy of `flows_any`      |
+//! | `link_flow_counts(ANY, ANY)`   | O(f) — a clone of `flow_totals`     |
+//! | `link_flow_counts(ANY, range)` | O(b + flows in buckets overlapping the range) |
+//! | `top_k_flows(k, ANY)`          | O(f) select + O(k log k) sort       |
+//!
+//! Indexes mirror the Host API's access patterns (Table 1): by flow ID,
+//! by traversed link, by switch, by time, plus live aggregates for the
+//! traffic-measurement queries (§4.2: flow size distribution, top-k,
+//! load imbalance).
 
 use crate::record::TibRecord;
-use pathdump_topology::{FlowId, LinkDir, LinkPattern, Nanos, Path, TimeRange};
+use pathdump_topology::{FlowId, LinkDir, LinkPattern, Nanos, Path, SwitchId, TimeRange};
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Default stime bucket width: 8 seconds. At the paper's Table-1 scale
+/// (240K records spread over "roughly an hour of flows at a server") this
+/// yields ~450 buckets — on the order of √n — so range aggregates touch
+/// O(√n) bucket headers plus the two boundary buckets' records.
+pub const DEFAULT_BUCKET_WIDTH: Nanos = Nanos(8 * pathdump_topology::SECONDS);
+
+/// An insertion-ordered set of flow ids: the `order` vec is the query
+/// answer (a memcpy away), the `seen` set enforces dedup on insert.
+#[derive(Clone, Debug, Default)]
+struct FlowSet {
+    order: Vec<FlowId>,
+    seen: HashSet<FlowId>,
+}
+
+impl FlowSet {
+    fn insert(&mut self, flow: FlowId) {
+        if self.seen.insert(flow) {
+            self.order.push(flow);
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        // Vec entry + hash-set entry (pointer-ish overhead included).
+        self.order.len() * (std::mem::size_of::<FlowId>() * 2 + 16)
+    }
+}
+
+/// Per-switch secondary index: every record whose path enters (or
+/// leaves) the switch, plus the deduplicated flows among them.
+#[derive(Clone, Debug, Default)]
+struct SwitchIndex {
+    /// Record ids in insertion order, deduplicated per record.
+    ids: Vec<u32>,
+    /// Distinct flows in insertion order (the `<?, Sj>` ANY-range answer).
+    flows: FlowSet,
+}
+
+/// One fixed-width stime bucket with its incremental aggregates.
+#[derive(Clone, Debug, Default)]
+struct Bucket {
+    /// Ids of records whose stime falls in this bucket (insertion order).
+    ids: Vec<u32>,
+    /// Per-flow `(bytes, pkts)` pre-summed over this bucket's records.
+    flow_totals: HashMap<FlowId, (u64, u64)>,
+    /// Latest etime among this bucket's records (bounds the lookback a
+    /// range query needs: a bucket left of the range can only contribute
+    /// when some record in it is still alive at the range start).
+    max_etime: Nanos,
+}
 
 /// The per-host TIB.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Tib {
     records: Vec<TibRecord>,
     by_flow: HashMap<FlowId, Vec<u32>>,
     by_link: HashMap<LinkDir, Vec<u32>>,
+    by_switch_in: HashMap<SwitchId, SwitchIndex>,
+    by_switch_out: HashMap<SwitchId, SwitchIndex>,
+    flows_any: FlowSet,
+    flow_totals: HashMap<FlowId, (u64, u64)>,
+    /// stime bucket index (`stime / bucket_width`) → bucket.
+    buckets: BTreeMap<u64, Bucket>,
+    bucket_width: u64,
+}
+
+impl Default for Tib {
+    fn default() -> Self {
+        Tib::with_bucket_width(DEFAULT_BUCKET_WIDTH)
+    }
 }
 
 impl Tib {
-    /// Creates an empty TIB.
+    /// Creates an empty TIB with the default bucket width.
     pub fn new() -> Self {
         Tib::default()
+    }
+
+    /// Creates an empty TIB whose time index uses `width`-wide stime
+    /// buckets. Pick a width so the expected time span divides into
+    /// roughly √n buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn with_bucket_width(width: Nanos) -> Self {
+        assert!(width.0 > 0, "bucket width must be positive");
+        Tib {
+            records: Vec::new(),
+            by_flow: HashMap::new(),
+            by_link: HashMap::new(),
+            by_switch_in: HashMap::new(),
+            by_switch_out: HashMap::new(),
+            flows_any: FlowSet::default(),
+            flow_totals: HashMap::new(),
+            buckets: BTreeMap::new(),
+            bucket_width: width.0,
+        }
+    }
+
+    /// The configured stime bucket width.
+    pub fn bucket_width(&self) -> Nanos {
+        Nanos(self.bucket_width)
+    }
+
+    /// Number of live time buckets (diagnostics / tests).
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
     }
 
     /// Number of records stored.
@@ -34,10 +167,14 @@ impl Tib {
         self.records.is_empty()
     }
 
-    /// Inserts one record, updating all indexes.
+    /// Inserts one record, updating all indexes and aggregates.
     pub fn insert(&mut self, rec: TibRecord) {
         let id = self.records.len() as u32;
         self.by_flow.entry(rec.flow).or_default().push(id);
+        // Paths are usually simple, but routing-loop scenarios produce
+        // repeated switches; dedup per record with small linear scans.
+        let mut seen_in: Vec<SwitchId> = Vec::new();
+        let mut seen_out: Vec<SwitchId> = Vec::new();
         for link in rec.path.links() {
             match self.by_link.entry(link) {
                 Entry::Occupied(mut e) => e.get_mut().push(id),
@@ -45,19 +182,93 @@ impl Tib {
                     e.insert(vec![id]);
                 }
             }
+            if !seen_out.contains(&link.from) {
+                seen_out.push(link.from);
+                let idx = self.by_switch_out.entry(link.from).or_default();
+                idx.ids.push(id);
+                idx.flows.insert(rec.flow);
+            }
+            if !seen_in.contains(&link.to) {
+                seen_in.push(link.to);
+                let idx = self.by_switch_in.entry(link.to).or_default();
+                idx.ids.push(id);
+                idx.flows.insert(rec.flow);
+            }
         }
+        self.flows_any.insert(rec.flow);
+        let t = self.flow_totals.entry(rec.flow).or_insert((0, 0));
+        t.0 += rec.bytes;
+        t.1 += rec.pkts;
+        let bucket = self
+            .buckets
+            .entry(rec.stime.0 / self.bucket_width)
+            .or_default();
+        bucket.ids.push(id);
+        let bt = bucket.flow_totals.entry(rec.flow).or_insert((0, 0));
+        bt.0 += rec.bytes;
+        bt.1 += rec.pkts;
+        bucket.max_etime = bucket.max_etime.max(rec.etime);
         self.records.push(rec);
     }
 
-    /// Raw access to every record (scans, snapshots, top-k).
+    /// Raw access to every record (scans, snapshots).
     pub fn records(&self) -> &[TibRecord] {
         &self.records
+    }
+
+    /// The record ids matching a non-ANY link pattern, in insertion
+    /// order. Exact patterns read one `by_link` posting list (a record
+    /// may appear more than once if a loopy path repeats the link);
+    /// half-wildcards read one pre-deduplicated switch index.
+    fn pattern_ids(&self, link: LinkPattern) -> &[u32] {
+        debug_assert!(!link.is_any());
+        static EMPTY: [u32; 0] = [];
+        match (link.from, link.to) {
+            (Some(f), Some(t)) => self
+                .by_link
+                .get(&LinkDir::new(f, t))
+                .map_or(&EMPTY[..], |v| &v[..]),
+            (Some(f), None) => self
+                .by_switch_out
+                .get(&f)
+                .map_or(&EMPTY[..], |idx| &idx.ids[..]),
+            (None, Some(t)) => self
+                .by_switch_in
+                .get(&t)
+                .map_or(&EMPTY[..], |idx| &idx.ids[..]),
+            (None, None) => unreachable!("ANY handled by callers"),
+        }
+    }
+
+    /// The pre-deduplicated flow list for a pattern, when one exists
+    /// (ANY and half-wildcard patterns; exact links have none).
+    fn pattern_flows(&self, link: LinkPattern) -> Option<&[FlowId]> {
+        match (link.from, link.to) {
+            (None, None) => Some(&self.flows_any.order),
+            (Some(f), None) => Some(
+                self.by_switch_out
+                    .get(&f)
+                    .map_or(&[][..], |idx| &idx.flows.order),
+            ),
+            (None, Some(t)) => Some(
+                self.by_switch_in
+                    .get(&t)
+                    .map_or(&[][..], |idx| &idx.flows.order),
+            ),
+            (Some(_), Some(_)) => None,
+        }
     }
 
     /// `getFlows(linkID, timeRange)`: flows that traversed a matching link
     /// during the range (deduplicated, insertion order).
     pub fn get_flows(&self, link: LinkPattern, range: TimeRange) -> Vec<FlowId> {
-        let mut seen = std::collections::HashSet::new();
+        if range == TimeRange::ANY {
+            // Served straight from the maintained flow lists.
+            if let Some(flows) = self.pattern_flows(link) {
+                return flows.to_vec();
+            }
+        }
+        let mut seen = HashSet::new();
         let mut out = Vec::new();
         let mut push = |rec: &TibRecord| {
             if rec.overlaps(&range) && seen.insert(rec.flow) {
@@ -65,25 +276,100 @@ impl Tib {
             }
         };
         if link.is_any() {
-            for rec in &self.records {
-                push(rec);
-            }
-        } else {
-            for (l, ids) in &self.by_link {
-                if link.matches(*l) {
-                    for &id in ids {
+            match self.range_ids(range, self.records.len()) {
+                // Record ids are insertion order, so a sorted candidate-id
+                // walk preserves the documented ordering.
+                Some(ids) => {
+                    for id in ids {
                         push(&self.records[id as usize]);
                     }
                 }
+                // Broad range: one pass over the arena beats collecting
+                // and sorting nearly every id.
+                None => {
+                    for rec in &self.records {
+                        push(rec);
+                    }
+                }
+            }
+        } else {
+            for &id in &self.pattern_range_ids(link, range) {
+                push(&self.records[id as usize]);
             }
         }
         out
     }
 
+    /// Record ids matching a non-ANY pattern, pruned by the time index
+    /// when the range is narrow: the sorted posting list is intersected
+    /// with the bucket candidate set, so a ranged wildcard query visits
+    /// only records that can overlap instead of every record at the
+    /// switch. Falls back to the raw posting list for broad ranges.
+    fn pattern_range_ids(&self, link: LinkPattern, range: TimeRange) -> Vec<u32> {
+        let pattern = self.pattern_ids(link);
+        if range == TimeRange::ANY {
+            return pattern.to_vec();
+        }
+        // Budget the candidate collection by the posting-list size: when
+        // the pattern matches few records, a direct overlaps-scan of the
+        // posting list beats building the candidate set at all.
+        match self.range_ids(range, pattern.len()) {
+            Some(candidates) => {
+                // Both lists ascend (ids are insertion order); duplicates
+                // in exact posting lists (loopy paths) are preserved.
+                let mut out = Vec::new();
+                let mut j = 0;
+                for &id in pattern {
+                    while j < candidates.len() && candidates[j] < id {
+                        j += 1;
+                    }
+                    if j == candidates.len() {
+                        break;
+                    }
+                    if candidates[j] == id {
+                        out.push(id);
+                    }
+                }
+                out
+            }
+            None => pattern.to_vec(),
+        }
+    }
+
+    /// Candidate record ids for a time range, ascending: whole buckets
+    /// inside the range plus clamp-checked boundary/lookback buckets.
+    /// Returns `None` when the candidates are not meaningfully fewer
+    /// than `budget` (the records the caller would otherwise visit) —
+    /// the caller should then scan directly instead of paying for an id
+    /// copy and sort that selects almost nothing out.
+    fn range_ids(&self, range: TimeRange, budget: usize) -> Option<Vec<u32>> {
+        let hi = range.end.map_or(u64::MAX, |e| e.0 / self.bucket_width);
+        let lo = range.start.unwrap_or(Nanos::ZERO);
+        // Buckets entirely left of the range contribute only if a record
+        // in them is still alive at the range start (max_etime lookback).
+        let live = |b: &&Bucket| b.max_etime >= lo;
+        let candidates: usize = self
+            .buckets
+            .range(..=hi)
+            .map(|(_, b)| b)
+            .filter(live)
+            .map(|b| b.ids.len())
+            .sum();
+        if candidates * 2 > budget {
+            return None;
+        }
+        let mut ids: Vec<u32> = Vec::with_capacity(candidates);
+        for bucket in self.buckets.range(..=hi).map(|(_, b)| b).filter(live) {
+            ids.extend_from_slice(&bucket.ids);
+        }
+        ids.sort_unstable();
+        Some(ids)
+    }
+
     /// `getPaths(flowID, linkID, timeRange)`: distinct paths of `flow` that
     /// include a matching link within the range.
     pub fn get_paths(&self, flow: FlowId, link: LinkPattern, range: TimeRange) -> Vec<Path> {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = HashSet::new();
         let mut out = Vec::new();
         if let Some(ids) = self.by_flow.get(&flow) {
             for &id in ids {
@@ -104,6 +390,10 @@ impl Tib {
     /// range; `path = None` sums across all paths, `Some` restricts to one
     /// path (the paper's `Flow` is a `(flowID, Path)` pair).
     pub fn get_count(&self, flow: FlowId, path: Option<&Path>, range: TimeRange) -> (u64, u64) {
+        if path.is_none() && range == TimeRange::ANY {
+            // All-time flow totals are maintained incrementally.
+            return self.flow_totals.get(&flow).copied().unwrap_or((0, 0));
+        }
         let mut bytes = 0;
         let mut pkts = 0;
         if let Some(ids) = self.by_flow.get(&flow) {
@@ -152,6 +442,16 @@ impl Tib {
         }
     }
 
+    /// True when the stime span `[k·w, (k+1)·w)` of bucket `k` lies fully
+    /// inside `range` — every record in it then overlaps the range (its
+    /// stime does), so its pre-summed aggregates apply wholesale.
+    fn bucket_contained(&self, k: u64, range: &TimeRange) -> bool {
+        let start = k * self.bucket_width;
+        // Inclusive last stime; saturate for the topmost u64 bucket.
+        let end = start.saturating_add(self.bucket_width - 1);
+        range.start.is_none_or(|s| s.0 <= start) && range.end.is_none_or(|e| end <= e.0)
+    }
+
     /// Per-flow byte/packet totals over matching links — the building block
     /// of the flow-size-distribution and load-imbalance queries (§4.2).
     pub fn link_flow_counts(
@@ -159,26 +459,55 @@ impl Tib {
         link: LinkPattern,
         range: TimeRange,
     ) -> HashMap<FlowId, (u64, u64)> {
+        if link.is_any() {
+            if range == TimeRange::ANY {
+                // The live aggregate IS the answer.
+                return self.flow_totals.clone();
+            }
+            return self.range_flow_counts(range);
+        }
         let mut out: HashMap<FlowId, (u64, u64)> = HashMap::new();
-        let mut add = |rec: &TibRecord| {
+        let exact = link.from.is_some() && link.to.is_some();
+        // Exact posting lists may repeat an id when a loopy path repeats
+        // the link; switch indexes are pre-deduplicated per record.
+        let mut seen = HashSet::new();
+        for &id in &self.pattern_range_ids(link, range) {
+            if exact && !seen.insert(id) {
+                continue;
+            }
+            let rec = &self.records[id as usize];
             if rec.overlaps(&range) {
                 let e = out.entry(rec.flow).or_insert((0, 0));
                 e.0 += rec.bytes;
                 e.1 += rec.pkts;
             }
-        };
-        if link.is_any() {
-            for rec in &self.records {
-                add(rec);
+        }
+        out
+    }
+
+    /// Range-restricted all-links totals: whole-bucket sums for buckets
+    /// inside the range, clamp-scans for boundary/lookback buckets.
+    fn range_flow_counts(&self, range: TimeRange) -> HashMap<FlowId, (u64, u64)> {
+        let hi = range.end.map_or(u64::MAX, |e| e.0 / self.bucket_width);
+        let lo = range.start.unwrap_or(Nanos::ZERO);
+        let mut out: HashMap<FlowId, (u64, u64)> = HashMap::new();
+        for (&k, bucket) in self.buckets.range(..=hi) {
+            if bucket.max_etime < lo {
+                continue;
             }
-        } else {
-            let mut seen = std::collections::HashSet::new();
-            for (l, ids) in &self.by_link {
-                if link.matches(*l) {
-                    for &id in ids {
-                        if seen.insert(id) {
-                            add(&self.records[id as usize]);
-                        }
+            if self.bucket_contained(k, &range) {
+                for (flow, &(b, p)) in &bucket.flow_totals {
+                    let e = out.entry(*flow).or_insert((0, 0));
+                    e.0 += b;
+                    e.1 += p;
+                }
+            } else {
+                for &id in &bucket.ids {
+                    let rec = &self.records[id as usize];
+                    if rec.overlaps(&range) {
+                        let e = out.entry(rec.flow).or_insert((0, 0));
+                        e.0 += rec.bytes;
+                        e.1 += rec.pkts;
                     }
                 }
             }
@@ -187,25 +516,32 @@ impl Tib {
     }
 
     /// Top-`k` flows by byte count within a range (§2.3's top-k example).
+    ///
+    /// Ties are broken by flow id (descending), making the result
+    /// deterministic regardless of construction order.
     pub fn top_k_flows(&self, k: usize, range: TimeRange) -> Vec<(u64, FlowId)> {
-        use std::cmp::Reverse;
-        use std::collections::BinaryHeap;
-        let totals = self.link_flow_counts(LinkPattern::ANY, range);
-        // Min-heap of size k, exactly like the paper's heapq snippet.
-        let mut heap: BinaryHeap<Reverse<(u64, FlowId)>> = BinaryHeap::new();
-        for (flow, (bytes, _)) in totals {
-            if heap.len() < k {
-                heap.push(Reverse((bytes, flow)));
-            } else if let Some(Reverse((min_bytes, _))) = heap.peek() {
-                if bytes > *min_bytes {
-                    heap.pop();
-                    heap.push(Reverse((bytes, flow)));
-                }
-            }
+        let mut v: Vec<(u64, FlowId)> = if range == TimeRange::ANY {
+            // Served from the live aggregate: no per-record work at all.
+            self.flow_totals
+                .iter()
+                .map(|(flow, &(bytes, _))| (bytes, *flow))
+                .collect()
+        } else {
+            self.range_flow_counts(range)
+                .into_iter()
+                .map(|(flow, (bytes, _))| (bytes, flow))
+                .collect()
+        };
+        if k == 0 {
+            return Vec::new();
         }
-        let mut out: Vec<(u64, FlowId)> = heap.into_iter().map(|Reverse(x)| x).collect();
-        out.sort_by(|a, b| b.cmp(a));
-        out
+        if v.len() > k {
+            // O(f) selection of the top k, then sort only those k.
+            v.select_nth_unstable_by(k - 1, |a, b| b.cmp(a));
+            v.truncate(k);
+        }
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
     }
 
     /// Approximate resident bytes of records + indexes (§5.3).
@@ -221,7 +557,26 @@ impl Tib {
             .values()
             .map(|v| std::mem::size_of::<LinkDir>() + v.len() * 4)
             .sum();
-        recs + flows + links
+        let switches: usize = self
+            .by_switch_in
+            .values()
+            .chain(self.by_switch_out.values())
+            .map(|idx| {
+                std::mem::size_of::<SwitchId>() + idx.ids.len() * 4 + idx.flows.approx_bytes()
+            })
+            .sum();
+        let aggregates = self.flows_any.approx_bytes()
+            + self.flow_totals.len() * (std::mem::size_of::<FlowId>() + 16 + 16);
+        let buckets: usize = self
+            .buckets
+            .values()
+            .map(|b| {
+                std::mem::size_of::<Bucket>()
+                    + b.ids.len() * 4
+                    + b.flow_totals.len() * (std::mem::size_of::<FlowId>() + 16 + 16)
+            })
+            .sum();
+        recs + flows + links + switches + aggregates + buckets
     }
 }
 
@@ -258,6 +613,16 @@ mod tests {
         t
     }
 
+    /// Same population, tiny buckets, so the bucket boundary paths run.
+    fn sample_tib_narrow() -> Tib {
+        let mut t = Tib::with_bucket_width(Nanos(64));
+        t.insert(rec(1, &[0, 8, 4], 0, 100, 5000));
+        t.insert(rec(1, &[0, 9, 4], 50, 150, 3000));
+        t.insert(rec(2, &[0, 8, 4], 200, 300, 10_000));
+        t.insert(rec(3, &[1, 9, 5], 0, 400, 70_000));
+        t
+    }
+
     #[test]
     fn get_flows_by_link() {
         let t = sample_tib();
@@ -278,6 +643,28 @@ mod tests {
         assert_eq!(into4.len(), 2);
         // <*, *>: everything.
         assert_eq!(t.get_flows(LinkPattern::ANY, TimeRange::ANY).len(), 3);
+    }
+
+    #[test]
+    fn get_flows_wildcards_with_range() {
+        for t in [sample_tib(), sample_tib_narrow()] {
+            // <?, S4> after t=120: flow 1's second record and flow 2.
+            let r = TimeRange::since(Nanos(120));
+            let into4 = t.get_flows(LinkPattern::into(SwitchId(4)), r);
+            assert_eq!(into4, vec![flow(1), flow(2)]);
+            // <S0, ?> within [0, 40]: only flow 1's first record overlaps.
+            let out0 = t.get_flows(
+                LinkPattern::out_of(SwitchId(0)),
+                TimeRange::between(Nanos(0), Nanos(40)),
+            );
+            assert_eq!(out0, vec![flow(1)]);
+            // <*, *> in [160, 199]: only the long-lived flow 3 is active
+            // (found via the bucket max_etime lookback).
+            assert_eq!(
+                t.get_flows(LinkPattern::ANY, TimeRange::between(Nanos(160), Nanos(199))),
+                vec![flow(3)]
+            );
+        }
     }
 
     #[test]
@@ -307,6 +694,7 @@ mod tests {
         assert_eq!(b, 5000);
         let (b, _) = t.get_count(flow(1), None, TimeRange::since(Nanos(120)));
         assert_eq!(b, 3000, "only the second record overlaps");
+        assert_eq!(t.get_count(flow(99), None, TimeRange::ANY), (0, 0));
     }
 
     #[test]
@@ -332,6 +720,40 @@ mod tests {
     }
 
     #[test]
+    fn link_flow_counts_loopy_path_counted_once() {
+        let mut t = Tib::new();
+        // Path 0->8->0->8->4 repeats link 0->8: one record, counted once.
+        t.insert(rec(7, &[0, 8, 0, 8, 4], 0, 10, 900));
+        let counts =
+            t.link_flow_counts(LinkPattern::exact(SwitchId(0), SwitchId(8)), TimeRange::ANY);
+        assert_eq!(counts[&flow(7)].0, 900);
+        // The switch indexes are deduplicated too.
+        let counts = t.link_flow_counts(LinkPattern::into(SwitchId(8)), TimeRange::ANY);
+        assert_eq!(counts[&flow(7)].0, 900);
+        assert_eq!(
+            t.get_flows(LinkPattern::out_of(SwitchId(0)), TimeRange::ANY),
+            vec![flow(7)]
+        );
+    }
+
+    #[test]
+    fn range_aggregates_match_scan_on_narrow_buckets() {
+        let t = sample_tib_narrow();
+        assert!(t.num_buckets() > 1, "narrow buckets split the population");
+        // [60, 220] overlaps all four records (flow 3 spans the range).
+        let r = TimeRange::between(Nanos(60), Nanos(220));
+        let counts = t.link_flow_counts(LinkPattern::ANY, r);
+        assert_eq!(counts[&flow(1)].0, 8000);
+        assert_eq!(counts[&flow(2)].0, 10_000);
+        assert_eq!(counts[&flow(3)].0, 70_000);
+        // [201, 399]: flow 2 (200-300) and flow 3 (0-400) overlap.
+        let r = TimeRange::between(Nanos(201), Nanos(399));
+        let counts = t.link_flow_counts(LinkPattern::ANY, r);
+        assert_eq!(counts.len(), 2);
+        assert_eq!(counts[&flow(2)].0, 10_000);
+    }
+
+    #[test]
     fn top_k() {
         let t = sample_tib();
         let top = t.top_k_flows(2, TimeRange::ANY);
@@ -340,6 +762,12 @@ mod tests {
         assert_eq!(top[1], (10_000, flow(2)));
         // k larger than the population returns everything, sorted.
         assert_eq!(t.top_k_flows(10, TimeRange::ANY).len(), 3);
+        assert!(t.top_k_flows(0, TimeRange::ANY).is_empty());
+        // Range-restricted: flow 1's totals shrink to the overlap.
+        let top = t.top_k_flows(3, TimeRange::since(Nanos(120)));
+        assert_eq!(top[0], (70_000, flow(3)));
+        assert_eq!(top[1], (10_000, flow(2)));
+        assert_eq!(top[2], (3000, flow(1)));
     }
 
     #[test]
@@ -348,5 +776,21 @@ mod tests {
         let a = t.approx_bytes();
         t.insert(rec(1, &[0, 8, 4], 0, 1, 1));
         assert!(t.approx_bytes() > a);
+    }
+
+    #[test]
+    fn bucket_structure() {
+        let mut t = Tib::with_bucket_width(Nanos(100));
+        t.insert(rec(1, &[0, 8, 4], 0, 10, 5));
+        t.insert(rec(1, &[0, 8, 4], 50, 60, 5));
+        t.insert(rec(2, &[0, 8, 4], 250, 260, 5));
+        assert_eq!(t.num_buckets(), 2, "stimes 0/50 share a bucket, 250 not");
+        assert_eq!(t.bucket_width(), Nanos(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width must be positive")]
+    fn zero_bucket_width_rejected() {
+        let _ = Tib::with_bucket_width(Nanos(0));
     }
 }

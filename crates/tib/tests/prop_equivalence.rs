@@ -1,0 +1,192 @@
+//! Query-engine equivalence: the bucketed/aggregate [`Tib`] must answer
+//! every Host API query identically to a naive linear scan over the raw
+//! records, for arbitrary record sets, time ranges, link patterns, and
+//! bucket widths (so bucket-boundary and lookback paths are exercised).
+//!
+//! Inputs are kept deliberately small: the vendored proptest stub does
+//! not shrink failures.
+
+use pathdump_tib::{Tib, TibRecord};
+use pathdump_topology::{FlowId, Ip, LinkPattern, Nanos, Path, SwitchId, TimeRange};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn flow(sport: u16) -> FlowId {
+    FlowId::tcp(Ip::new(10, 0, 0, 2), sport, Ip::new(10, 1, 0, 2), 80)
+}
+
+/// A small pool of paths over switches 0..=5, including a loopy one
+/// (routing-loop scenarios) that repeats a link and a switch.
+fn path_pool() -> Vec<Path> {
+    [
+        &[0u16, 2, 4][..],
+        &[0, 3, 4],
+        &[1, 2, 5],
+        &[1, 3, 5],
+        &[0, 2, 0, 2, 4], // loop: repeats link 0->2 and switches 0, 2
+    ]
+    .iter()
+    .map(|ids| Path::new(ids.iter().map(|&i| SwitchId(i)).collect()))
+    .collect()
+}
+
+/// One generated record: (sport, path index, t0, duration, bytes).
+type RecTuple = (u16, usize, u64, u64, u64);
+
+fn build(recs: &[RecTuple], width: u64) -> (Tib, Vec<TibRecord>) {
+    let pool = path_pool();
+    let mut tib = Tib::with_bucket_width(Nanos(width));
+    let mut raw = Vec::new();
+    for &(sport, pidx, t0, dur, bytes) in recs {
+        let rec = TibRecord {
+            flow: flow(1 + sport % 4),
+            path: pool[pidx % pool.len()].clone(),
+            stime: Nanos(t0 % 120),
+            etime: Nanos(t0 % 120 + dur % 50),
+            bytes: 1 + bytes % 1000,
+            pkts: 1 + bytes % 7,
+        };
+        tib.insert(rec.clone());
+        raw.push(rec);
+    }
+    (tib, raw)
+}
+
+/// The queries under test, over every interesting pattern/range combo.
+fn patterns() -> Vec<LinkPattern> {
+    let mut v = vec![LinkPattern::ANY];
+    for s in 0..6 {
+        v.push(LinkPattern::into(SwitchId(s)));
+        v.push(LinkPattern::out_of(SwitchId(s)));
+    }
+    for (f, t) in [(0, 2), (2, 4), (1, 3), (3, 5), (4, 0)] {
+        v.push(LinkPattern::exact(SwitchId(f), SwitchId(t)));
+    }
+    v
+}
+
+fn ranges(a: u64, b: u64) -> Vec<TimeRange> {
+    let (a, b) = (a % 130, b % 130);
+    let (lo, hi) = (a.min(b), a.max(b) + 1);
+    vec![
+        TimeRange::ANY,
+        TimeRange::since(Nanos(lo)),
+        TimeRange::until(Nanos(hi)),
+        TimeRange::between(Nanos(lo), Nanos(hi)),
+    ]
+}
+
+// --- naive linear-scan reference implementations ---
+
+fn rec_matches(rec: &TibRecord, link: LinkPattern) -> bool {
+    link.is_any() || rec.path.links().any(|l| link.matches(l))
+}
+
+fn ref_get_flows(raw: &[TibRecord], link: LinkPattern, range: TimeRange) -> Vec<FlowId> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for rec in raw {
+        if rec.overlaps(&range) && rec_matches(rec, link) && seen.insert(rec.flow) {
+            out.push(rec.flow);
+        }
+    }
+    out
+}
+
+fn ref_counts(
+    raw: &[TibRecord],
+    link: LinkPattern,
+    range: TimeRange,
+) -> HashMap<FlowId, (u64, u64)> {
+    let mut out: HashMap<FlowId, (u64, u64)> = HashMap::new();
+    for rec in raw {
+        if rec.overlaps(&range) && rec_matches(rec, link) {
+            let e = out.entry(rec.flow).or_insert((0, 0));
+            e.0 += rec.bytes;
+            e.1 += rec.pkts;
+        }
+    }
+    out
+}
+
+fn ref_get_count(raw: &[TibRecord], f: FlowId, range: TimeRange) -> (u64, u64) {
+    let mut acc = (0, 0);
+    for rec in raw.iter().filter(|r| r.flow == f && r.overlaps(&range)) {
+        acc.0 += rec.bytes;
+        acc.1 += rec.pkts;
+    }
+    acc
+}
+
+fn ref_get_duration(raw: &[TibRecord], f: FlowId, range: TimeRange) -> Nanos {
+    let mut lo = Nanos::MAX;
+    let mut hi = Nanos::ZERO;
+    for rec in raw.iter().filter(|r| r.flow == f && r.overlaps(&range)) {
+        let (s, e) = range.clamp(rec.stime, rec.etime).unwrap();
+        lo = lo.min(s);
+        hi = hi.max(e);
+    }
+    if lo >= hi {
+        Nanos::ZERO
+    } else {
+        hi - lo
+    }
+}
+
+fn ref_top_k(raw: &[TibRecord], k: usize, range: TimeRange) -> Vec<(u64, FlowId)> {
+    let mut v: Vec<(u64, FlowId)> = ref_counts(raw, LinkPattern::ANY, range)
+        .into_iter()
+        .map(|(f, (b, _))| (b, f))
+        .collect();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    v.truncate(k);
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bucketed_engine_matches_linear_scan(
+        recs in proptest::collection::vec(
+            (0u16..6, 0usize..5, 0u64..140, 0u64..60, 0u64..2000), 0..25),
+        width in 1u64..200,
+        a in 0u64..140,
+        b in 0u64..140,
+        k in 0usize..8,
+    ) {
+        let (tib, raw) = build(&recs, width);
+        for range in ranges(a, b) {
+            for link in patterns() {
+                prop_assert_eq!(
+                    tib.get_flows(link, range),
+                    ref_get_flows(&raw, link, range),
+                    "get_flows({:?}, {:?}) width={}", link, range, width
+                );
+                prop_assert_eq!(
+                    tib.link_flow_counts(link, range),
+                    ref_counts(&raw, link, range),
+                    "link_flow_counts({:?}, {:?}) width={}", link, range, width
+                );
+            }
+            for sport in 1..=4u16 {
+                let f = flow(sport);
+                prop_assert_eq!(
+                    tib.get_count(f, None, range),
+                    ref_get_count(&raw, f, range),
+                    "get_count({:?}) width={}", range, width
+                );
+                prop_assert_eq!(
+                    tib.get_duration(f, None, range),
+                    ref_get_duration(&raw, f, range),
+                    "get_duration({:?}) width={}", range, width
+                );
+            }
+            prop_assert_eq!(
+                tib.top_k_flows(k, range),
+                ref_top_k(&raw, k, range),
+                "top_k({}, {:?}) width={}", k, range, width
+            );
+        }
+    }
+}

@@ -35,7 +35,7 @@ impl FatTreeParams {
     /// Panics if `k` is odd or out of the supported range.
     pub fn validate(self) {
         assert!(self.k >= 4, "fat-tree requires k >= 4");
-        assert!(self.k % 2 == 0, "fat-tree requires even k");
+        assert!(self.k.is_multiple_of(2), "fat-tree requires even k");
         assert!(self.k <= 90, "k > 90 exceeds the 12-bit link-ID budget");
     }
 }

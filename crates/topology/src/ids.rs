@@ -317,7 +317,7 @@ impl LinkPattern {
 
     /// Returns true if `link` matches this pattern.
     pub fn matches(&self, link: LinkDir) -> bool {
-        self.from.map_or(true, |f| f == link.from) && self.to.map_or(true, |t| t == link.to)
+        self.from.is_none_or(|f| f == link.from) && self.to.is_none_or(|t| t == link.to)
     }
 
     /// Returns true if the pattern is fully wildcarded.

@@ -149,7 +149,7 @@ impl TimeRange {
 
     /// Returns true if instant `t` lies inside this range.
     pub fn contains(&self, t: Nanos) -> bool {
-        self.start.map_or(true, |s| t >= s) && self.end.map_or(true, |e| t <= e)
+        self.start.is_none_or(|s| t >= s) && self.end.is_none_or(|e| t <= e)
     }
 
     /// Returns true if the record interval `[stime, etime]` overlaps the range.
@@ -157,7 +157,7 @@ impl TimeRange {
     /// TIB records carry a start and end time; a record is relevant to a
     /// query when the two intervals intersect.
     pub fn overlaps(&self, stime: Nanos, etime: Nanos) -> bool {
-        self.start.map_or(true, |s| etime >= s) && self.end.map_or(true, |e| stime <= e)
+        self.start.is_none_or(|s| etime >= s) && self.end.is_none_or(|e| stime <= e)
     }
 
     /// Intersects the record interval with this range, returning the clamped

@@ -35,10 +35,16 @@ impl Vl2Params {
     ///
     /// Panics on unsupported values.
     pub fn validate(self) {
-        assert!(self.da >= 4 && self.da % 2 == 0, "DA must be even and >= 4");
-        assert!(self.di >= 2 && self.di % 2 == 0, "DI must be even and >= 2");
         assert!(
-            (self.da as usize * self.di as usize) % 4 == 0,
+            self.da >= 4 && self.da.is_multiple_of(2),
+            "DA must be even and >= 4"
+        );
+        assert!(
+            self.di >= 2 && self.di.is_multiple_of(2),
+            "DI must be even and >= 2"
+        );
+        assert!(
+            (self.da as usize * self.di as usize).is_multiple_of(4),
             "DA*DI must be divisible by 4"
         );
         assert!(self.hosts_per_tor >= 1 && self.hosts_per_tor <= 253);

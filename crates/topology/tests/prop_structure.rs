@@ -106,7 +106,7 @@ proptest! {
         dst_i in any::<u32>(),
         pick in any::<u8>(),
     ) {
-        prop_assume!((da as usize * di as usize) % 4 == 0);
+        prop_assume!((da as usize * di as usize).is_multiple_of(4));
         let v = Vl2::build(Vl2Params { da, di, hosts_per_tor: 2 });
         let topo = v.topology();
         prop_assert!(topo.validate().is_ok());

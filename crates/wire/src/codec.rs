@@ -59,6 +59,13 @@ impl Encoder {
         }
     }
 
+    /// Wraps an existing buffer, appending after its current contents —
+    /// the streaming path: callers keep one buffer across encodes instead
+    /// of allocating a fresh `Vec` per value.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Encoder { buf }
+    }
+
     /// Bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()

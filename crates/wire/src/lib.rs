@@ -26,6 +26,16 @@ pub fn to_bytes<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
     enc.into_bytes()
 }
 
+/// Encodes a value into a caller-provided buffer, appending after its
+/// current contents. The streaming counterpart of [`to_bytes`]: batch
+/// encoders (snapshots, frame assembly) reuse one buffer across values
+/// instead of materializing a `Vec` per value.
+pub fn encode_into<T: Encode + ?Sized>(value: &T, out: &mut Vec<u8>) {
+    let mut enc = Encoder::from_vec(std::mem::take(out));
+    value.encode(&mut enc);
+    *out = enc.into_bytes();
+}
+
 /// Decodes a value from a byte slice, requiring the slice to be fully
 /// consumed.
 pub fn from_bytes<T: Decode>(bytes: &[u8]) -> WireResult<T> {
@@ -59,5 +69,20 @@ mod tests {
         let mut bytes = to_bytes(&7u32);
         bytes.push(0xff);
         assert!(from_bytes::<u32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn encode_into_appends_and_matches_to_bytes() {
+        let v: Vec<u32> = vec![9, 10, 11];
+        let mut buf = vec![0xAA, 0xBB];
+        encode_into(&v, &mut buf);
+        assert_eq!(&buf[..2], &[0xAA, 0xBB], "existing contents preserved");
+        assert_eq!(&buf[2..], &to_bytes(&v)[..], "same wire bytes appended");
+        // Reuse without reallocation: capacity carries over.
+        let cap = buf.capacity();
+        buf.clear();
+        encode_into(&42u64, &mut buf);
+        assert_eq!(buf, to_bytes(&42u64));
+        assert_eq!(buf.capacity(), cap, "buffer was reused, not replaced");
     }
 }
