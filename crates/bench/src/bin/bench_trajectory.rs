@@ -1,14 +1,17 @@
 //! Perf-trajectory capture: runs the four Criterion benches
 //! (`tib_queries`, `wire_codec`, `reconstruct`, `dpswitch_throughput`)
 //! via nested `cargo bench` invocations, parses the vendored harness's
-//! `name: median <time> over N samples` lines, and writes one
-//! `BENCH_tib.json` with median nanoseconds per benchmark — the recorded
-//! perf trajectory CI uploads as an artifact so regressions are visible
-//! across PRs.
+//! `name: median <time> over N samples` lines, runs the in-process simnet
+//! engine comparison (k=8 sequential vs sharded, see the `simnet_scale`
+//! module), and writes one `BENCH_tib.json` with a `benchmarks` array and
+//! a `simnet` section — the recorded perf trajectory CI uploads as an
+//! artifact so regressions are visible across PRs.
 //!
 //! Usage: `cargo run --release -p pathdump_bench --bin bench_trajectory
 //! [-- --out PATH]` (default `BENCH_tib.json` in the working directory).
 
+use pathdump_bench::simnet_scale::{run_scale_with, ScaleParams, ScaleResult};
+use pathdump_simnet::EngineKind;
 use std::process::Command;
 
 const BENCHES: [&str; 4] = [
@@ -62,6 +65,55 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Runs the k=8 engine comparison (median of `runs` wall-clocks per
+/// engine) and returns the `simnet` JSON object.
+fn simnet_section(runs: usize) -> String {
+    let p = ScaleParams::k8_default();
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let median = |mut rs: Vec<ScaleResult>| -> ScaleResult {
+        rs.sort_by(|a, b| a.wall_secs.total_cmp(&b.wall_secs));
+        rs.swap_remove(rs.len() / 2)
+    };
+    // Sequential reference, then the sharded engine with auto workers
+    // (one per CPU, capped at the 9 switch shards of k=8).
+    let seq = median(
+        (0..runs)
+            .map(|_| run_scale_with(p, EngineKind::Sequential, 0))
+            .collect(),
+    );
+    let sha = median(
+        (0..runs)
+            .map(|_| run_scale_with(p, EngineKind::Sharded, 0))
+            .collect(),
+    );
+    assert_eq!(
+        seq.events, sha.events,
+        "engines must process identical schedules"
+    );
+    let speedup = seq.wall_secs / sha.wall_secs.max(1e-12);
+    eprintln!(
+        "simnet k=8: sequential {:.2}M ev/s, sharded {:.2}M ev/s ({speedup:.2}x, {cpus} cpu(s))",
+        seq.events_per_sec / 1e6,
+        sha.events_per_sec / 1e6
+    );
+    let case = |r: &ScaleResult, name: &str| {
+        format!(
+            "    {{\"engine\": \"{name}\", \"workers\": {}, \"events\": {}, \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}}}",
+            r.workers, r.events, r.wall_secs * 1e3, r.events_per_sec
+        )
+    };
+    format!(
+        "{{\n  \"k\": {},\n  \"pkts_per_host\": {},\n  \"cpus\": {cpus},\n  \"speedup_sharded_vs_sequential\": {:.3},\n  \"cases\": [\n{},\n{}\n    ]\n  }}",
+        p.k,
+        p.pkts_per_host,
+        speedup,
+        case(&seq, "sequential"),
+        case(&sha, "sharded")
+    )
+}
+
 fn main() {
     let mut out_path = String::from("BENCH_tib.json");
     let mut args = std::env::args().skip(1);
@@ -108,6 +160,9 @@ fn main() {
         }
     }
 
+    eprintln!("running simnet engine comparison (k=8)...");
+    let simnet = simnet_section(3);
+
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let sep = if i + 1 == entries.len() { "" } else { "," };
@@ -119,7 +174,9 @@ fn main() {
             e.samples
         ));
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n  \"simnet\": ");
+    json.push_str(&simnet);
+    json.push_str("\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH json");
     println!("wrote {} benchmark medians to {out_path}", entries.len());
     if entries.is_empty() || failures > 0 {

@@ -10,6 +10,8 @@ use pathdump_topology::{FatTree, FlowId, HostId, Nanos, UpDownRouting};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+pub mod simnet_scale;
+
 /// Minimal CLI flags shared by the reproduction binaries.
 #[derive(Clone, Debug)]
 pub struct Args {

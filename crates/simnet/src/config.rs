@@ -22,6 +22,25 @@ impl LinkConfig {
     }
 }
 
+/// Which event-loop engine drives the simulation.
+///
+/// Both engines produce **bit-identical** results (stats, drop logs,
+/// per-packet trajectories, world observations) — the choice only affects
+/// how the event schedule is executed. See `sim.rs` module docs for the
+/// design and `tests/prop_shard_equivalence.rs` for the differential proof.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// One global `(time, key)` scan over all shard queues, single thread.
+    #[default]
+    Sequential,
+    /// Conservative parallel discrete-event simulation: one shard per
+    /// fat-tree pod plus a core shard and the host/controller edge shard,
+    /// synchronized on lookahead windows bounded by the minimum cross-shard
+    /// latency. Falls back to the sequential driver when the topology or
+    /// the configured latencies leave no usable lookahead.
+    Sharded,
+}
+
 /// Global simulator configuration.
 ///
 /// Defaults model the paper's commodity testbed with one deliberate
@@ -53,6 +72,13 @@ pub struct SimConfig {
     /// Record ground-truth trajectories on packets (verification; small
     /// per-packet cost).
     pub record_ground_truth: bool,
+    /// Which event-loop engine executes the schedule (results identical).
+    pub engine: EngineKind,
+    /// Worker threads for the sharded engine: `0` = one per available CPU
+    /// (capped at the shard count), `1` = windowed rounds on the calling
+    /// thread (no spawning), `n >= 2` = that many spawned workers plus the
+    /// calling thread driving the host/controller edge shard.
+    pub shard_workers: usize,
 }
 
 impl Default for SimConfig {
@@ -75,6 +101,8 @@ impl Default for SimConfig {
             seed: 0xDEB6_0001,
             collect_drop_log: false,
             record_ground_truth: true,
+            engine: EngineKind::Sequential,
+            shard_workers: 0,
         }
     }
 }
@@ -87,6 +115,12 @@ impl SimConfig {
             collect_drop_log: true,
             ..SimConfig::default()
         }
+    }
+
+    /// The same configuration running on the given engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
     }
 }
 

@@ -9,18 +9,24 @@
 //! injects: link failures, silent random drops (invisible to counters),
 //! blackholes, queue tail drops, and forwarding misconfigurations.
 //!
-//! Determinism: a single event queue ordered by `(time, sequence)` plus one
-//! seeded RNG make every run exactly reproducible.
+//! Determinism: per-shard event queues ordered by `(time, causal key)`
+//! plus partitioned seeded RNG streams make every run exactly reproducible
+//! — on either engine. The simulation can run on one global event loop
+//! ([`config::EngineKind::Sequential`]) or sharded per fat-tree pod as a
+//! conservative parallel DES ([`config::EngineKind::Sharded`]); both
+//! produce bit-identical results (see `sim` module docs and
+//! `tests/prop_shard_equivalence.rs`).
 
 pub mod config;
 pub mod event;
 pub mod fault;
 pub mod packet;
+mod shard;
 pub mod sim;
 pub mod stats;
 pub mod traits;
 
-pub use config::{LinkConfig, SimConfig};
+pub use config::{EngineKind, LinkConfig, SimConfig};
 pub use fault::{FaultState, LoadBalance, Quirk, SwitchQuirks};
 pub use packet::{Packet, TagHeaders, TcpFlags, HEADER_BYTES, VLAN_TAG_BYTES};
 pub use sim::Simulator;

@@ -10,7 +10,7 @@ use pathdump_topology::{FlowId, Nanos, PortNo, SwitchId};
 use serde::{Deserialize, Serialize};
 
 /// Counters for one egress (switch port or host NIC).
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LinkCounters {
     /// Packets transmitted.
     pub tx_pkts: u64,
@@ -39,7 +39,7 @@ impl LinkCounters {
 }
 
 /// Per-switch counters not tied to one port.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SwitchCounters {
     /// Packets received (all ports).
     pub rx_pkts: u64,
@@ -69,7 +69,7 @@ pub enum DropReason {
 }
 
 /// One entry of the (optional) drop log.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DropRecord {
     /// When the drop happened.
     pub time: Nanos,
@@ -89,7 +89,10 @@ pub struct DropRecord {
 pub const DROP_LOG_CAP: usize = 100_000;
 
 /// All simulation statistics.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` so the differential harness can assert whole-run equality
+/// between the sequential and sharded engines.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// `ports[sw][port]` egress counters.
     pub switch_ports: Vec<Vec<LinkCounters>>,
@@ -149,6 +152,7 @@ impl SimStats {
         self.switches.iter().map(|c| c.punts).sum()
     }
 
+    #[allow(dead_code)] // engine drops go through the staged merge; kept for tests/API symmetry
     pub(crate) fn log_drop(&mut self, enabled: bool, rec: DropRecord) {
         if enabled && self.drop_log.len() < DROP_LOG_CAP {
             self.drop_log.push(rec);

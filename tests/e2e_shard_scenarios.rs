@@ -1,0 +1,226 @@
+//! End-to-end debugging scenarios on the **sharded** simnet engine at
+//! k=8, differentially checked against the sequential reference: the
+//! silent-drop, routing-loop, and load-imbalance applications from
+//! `pathdump_apps` must reach identical verdicts (localized links,
+//! detected loops, per-link flow-size splits) — and, because the engines
+//! are bit-identical by design, identical `SimStats` too.
+//!
+//! Plus a k=16 scale check: a paper-scale fabric (320 switches, 1024
+//! hosts, 17 switch shards) completes end-to-end on the sharded engine.
+
+use pathdump_apps::load_imbalance::flow_size_distributions;
+use pathdump_apps::routing_loop::{install_loop, run_loop_experiment};
+use pathdump_apps::silent_drops::{score, SilentDropLocalizer};
+use pathdump_apps::Testbed;
+use pathdump_core::WorldConfig;
+use pathdump_simnet::{
+    EngineKind, FaultState, NoTagging, Packet, SimConfig, SimStats, Simulator, SinkWorld,
+};
+use pathdump_topology::{
+    FatTree, FatTreeParams, FlowId, HostId, LinkDir, Nanos, TimeRange, UpDownRouting,
+};
+
+fn k8(engine: EngineKind) -> Testbed {
+    Testbed::fattree(
+        8,
+        SimConfig::for_tests().with_engine(engine),
+        WorldConfig::default(),
+    )
+}
+
+const ENGINES: [EngineKind; 2] = [EngineKind::Sequential, EngineKind::Sharded];
+
+/// §4.3 at k=8: MAX-COVERAGE localization of a silently dropping
+/// interface from edge alarms. Both engines must produce the same failure
+/// signatures, the same hypothesis, and the same fabric stats.
+#[test]
+fn silent_drop_localization_k8_sharded_matches_sequential() {
+    let mut results: Vec<(Vec<LinkDir>, usize, SimStats)> = Vec::new();
+    for engine in ENGINES {
+        let mut tb = k8(engine);
+        assert_eq!(tb.sim.effective_engine(), engine);
+        // Faulty interface: Agg(0,0) -> ToR(0,1), 45% silent drops — high
+        // enough to trip the consecutive-retransmission monitor, below
+        // 100% so victim paths still reach the destination TIBs.
+        let faulty = LinkDir::new(tb.ft.agg(0, 0), tb.ft.tor(0, 1));
+        tb.sim.set_directed_fault(
+            faulty.from,
+            faulty.to,
+            FaultState {
+                silent_drop_rate: 0.45,
+                ..FaultState::HEALTHY
+            },
+        );
+        // Long-lived flows into rack (0,1) from every remote pod (k=8 has
+        // four aggregate positions, so enough flows are needed for ECMP to
+        // hash several across the faulty aggregate), staggered to keep
+        // congestion noise low.
+        let mut sport = 7000;
+        for spod in 1usize..8 {
+            for t in 0..2 {
+                let src = tb.ft.host(spod, t, 0);
+                for hdst in 0..2 {
+                    let dst = tb.ft.host(0, 1, hdst);
+                    let start = Nanos::from_millis(50 * (sport - 7000) as u64);
+                    tb.add_flow(src, dst, sport, 600_000, start);
+                    sport += 1;
+                }
+            }
+        }
+        let mut app = SilentDropLocalizer::new();
+        for step in 1..=150u64 {
+            let t = Nanos::from_millis(200 * step);
+            tb.sim.run_until(t);
+            app.process_alarms(&mut tb.sim.world, t, Nanos::ZERO);
+        }
+        assert!(
+            !app.coverage.is_empty(),
+            "[{engine:?}] retransmitting flows must produce signatures"
+        );
+        let hyp = app.localize();
+        let acc = score(&hyp, &[faulty]);
+        assert!(
+            acc.recall >= 1.0,
+            "[{engine:?}] faulty link must be in the hypothesis: {hyp:?}"
+        );
+        results.push((hyp, app.coverage.len(), tb.sim.stats.clone()));
+    }
+    let (seq, sha) = (&results[0], &results[1]);
+    assert_eq!(sha.0, seq.0, "localization hypotheses diverged");
+    assert_eq!(sha.1, seq.1, "signature counts diverged");
+    assert_eq!(sha.2, seq.2, "fabric stats diverged");
+}
+
+/// §4.5 at k=8: a 4-switch loop across two pods and the core, trapped by
+/// the controller in punt time. Verdicts (switch, repeated link, visit
+/// count, detection time) must be identical across engines.
+#[test]
+fn routing_loop_detection_k8_sharded_matches_sequential() {
+    let mut results = Vec::new();
+    for engine in ENGINES {
+        let mut tb = k8(engine);
+        let (src, dst) = (tb.ft.host(0, 0, 0), tb.ft.host(1, 0, 0));
+        let flow = tb.flow(src, dst, 8800);
+        let cycle = [
+            tb.ft.agg(0, 0),
+            tb.ft.core(0),
+            tb.ft.agg(1, 0),
+            tb.ft.core(1),
+        ];
+        let entry = tb.ft.tor(0, 0);
+        install_loop(&mut tb, flow, entry, &cycle);
+        let out = run_loop_experiment(&mut tb, flow, Nanos::from_secs(3));
+        let det = out
+            .detection
+            .unwrap_or_else(|| panic!("[{engine:?}] loop must be detected"));
+        assert!(det.visits <= 2, "[{engine:?}] small loop within 2 visits");
+        results.push((
+            det.punt_switch,
+            det.repeated_link_id,
+            det.visits,
+            det.at,
+            out.punts,
+            tb.sim.stats.clone(),
+        ));
+    }
+    assert_eq!(results[0], results[1], "loop verdicts diverged");
+}
+
+/// §4.2 at k=8: the size-based ECMP misconfiguration splits flows at the
+/// 100 KB boundary; the per-link flow-size distributions recovered from
+/// the TIBs must show the sharp split identically on both engines.
+#[test]
+fn load_imbalance_fsd_k8_sharded_matches_sequential() {
+    use pathdump_simnet::Quirk;
+    let mut results = Vec::new();
+    for engine in ENGINES {
+        let mut tb = k8(engine);
+        let tor = tb.ft.tor(0, 0);
+        let link1 = LinkDir::new(tor, tb.ft.agg(0, 0)); // big flows
+        let link2 = LinkDir::new(tor, tb.ft.agg(0, 1)); // small flows
+        tb.sim.install_quirk(
+            tor,
+            Quirk::SizeBasedSplit {
+                threshold: 100_000,
+                big_port: tb.sim.link_port(tor, tb.ft.agg(0, 0)),
+                small_port: tb.sim.link_port(tor, tb.ft.agg(0, 1)),
+            },
+        );
+        for (i, &size) in [20_000u64, 50_000, 80_000, 150_000, 300_000, 500_000]
+            .iter()
+            .enumerate()
+        {
+            let src = tb.ft.host(0, 0, i % 4);
+            let dst = tb.ft.host(1 + i % 3, i % 4, i / 3);
+            tb.add_flow(src, dst, 6000 + i as u16, size, Nanos::ZERO);
+        }
+        tb.run_and_flush(Nanos::from_secs(45));
+        assert!(
+            tb.sim.world.tcp.all_complete(),
+            "[{engine:?}] all flows must finish"
+        );
+        let hosts: Vec<HostId> = (0..tb.ft.topology().num_hosts() as u32)
+            .map(HostId)
+            .collect();
+        let dists = flow_size_distributions(
+            &mut tb.sim.world,
+            &hosts,
+            &[link1, link2],
+            TimeRange::ANY,
+            10_000,
+        );
+        let (big, small) = (&dists[0], &dists[1]);
+        assert_eq!(big.total_flows(), 3, "[{engine:?}] three large flows");
+        assert_eq!(small.total_flows(), 3, "[{engine:?}] three small flows");
+        assert_eq!(big.flows_at_least(100_000), 3, "[{engine:?}]");
+        assert_eq!(small.flows_at_least(100_000), 0, "[{engine:?}]");
+        results.push((dists, tb.sim.stats.clone()));
+    }
+    assert_eq!(results[0].0, results[1].0, "FSD verdicts diverged");
+    assert_eq!(results[0].1, results[1].1, "fabric stats diverged");
+}
+
+/// Scale check: a k=16 fat-tree (320 switches, 1024 hosts, 17 switch
+/// shards) completes an all-pods workload end-to-end on the sharded
+/// engine, delivering every packet that a healthy fabric should.
+#[test]
+fn k16_fabric_completes_on_sharded_engine() {
+    let ft = FatTree::build(FatTreeParams { k: 16 });
+    let mut cfg = SimConfig::for_tests().with_engine(EngineKind::Sharded);
+    cfg.collect_drop_log = false;
+    let mut sim = Simulator::new(&ft, cfg, Box::new(NoTagging), SinkWorld);
+    assert_eq!(sim.effective_engine(), EngineKind::Sharded);
+    let topo = ft.topology().clone();
+    let hosts = topo.num_hosts();
+    assert_eq!(hosts, 1024);
+    // Every host sends 2 packets to a host in another pod.
+    let mut sent = 0u64;
+    for h in 0..hosts as u32 {
+        let src = HostId(h);
+        let dst = HostId((h + (hosts / 16) as u32) % hosts as u32);
+        let f = FlowId::tcp(
+            topo.host(src).ip,
+            2000 + (h % 500) as u16,
+            topo.host(dst).ip,
+            80,
+        );
+        for _ in 0..2 {
+            sim.send_from(src, Packet::data(0, f, 0, 1000, sim.now()));
+            sent += 1;
+        }
+    }
+    sim.run_to_completion(Nanos::from_secs(5));
+    assert_eq!(sim.pending_events(), 0, "fabric must drain");
+    assert_eq!(sim.stats.injected_pkts, sent);
+    assert_eq!(
+        sim.stats.delivered_pkts + sim.stats.total_actual_drops(),
+        sent,
+        "every packet is delivered or accounted as a drop"
+    );
+    assert!(
+        sim.stats.delivered_pkts >= sent * 9 / 10,
+        "healthy fabric delivers (queue drops only): {}/{}",
+        sim.stats.delivered_pkts,
+        sent
+    );
+}
