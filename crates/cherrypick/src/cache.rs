@@ -50,10 +50,17 @@ impl TrajectoryCache {
 
     /// Looks up a key, counting hit/miss.
     pub fn lookup(&mut self, key: &CacheKey) -> Option<Path> {
+        self.probe(key).cloned()
+    }
+
+    /// Borrowed lookup: like [`lookup`](Self::lookup) but hands the path
+    /// back by reference — the agent's allocation-free ingest path clones
+    /// only when it actually exports a record.
+    pub fn probe(&mut self, key: &CacheKey) -> Option<&Path> {
         match self.map.get(key) {
             Some(p) => {
                 self.hits += 1;
-                Some(p.clone())
+                Some(p)
             }
             None => {
                 self.misses += 1;

@@ -21,5 +21,7 @@ pub mod rules;
 pub use cache::{CacheKey, TrajectoryCache};
 pub use ids::{FatTreeIds, FtTag, Vl2Ids, Vl2Tag};
 pub use policy::{tags_for_walk, FatTreeCherryPick, Vl2CherryPick};
-pub use reconstruct::{path_is_feasible, FatTreeReconstructor, ReconstructError, Vl2Reconstructor};
+pub use reconstruct::{
+    path_is_feasible, DecodeMemo, FatTreeReconstructor, ReconstructError, Vl2Reconstructor,
+};
 pub use rules::{fattree_rule_counts, pod_core_coloring, vl2_rule_counts, RuleCount};

@@ -15,7 +15,10 @@
 
 use crate::ids::{FatTreeIds, FtTag, Vl2Ids, Vl2Tag};
 use pathdump_simnet::TagHeaders;
-use pathdump_topology::{FatTree, HostId, Path, Peer, SwitchId, Tier, UpDownRouting, Vl2};
+use pathdump_topology::{
+    FatTree, FnvBuild, HostId, Path, Peer, SwitchId, Tier, UpDownRouting, Vl2,
+};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Why a trajectory could not be reconstructed.
@@ -49,6 +52,121 @@ impl fmt::Display for ReconstructError {
 }
 
 impl std::error::Error for ReconstructError {}
+
+/// Memo key: exactly the decode inputs that determine the result. Both
+/// reconstructors' outputs (paths *and* errors) are functions of the
+/// endpoint ToRs, the DSCP sample, and the tag stack — host positions
+/// within a rack never change the decoded switch walk.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct MemoKey {
+    src_tor: SwitchId,
+    dst_tor: SwitchId,
+    dscp_sample: Option<u8>,
+    tags: Vec<u16>,
+}
+
+/// Memoized trajectory decode: caches the full decode result — the
+/// reconstructed walk on success, the [`ReconstructError`] otherwise —
+/// per (source ToR, destination ToR, DSCP sample, tag-stack) shape, so
+/// repeated decodes of the same shape reuse the precomputed walk instead
+/// of re-running the case analysis or, for punted ≥3-tag stacks, the
+/// candidate-walk search. Lookups are allocation-free (a reusable scratch
+/// key) and return the path by reference.
+///
+/// One memo is valid for **one** topology: it caches whatever the
+/// reconstructor it is used with computes. Feed it two different
+/// topologies and the results blend; keep one memo per reconstructor
+/// (the per-host agent does exactly that).
+#[derive(Clone, Debug)]
+pub struct DecodeMemo {
+    map: HashMap<MemoKey, Result<Path, ReconstructError>, FnvBuild>,
+    scratch: MemoKey,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for DecodeMemo {
+    fn default() -> Self {
+        DecodeMemo::new(1 << 16)
+    }
+}
+
+impl DecodeMemo {
+    /// Creates a memo bounded to `capacity` entries. The bound is
+    /// generational: when full, the next insert flushes the whole memo
+    /// (decode shapes are topology-bounded in practice, so a real
+    /// deployment never flushes; the bound only defends against
+    /// adversarial tag garbage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "memo capacity must be positive");
+        DecodeMemo {
+            map: HashMap::default(),
+            scratch: MemoKey {
+                src_tor: SwitchId(0),
+                dst_tor: SwitchId(0),
+                dscp_sample: None,
+                tags: Vec::with_capacity(8),
+            },
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Entries currently memoized.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns true if nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Drops every memoized decode (e.g. after a topology change).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Looks up the decode for a shape, computing and memoizing it on a
+    /// miss. The hit path performs no heap allocation and hands the path
+    /// back by reference.
+    fn get_or_compute(
+        &mut self,
+        src_tor: SwitchId,
+        dst_tor: SwitchId,
+        dscp_sample: Option<u8>,
+        tags: &[u16],
+        compute: impl FnOnce() -> Result<Path, ReconstructError>,
+    ) -> Result<&Path, ReconstructError> {
+        self.scratch.src_tor = src_tor;
+        self.scratch.dst_tor = dst_tor;
+        self.scratch.dscp_sample = dscp_sample;
+        self.scratch.tags.clear();
+        self.scratch.tags.extend_from_slice(tags);
+        if self.map.contains_key(&self.scratch) {
+            self.hits += 1;
+            return self.map[&self.scratch].as_ref().map_err(|&e| e);
+        }
+        self.misses += 1;
+        let result = compute();
+        if self.map.len() >= self.capacity {
+            self.map.clear(); // generational flush, see `new`
+        }
+        self.map.insert(self.scratch.clone(), result);
+        self.map[&self.scratch].as_ref().map_err(|&e| e)
+    }
+}
 
 /// Fat-tree trajectory reconstructor.
 #[derive(Clone, Debug)]
@@ -190,6 +308,45 @@ impl FatTreeReconstructor {
                 }
             }
         }
+    }
+
+    /// True when decoding this sample shape runs the candidate-walk
+    /// search (the punted slow path, µs-scale) rather than closed-form
+    /// case analysis (~20 ns — cheaper than any memo probe, so callers
+    /// holding a [`DecodeMemo`] should only route shapes through it when
+    /// this returns true).
+    pub fn decode_uses_search(&self, _dscp_sample: Option<u8>, tags: &[u16]) -> bool {
+        tags.len() >= 3
+    }
+
+    /// Memoized [`reconstruct`](Self::reconstruct): decodes through
+    /// `memo`, reusing the precomputed walk (or error) for a previously
+    /// seen (source ToR, destination ToR, tag-stack) shape. Hits are
+    /// allocation-free and return the path by reference; only a miss runs
+    /// the case analysis / candidate-walk search. Fat-tree decode never
+    /// reads the DSCP sample, so shapes are keyed without it.
+    pub fn reconstruct_memo<'m>(
+        &self,
+        memo: &'m mut DecodeMemo,
+        src: HostId,
+        dst: HostId,
+        dscp_sample: Option<u8>,
+        tags: &[u16],
+    ) -> Result<&'m Path, ReconstructError> {
+        let (sp, st, _) = self.ft.host_coords(src);
+        let (dp, dt, _) = self.ft.host_coords(dst);
+        let tor_s = self.ft.tor(sp, st);
+        let tor_d = self.ft.tor(dp, dt);
+        memo.get_or_compute(tor_s, tor_d, None, tags, || {
+            let mut headers = TagHeaders {
+                tags: tags.to_vec(),
+                dscp: 0,
+            };
+            if let Some(s) = dscp_sample {
+                headers.set_dscp_sample(s);
+            }
+            self.reconstruct(src, dst, &headers)
+        })
     }
 
     /// Finds every walk from `start` to `end` consistent with the sample
@@ -387,6 +544,41 @@ impl Vl2Reconstructor {
                 }
             }
         }
+    }
+
+    /// True when decoding this sample shape runs the candidate-walk
+    /// search — see [`FatTreeReconstructor::decode_uses_search`]. For VL2
+    /// the search kicks in at 2+ VLAN tags on top of a DSCP sample (a
+    /// DSCP-less stack with tags is a cheap `Inconsistent`).
+    pub fn decode_uses_search(&self, dscp_sample: Option<u8>, tags: &[u16]) -> bool {
+        dscp_sample.is_some() && tags.len() >= 2
+    }
+
+    /// Memoized [`reconstruct`](Self::reconstruct) — see
+    /// [`FatTreeReconstructor::reconstruct_memo`]. VL2 decode consumes the
+    /// DSCP sample, so it is part of the shape key.
+    pub fn reconstruct_memo<'m>(
+        &self,
+        memo: &'m mut DecodeMemo,
+        src: HostId,
+        dst: HostId,
+        dscp_sample: Option<u8>,
+        tags: &[u16],
+    ) -> Result<&'m Path, ReconstructError> {
+        let (sr, _) = self.v.host_coords(src);
+        let (dr, _) = self.v.host_coords(dst);
+        let tor_s = self.v.tor(sr);
+        let tor_d = self.v.tor(dr);
+        memo.get_or_compute(tor_s, tor_d, dscp_sample, tags, || {
+            let mut headers = TagHeaders {
+                tags: tags.to_vec(),
+                dscp: 0,
+            };
+            if let Some(s) = dscp_sample {
+                headers.set_dscp_sample(s);
+            }
+            self.reconstruct(src, dst, &headers)
+        })
     }
 
     fn uplink_agg(&self, tor: usize, slot: u8) -> Result<SwitchId, ReconstructError> {
@@ -787,6 +979,62 @@ mod tests {
         match recon.reconstruct(src, dst, &h) {
             Err(ReconstructError::Inconsistent(_)) => {}
             other => panic!("expected Inconsistent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memo_reuses_walks_across_hosts_in_a_rack() {
+        let ft = ft4();
+        let policy = FatTreeCherryPick::new(ft.clone());
+        let recon = FatTreeReconstructor::new(ft.clone());
+        let mut memo = DecodeMemo::new(64);
+        // Two sources in the same rack, same path shape: one computation.
+        let (src_a, src_b, dst) = (ft.host(0, 0, 0), ft.host(0, 0, 1), ft.host(1, 0, 0));
+        let path = ft.all_paths(src_a, dst).remove(0);
+        let headers = tags_for_walk(&policy, &ft, &path.0);
+        for src in [src_a, src_b, src_a] {
+            let got = recon
+                .reconstruct_memo(&mut memo, src, dst, headers.dscp_sample(), &headers.tags)
+                .unwrap();
+            assert_eq!(*got, path);
+        }
+        assert_eq!(memo.stats(), (2, 1), "same rack + shape decodes once");
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn memo_caches_errors_too() {
+        let ft = ft4();
+        let recon = FatTreeReconstructor::new(ft.clone());
+        let mut memo = DecodeMemo::default();
+        let (src, dst) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        for _ in 0..3 {
+            assert_eq!(
+                recon.reconstruct_memo(&mut memo, src, dst, None, &[]),
+                Err(ReconstructError::Incomplete)
+            );
+        }
+        assert_eq!(memo.stats(), (2, 1), "the error is memoized");
+    }
+
+    #[test]
+    fn memo_generational_flush_keeps_answers_correct() {
+        let ft = ft4();
+        let policy = FatTreeCherryPick::new(ft.clone());
+        let recon = FatTreeReconstructor::new(ft.clone());
+        let mut memo = DecodeMemo::new(2); // tiny: forces flushes
+        for round in 0..3 {
+            for a in 0..4u32 {
+                let (src, dst) = (HostId(a), HostId((a + 5) % 16));
+                for path in ft.all_paths(src, dst) {
+                    let headers = tags_for_walk(&policy, &ft, &path.0);
+                    let got = recon
+                        .reconstruct_memo(&mut memo, src, dst, headers.dscp_sample(), &headers.tags)
+                        .unwrap_or_else(|e| panic!("round {round}: {path}: {e}"));
+                    assert_eq!(*got, path);
+                }
+            }
+            assert!(memo.len() <= 2, "capacity bound holds");
         }
     }
 

@@ -1,0 +1,177 @@
+//! Differential pin for the memoized trajectory decode: for arbitrary
+//! (src, dst, headers) inputs — shortest paths, random fabric walks
+//! (loopy ones included), and raw garbage tag stacks — decoding through a
+//! [`DecodeMemo`] must produce exactly the cold
+//! `FatTreeReconstructor`/`Vl2Reconstructor` result: the same `Ok` path or
+//! the same `ReconstructError`, on the first (miss) decode *and* on every
+//! repeat (hit) decode.
+//!
+//! Inputs are kept small: the vendored proptest stub does not shrink.
+
+use pathdump_cherrypick::{
+    tags_for_walk, DecodeMemo, FatTreeCherryPick, FatTreeReconstructor, Vl2CherryPick,
+    Vl2Reconstructor,
+};
+use pathdump_simnet::TagHeaders;
+use pathdump_topology::{FatTree, FatTreeParams, HostId, UpDownRouting, Vl2, Vl2Params};
+use proptest::prelude::*;
+
+/// One generated decode input: endpoints plus a header recipe.
+/// `kind % 3` selects: 0 = a shortest path's real tags, 1 = tags sampled
+/// on a random walk through the fabric (may loop or dead-end), 2 = raw
+/// tag values (mostly infeasible, some invalid).
+type InputSpec = (u8, u32, u32, Vec<u16>, u8, bool);
+
+fn ft_headers(ft: &FatTree, policy: &FatTreeCherryPick, spec: &InputSpec) -> TagHeaders {
+    let (kind, src_sel, dst_sel, raw, walk_len, _) = spec;
+    let n = ft.topology().num_hosts() as u32;
+    let src = HostId(src_sel % n);
+    let dst = HostId(dst_sel % n);
+    match kind % 3 {
+        0 => {
+            if src == dst {
+                return TagHeaders::default();
+            }
+            let paths = ft.all_paths(src, dst);
+            let path = &paths[*src_sel as usize % paths.len()];
+            tags_for_walk(policy, ft, &path.0)
+        }
+        1 => {
+            // Random walk from the source ToR, steered by the raw values.
+            let topo = ft.topology();
+            let mut walk = vec![topo.host(src).tor];
+            for (i, &step) in raw.iter().enumerate() {
+                if i >= *walk_len as usize % 8 {
+                    break;
+                }
+                let nbrs = topo.switch_neighbors(*walk.last().unwrap());
+                if nbrs.is_empty() {
+                    break;
+                }
+                walk.push(nbrs[step as usize % nbrs.len()].1);
+            }
+            tags_for_walk(policy, ft, &walk)
+        }
+        _ => {
+            let mut h = TagHeaders::default();
+            for &t in raw {
+                h.push_tag(t % 64); // in and around the k=4/k=6 ID ranges
+            }
+            h
+        }
+    }
+}
+
+fn vl2_headers(v: &Vl2, policy: &Vl2CherryPick, spec: &InputSpec) -> TagHeaders {
+    let (kind, src_sel, dst_sel, raw, walk_len, with_dscp) = spec;
+    let n = v.topology().num_hosts() as u32;
+    let src = HostId(src_sel % n);
+    let dst = HostId(dst_sel % n);
+    let mut h = match kind % 3 {
+        0 => {
+            if src == dst {
+                TagHeaders::default()
+            } else {
+                let paths = v.all_paths(src, dst);
+                let path = &paths[*src_sel as usize % paths.len()];
+                tags_for_walk(policy, v, &path.0)
+            }
+        }
+        1 => {
+            let topo = v.topology();
+            let mut walk = vec![topo.host(src).tor];
+            for (i, &step) in raw.iter().enumerate() {
+                if i >= *walk_len as usize % 8 {
+                    break;
+                }
+                let nbrs = topo.switch_neighbors(*walk.last().unwrap());
+                if nbrs.is_empty() {
+                    break;
+                }
+                walk.push(nbrs[step as usize % nbrs.len()].1);
+            }
+            tags_for_walk(policy, v, &walk)
+        }
+        _ => {
+            let mut h = TagHeaders::default();
+            for &t in raw {
+                h.push_tag(t % 64);
+            }
+            h
+        }
+    };
+    // Garbage stacks optionally claim a DSCP sample (slot 0/1/out-of-range).
+    if kind % 3 == 2 && *with_dscp {
+        h.set_dscp_sample(raw.first().map(|&t| (t % 3) as u8).unwrap_or(0));
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn fattree_memo_decode_matches_cold(
+        specs in proptest::collection::vec(
+            (0u8..=255, 0u32..4096, 0u32..4096,
+             proptest::collection::vec(0u16..4096, 0..=5), 0u8..=255, any::<bool>()),
+            1..8,
+        ),
+        k in prop_oneof![Just(4u16), Just(6u16)],
+    ) {
+        let ft = FatTree::build(FatTreeParams { k });
+        let policy = FatTreeCherryPick::new(ft.clone());
+        let recon = FatTreeReconstructor::new(ft.clone());
+        let mut memo = DecodeMemo::default();
+        let n = ft.topology().num_hosts() as u32;
+        for spec in &specs {
+            let src = HostId(spec.1 % n);
+            let dst = HostId(spec.2 % n);
+            let headers = ft_headers(&ft, &policy, spec);
+            let cold = recon.reconstruct(src, dst, &headers);
+            // First decode (likely a miss) and a repeat (guaranteed hit)
+            // must both equal the cold result.
+            for round in 0..2 {
+                let memoized = recon
+                    .reconstruct_memo(&mut memo, src, dst, headers.dscp_sample(), &headers.tags)
+                    .cloned();
+                prop_assert_eq!(
+                    &memoized, &cold,
+                    "k={} round {} src={:?} dst={:?} tags={:?}",
+                    k, round, src, dst, &headers.tags
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vl2_memo_decode_matches_cold(
+        specs in proptest::collection::vec(
+            (0u8..=255, 0u32..4096, 0u32..4096,
+             proptest::collection::vec(0u16..4096, 0..=5), 0u8..=255, any::<bool>()),
+            1..8,
+        ),
+    ) {
+        let v = Vl2::build(Vl2Params { da: 4, di: 4, hosts_per_tor: 2 });
+        let policy = Vl2CherryPick::new(v.clone());
+        let recon = Vl2Reconstructor::new(v.clone());
+        let mut memo = DecodeMemo::default();
+        let n = v.topology().num_hosts() as u32;
+        for spec in &specs {
+            let src = HostId(spec.1 % n);
+            let dst = HostId(spec.2 % n);
+            let headers = vl2_headers(&v, &policy, spec);
+            let cold = recon.reconstruct(src, dst, &headers);
+            for round in 0..2 {
+                let memoized = recon
+                    .reconstruct_memo(&mut memo, src, dst, headers.dscp_sample(), &headers.tags)
+                    .cloned();
+                prop_assert_eq!(
+                    &memoized, &cold,
+                    "round {} src={:?} dst={:?} dscp={:?} tags={:?}",
+                    round, src, dst, headers.dscp_sample(), &headers.tags
+                );
+            }
+        }
+    }
+}

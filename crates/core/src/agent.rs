@@ -11,7 +11,7 @@
 use crate::alarm::{Alarm, Reason};
 use crate::query::{Query, Response};
 use pathdump_cherrypick::{
-    CacheKey, FatTreeReconstructor, ReconstructError, TrajectoryCache, Vl2Reconstructor,
+    CacheKey, DecodeMemo, FatTreeReconstructor, ReconstructError, TrajectoryCache, Vl2Reconstructor,
 };
 use pathdump_simnet::{Packet, TcpFlags};
 use pathdump_tib::{MemKey, PendingRecord, Tib, TibRecord, TrajectoryMemory};
@@ -54,6 +54,34 @@ impl Fabric {
         match self {
             Fabric::FatTree(r) => r.reconstruct(src, dst, &headers),
             Fabric::Vl2(r) => r.reconstruct(src, dst, &headers),
+        }
+    }
+
+    /// True when decoding this sample shape runs the µs-scale
+    /// candidate-walk search — the shapes worth routing through a
+    /// [`DecodeMemo`] (closed-form decode is cheaper than a memo probe).
+    pub fn decode_uses_search(&self, dscp_sample: Option<u8>, tags: &[u16]) -> bool {
+        match self {
+            Fabric::FatTree(r) => r.decode_uses_search(dscp_sample, tags),
+            Fabric::Vl2(r) => r.decode_uses_search(dscp_sample, tags),
+        }
+    }
+
+    /// Memoized [`reconstruct`](Self::reconstruct): decodes through a
+    /// [`DecodeMemo`], reusing the precomputed walk for a previously seen
+    /// (ToR pair, sample) shape. Hits allocate nothing and hand the path
+    /// back by reference.
+    pub fn reconstruct_memo<'m>(
+        &self,
+        memo: &'m mut DecodeMemo,
+        src: HostId,
+        dst: HostId,
+        dscp_sample: Option<u8>,
+        tags: &[u16],
+    ) -> Result<&'m Path, ReconstructError> {
+        match self {
+            Fabric::FatTree(r) => r.reconstruct_memo(memo, src, dst, dscp_sample, tags),
+            Fabric::Vl2(r) => r.reconstruct_memo(memo, src, dst, dscp_sample, tags),
         }
     }
 }
@@ -117,6 +145,10 @@ pub struct HostAgent {
     pub memory: TrajectoryMemory,
     /// Trajectory cache (srcIP + link IDs → path).
     pub cache: TrajectoryCache,
+    /// Memoized decode shared below the cache: (ToR pair, sample shape)
+    /// → precomputed walk, so cache misses from different source hosts in
+    /// one rack still decode once.
+    pub memo: DecodeMemo,
     /// The queryable store.
     pub tib: Tib,
     invariants: Vec<Invariant>,
@@ -125,6 +157,12 @@ pub struct HostAgent {
     pub recon_failures: u64,
     /// Packets observed.
     pub packets_seen: u64,
+    /// Reusable per-packet record key: the ingest path probes the
+    /// trajectory memory with it borrowed, so steady-state packets (known
+    /// flow-path) allocate nothing.
+    scratch: MemKey,
+    /// Reusable cache probe key, for the same reason.
+    cache_scratch: CacheKey,
 }
 
 impl HostAgent {
@@ -135,11 +173,27 @@ impl HostAgent {
             cfg,
             memory: TrajectoryMemory::new(cfg.idle_timeout),
             cache: TrajectoryCache::new(cfg.cache_capacity),
+            memo: DecodeMemo::default(),
             tib: Tib::new(),
             invariants: Vec::new(),
             alarms: Vec::new(),
             recon_failures: 0,
             packets_seen: 0,
+            scratch: MemKey {
+                flow: pathdump_topology::FlowId::tcp(
+                    pathdump_topology::Ip(0),
+                    0,
+                    pathdump_topology::Ip(0),
+                    0,
+                ),
+                dscp_sample: None,
+                tags: Vec::with_capacity(4),
+            },
+            cache_scratch: CacheKey {
+                src_ip: pathdump_topology::Ip(0),
+                dscp_sample: None,
+                tags: Vec::with_capacity(4),
+            },
         }
     }
 
@@ -164,18 +218,22 @@ impl HostAgent {
     }
 
     /// Processes one arriving packet (the OVS receive hook of Figure 2).
+    /// Steady-state packets (live flow-path record) allocate nothing: the
+    /// record key is probed borrowed and cloned into the memory only on
+    /// first sight of the (flow, path) pair.
     pub fn on_packet(&mut self, fabric: &Fabric, pkt: &Packet, now: Nanos) {
         self.packets_seen += 1;
-        let key = MemKey {
-            flow: pkt.flow,
-            dscp_sample: pkt.headers.dscp_sample(),
-            tags: pkt.headers.tags.clone(),
-        };
-        let is_new_path = self.memory.peek(&key).is_none();
-        self.memory.update(key.clone(), pkt.wire_size(), now);
+        self.scratch.flow = pkt.flow;
+        self.scratch.dscp_sample = pkt.headers.dscp_sample();
+        self.scratch.tags.clear();
+        self.scratch.tags.extend_from_slice(&pkt.headers.tags);
+        let is_new_path = self
+            .memory
+            .update_borrowed(&self.scratch, pkt.wire_size(), now);
 
         // Real-time invariant checks on first sight of a (flow, path) pair.
         if is_new_path && !self.invariants.is_empty() {
+            let key = self.scratch.clone(); // cold path: once per flow-path
             match self.construct(fabric, &key) {
                 Ok(path) => {
                     let violations: Vec<&Invariant> = self
@@ -243,20 +301,34 @@ impl HostAgent {
         }
     }
 
+    /// Trajectory construction: trajectory-cache probe (srcIP + link IDs,
+    /// Figure 2), then decode on a miss — through the memo for shapes
+    /// that run the µs-scale candidate-walk search (punted stacks, shared
+    /// across all hosts of the source rack), directly for closed-form
+    /// shapes where the case analysis is cheaper than any memo probe.
+    /// Cache probes reuse a scratch key; paths are cloned only to return
+    /// an owned record.
     fn construct(&mut self, fabric: &Fabric, key: &MemKey) -> Result<Path, ReconstructError> {
         let topo = fabric.topology();
         let src = topo
             .host_by_ip(key.flow.src_ip)
             .ok_or(ReconstructError::Inconsistent("unknown source IP"))?;
-        let cache_key = CacheKey {
-            src_ip: key.flow.src_ip,
-            dscp_sample: key.dscp_sample,
-            tags: key.tags.clone(),
+        self.cache_scratch.src_ip = key.flow.src_ip;
+        self.cache_scratch.dscp_sample = key.dscp_sample;
+        self.cache_scratch.tags.clear();
+        self.cache_scratch.tags.extend_from_slice(&key.tags);
+        if let Some(p) = self.cache.probe(&self.cache_scratch) {
+            return Ok(p.clone());
+        }
+        let path = if fabric.decode_uses_search(key.dscp_sample, &key.tags) {
+            fabric
+                .reconstruct_memo(&mut self.memo, src, self.host, key.dscp_sample, &key.tags)?
+                .clone()
+        } else {
+            fabric.reconstruct(src, self.host, key.dscp_sample, &key.tags)?
         };
-        let host = self.host;
-        self.cache.get_or_insert_with(cache_key, || {
-            fabric.reconstruct(src, host, key.dscp_sample, &key.tags)
-        })
+        self.cache.insert(self.cache_scratch.clone(), path.clone());
+        Ok(path)
     }
 
     fn note_infeasible(&mut self, flow: pathdump_topology::FlowId, now: Nanos) {
@@ -576,6 +648,52 @@ mod tests {
         assert_eq!(
             agent.execute(&fabric, &q, true),
             Response::Paths(vec![path])
+        );
+    }
+
+    #[test]
+    fn memo_amortizes_punted_walks_across_rack_sources() {
+        let (ft, fabric, policy) = fabric();
+        // A 7-switch bounce walk: 3 samples, decoded via the candidate-
+        // walk search — exactly the shape the memo exists for.
+        let walk = vec![
+            ft.tor(0, 0),
+            ft.agg(0, 0),
+            ft.core(0),
+            ft.agg(1, 0),
+            ft.tor(1, 0),
+            ft.agg(1, 1),
+            ft.tor(1, 1),
+        ];
+        let dst = ft.host(1, 1, 0);
+        let mut agent = HostAgent::new(dst, AgentConfig::default());
+        // Two different sources in the same rack: distinct srcIPs miss the
+        // trajectory cache separately, but share one memoized walk search.
+        for (i, src) in [ft.host(0, 0, 0), ft.host(0, 0, 1)].into_iter().enumerate() {
+            let flow = flow_of(&ft, src, dst, 3000 + i as u16);
+            let pkt = pkt_on_path(&ft, &policy, flow, &Path::new(walk.clone()), 200, true);
+            agent.on_packet(&fabric, &pkt, Nanos::from_millis(i as u64));
+        }
+        assert_eq!(agent.tib.len(), 2, "both punted flows reconstructed");
+        assert!(agent.tib.records().iter().all(|r| r.path.0 == walk));
+        assert_eq!(agent.cache.stats(), (0, 2), "per-srcIP cache misses");
+        assert_eq!(agent.memo.stats(), (1, 1), "one search, one memo hit");
+    }
+
+    #[test]
+    fn closed_form_decodes_skip_the_memo() {
+        let (ft, fabric, policy) = fabric();
+        let (src, dst) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        let mut agent = HostAgent::new(dst, AgentConfig::default());
+        let flow = flow_of(&ft, src, dst, 4000);
+        let path = ft.all_paths(src, dst).remove(0);
+        let pkt = pkt_on_path(&ft, &policy, flow, &path, 100, true);
+        agent.on_packet(&fabric, &pkt, Nanos::from_millis(1));
+        assert_eq!(agent.tib.len(), 1);
+        assert_eq!(
+            agent.memo.stats(),
+            (0, 0),
+            "≤2-tag shapes decode closed-form, cheaper than a memo probe"
         );
     }
 

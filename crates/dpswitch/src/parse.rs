@@ -53,13 +53,38 @@ pub struct Parsed {
     pub payload_len: usize,
 }
 
+impl Parsed {
+    /// An empty parse scratch, for reuse with [`parse_into`] (the tag
+    /// vector's capacity survives across frames, so steady-state parsing
+    /// performs no heap allocation).
+    pub fn scratch() -> Self {
+        Parsed {
+            tags: Vec::with_capacity(MAX_TAGS),
+            dscp: 0,
+            flow: FlowId::tcp(Ip(0), 0, Ip(0), 0),
+            ip_offset: 0,
+            payload_len: 0,
+        }
+    }
+}
+
 /// Parses an Ethernet frame.
 pub fn parse(frame: &[u8]) -> Result<Parsed, ParseError> {
+    let mut out = Parsed::scratch();
+    parse_into(frame, &mut out)?;
+    Ok(out)
+}
+
+/// Parses an Ethernet frame into a reusable [`Parsed`] scratch — the
+/// allocation-free fast path ([`parse`] is a convenience wrapper). On
+/// error `out` is left in an unspecified (but valid) state.
+pub fn parse_into(frame: &[u8], out: &mut Parsed) -> Result<(), ParseError> {
     if frame.len() < ETH_LEN {
         return Err(ParseError::Truncated);
     }
     let mut off = 12; // skip MACs
-    let mut tags = Vec::new();
+    out.tags.clear();
+    let tags = &mut out.tags;
     let mut ethertype = u16::from_be_bytes([frame[off], frame[off + 1]]);
     off += 2;
     while ethertype == ETHERTYPE_VLAN {
@@ -117,19 +142,17 @@ pub fn parse(frame: &[u8]) -> Result<Parsed, ParseError> {
         }
         Protocol::Other(_) => (0, 0, 0),
     };
-    Ok(Parsed {
-        tags,
-        dscp,
-        flow: FlowId {
-            src_ip,
-            dst_ip,
-            src_port,
-            dst_port,
-            proto,
-        },
-        ip_offset: off,
-        payload_len: total_len - IPV4_LEN - l4_hdr,
-    })
+    out.dscp = dscp;
+    out.flow = FlowId {
+        src_ip,
+        dst_ip,
+        src_port,
+        dst_port,
+        proto,
+    };
+    out.ip_offset = off;
+    out.payload_len = total_len - IPV4_LEN - l4_hdr;
+    Ok(())
 }
 
 /// Builds a TCP frame with the given VLAN stack, DSCP, and payload size.
@@ -220,6 +243,28 @@ pub fn strip_vlans(frame: &mut Vec<u8>) -> Result<usize, ParseError> {
         frame.drain(off..off + tags * VLAN_LEN);
     }
     Ok(tags)
+}
+
+/// Strips `tags` VLAN tags from an already-parsed frame in place by
+/// relocating the 12-byte MAC header forward over the VLAN stack — the
+/// zero-copy pop-vlan: a constant 12-byte `copy_within` instead of
+/// memmoving the packet tail, and no length change to the buffer.
+///
+/// Returns the offset where the stripped frame now begins; the valid
+/// frame is `&frame[offset..]`. Bytes before the offset are dead. With
+/// `tags == 0` this is a no-op returning 0.
+///
+/// The caller must have parsed the frame and pass the tag count that
+/// [`parse`] reported (the frame is known to hold `12 + 4*tags + 2`
+/// header bytes at least).
+pub fn strip_vlans_prefix(frame: &mut [u8], tags: usize) -> usize {
+    let moved = tags * VLAN_LEN;
+    if moved == 0 {
+        return 0;
+    }
+    debug_assert!(frame.len() >= 12 + moved + 2, "caller parsed this frame");
+    frame.copy_within(0..12, moved);
+    moved
 }
 
 #[cfg(test)]
@@ -329,5 +374,33 @@ mod tests {
         let len = f.len();
         assert_eq!(strip_vlans(&mut f).unwrap(), 0);
         assert_eq!(f.len(), len);
+    }
+
+    #[test]
+    fn strip_vlans_prefix_matches_drain_strip() {
+        for tags in [vec![], vec![100u16], vec![100, 200], vec![1, 2, 3]] {
+            let mut by_drain = build_frame(&flow(), &tags, 5, 32);
+            let mut by_prefix = by_drain.clone();
+            strip_vlans(&mut by_drain).unwrap();
+            let off = strip_vlans_prefix(&mut by_prefix, tags.len());
+            assert_eq!(off, tags.len() * VLAN_LEN);
+            assert_eq!(&by_prefix[off..], &by_drain[..], "tags={tags:?}");
+        }
+    }
+
+    #[test]
+    fn parse_into_reuses_scratch_across_frames() {
+        let mut scratch = Parsed::scratch();
+        let f1 = build_frame(&flow(), &[9, 10], 3, 16);
+        parse_into(&f1, &mut scratch).unwrap();
+        assert_eq!(scratch.tags, vec![9, 10]);
+        assert_eq!(scratch.dscp, 3);
+        // A second, untagged frame fully overwrites the previous parse.
+        let f2 = build_frame(&flow(), &[], 0, 8);
+        parse_into(&f2, &mut scratch).unwrap();
+        assert!(scratch.tags.is_empty());
+        assert_eq!(scratch.dscp, 0);
+        assert_eq!(scratch.ip_offset, ETH_LEN);
+        assert_eq!(parse(&f2).unwrap(), scratch);
     }
 }

@@ -1,0 +1,209 @@
+//! Differential pin for the zero-copy datapath: the in-place
+//! `DataPath::process(&mut [u8])` (MAC-relocation strip, borrowed-key
+//! memory updates, reusable parse scratch) must behave bit-for-bit like
+//! the retained Vec-based reference pipeline — `parse()` + owned-key
+//! `TrajectoryMemory::update` + drain-based `strip_vlans` — across
+//! arbitrary tag stacks, DSCP sample bits, and truncated / malformed /
+//! non-IPv4 frames, in both modes:
+//!
+//! - identical verdicts (action and drop reason),
+//! - identical post-strip frame bytes (the reference's drained Vec vs the
+//!   in-place verdict span),
+//! - identical `TrajectoryMemory` contents (every record's key, counts,
+//!   and stime/etime) and packet/byte/error counters.
+//!
+//! Inputs are kept small: the vendored proptest stub does not shrink.
+
+use pathdump_dpswitch::{build_frame, parse, strip_vlans, Action, DataPath, Mode, Verdict};
+use pathdump_tib::{MemKey, TrajectoryMemory};
+use pathdump_topology::{FlowId, Ip, Nanos, Protocol};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// The seed datapath pipeline, retained as the reference: whole-frame
+/// `Vec<u8>` processing, owned record keys, drain-based stripping.
+struct RefDataPath {
+    mode: Mode,
+    l2: HashMap<[u8; 6], u16>,
+    emc: HashMap<FlowId, u16>,
+    memory: TrajectoryMemory,
+    packets: u64,
+    bytes: u64,
+    errors: u64,
+    clock: Nanos,
+}
+
+impl RefDataPath {
+    fn new(mode: Mode) -> Self {
+        RefDataPath {
+            mode,
+            l2: HashMap::new(),
+            emc: HashMap::new(),
+            memory: TrajectoryMemory::default(),
+            packets: 0,
+            bytes: 0,
+            errors: 0,
+            clock: Nanos::ZERO,
+        }
+    }
+
+    fn process(&mut self, frame: &mut Vec<u8>) -> Action {
+        self.packets += 1;
+        self.bytes += frame.len() as u64;
+        let parsed = match parse(frame) {
+            Ok(p) => p,
+            Err(e) => {
+                self.errors += 1;
+                return Action::Drop(e);
+            }
+        };
+        if self.mode == Mode::PathDump {
+            let sample_bits = (parsed.dscp >> 1) & 0x1F;
+            let dscp_sample = if sample_bits == 0 {
+                None
+            } else {
+                Some(sample_bits - 1)
+            };
+            let key = MemKey {
+                flow: parsed.flow,
+                dscp_sample,
+                tags: parsed.tags.iter().rev().copied().collect(),
+            };
+            self.memory
+                .update(key, parsed.payload_len as u32, self.clock);
+            if !parsed.tags.is_empty() {
+                let _ = strip_vlans(frame);
+            }
+        }
+        if let Some(&port) = self.emc.get(&parsed.flow) {
+            return Action::Forward(port);
+        }
+        let dst_mac: [u8; 6] = frame[0..6].try_into().expect("length checked in parse");
+        match self.l2.get(&dst_mac) {
+            Some(&port) => {
+                self.emc.insert(parsed.flow, port);
+                Action::Forward(port)
+            }
+            None => Action::Flood,
+        }
+    }
+}
+
+/// One generated frame: flow selectors, tag stack, DSCP byte, payload,
+/// and a corruption to apply.
+type FrameSpec = (u16, u8, Vec<u16>, u8, usize, u8, u16);
+
+/// Builds the wire frame for a spec, including malformed shapes.
+fn frame_of(spec: &FrameSpec) -> Vec<u8> {
+    let (sport, proto_sel, tags, dscp, payload, corrupt, cut) = spec;
+    let mut flow = FlowId::tcp(
+        Ip::new(10, 0, 0, 2 + (*sport % 3) as u8),
+        1024 + sport % 7,
+        Ip::new(10, 1, 0, 2),
+        80,
+    );
+    flow.proto = match proto_sel % 3 {
+        0 => Protocol::Tcp,
+        1 => Protocol::Udp,
+        _ => Protocol::Other(200 + (proto_sel % 40)),
+    };
+    let mut f = build_frame(&flow, tags, dscp % 64, *payload);
+    match corrupt % 8 {
+        0..=3 => {} // well-formed
+        4 => {
+            // Truncate somewhere inside the frame.
+            let keep = (*cut as usize) % (f.len() + 1);
+            f.truncate(keep);
+        }
+        5 => {
+            // Non-IPv4 ethertype under the (possibly empty) VLAN stack.
+            let off = 12 + tags.len() * 4;
+            f[off] = 0x86;
+            f[off + 1] = 0xDD;
+        }
+        6 => {
+            // IPv4 options (IHL = 6 words).
+            f[14 + tags.len() * 4] = 0x46;
+        }
+        _ => {
+            // Raw junk of arbitrary short length.
+            f = (0..(*cut as usize % 40))
+                .map(|i| (i as u8) ^ cut.to_le_bytes()[0])
+                .collect();
+        }
+    }
+    f
+}
+
+/// Asserts the two trajectory memories hold identical records.
+fn assert_memories_equal(
+    new: &TrajectoryMemory,
+    reference: &TrajectoryMemory,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(new.len(), reference.len(), "record counts diverged");
+    prop_assert_eq!(new.update_count(), reference.update_count());
+    for key in reference.live_keys() {
+        prop_assert_eq!(
+            new.snapshot(key),
+            reference.snapshot(key),
+            "record diverged for key {:?}",
+            key
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn in_place_datapath_matches_vec_reference(
+        pathdump_mode in any::<bool>(),
+        learn in any::<bool>(),
+        specs in proptest::collection::vec(
+            (
+                0u16..40,
+                0u8..=255,
+                proptest::collection::vec(0u16..4096, 0..=5),
+                0u8..=255,
+                0usize..48,
+                0u8..=255,
+                0u16..2048,
+            ),
+            1..10,
+        ),
+    ) {
+        let mode = if pathdump_mode { Mode::PathDump } else { Mode::Vanilla };
+        let mut dp = DataPath::new(mode);
+        let mut rp = RefDataPath::new(mode);
+        if learn {
+            dp.learn([0x02, 0, 0, 0, 0, 0x01], 9);
+            rp.l2.insert([0x02, 0, 0, 0, 0, 0x01], 9);
+        }
+        for (i, spec) in specs.iter().enumerate() {
+            let now = Nanos(1 + i as u64);
+            dp.set_clock(now);
+            rp.clock = now;
+            let frame = frame_of(spec);
+            let mut in_place = frame.clone();
+            let mut by_vec = frame;
+            let verdict: Verdict = dp.process(&mut in_place);
+            let ref_action = rp.process(&mut by_vec);
+            prop_assert_eq!(verdict.action, ref_action, "frame {}: {:?}", i, spec);
+            // Post-strip bytes: the reference's drained Vec must equal the
+            // in-place verdict span (for drops both are the input frame).
+            prop_assert_eq!(
+                verdict.frame(&in_place),
+                &by_vec[..],
+                "frame {}: post-strip bytes diverged ({:?})",
+                i,
+                spec
+            );
+            prop_assert_eq!(verdict.len, by_vec.len());
+        }
+        prop_assert_eq!(dp.packets, rp.packets);
+        prop_assert_eq!(dp.bytes, rp.bytes);
+        prop_assert_eq!(dp.errors, rp.errors);
+        assert_memories_equal(&dp.memory, &rp.memory)?;
+    }
+}

@@ -1,0 +1,104 @@
+//! Pins the zero-copy contract with a counting allocator: once the
+//! trajectory memory and EMC are warm, `FrameBatch::run_once` must drive
+//! every frame through the full PathDump pipeline (parse, memory update,
+//! in-place strip, classification) with **zero heap allocations** — the
+//! ISSUE-4 acceptance gate behind the Figure 13 experiment.
+//!
+//! The counter is **per-thread** (const-initialized TLS, so reading it
+//! never allocates): the libtest harness's main thread runs concurrently
+//! with the test thread and allocates at its own pace, and a global
+//! counter flakes on that noise.
+
+use pathdump_dpswitch::{build_frame, DataPath, FrameBatch, Mode};
+use pathdump_topology::{FlowId, Ip};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Counts an allocating entry point against the current thread.
+/// `try_with` so allocations during TLS teardown stay safe (uncounted).
+fn bump() {
+    let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+fn thread_alloc_count() -> u64 {
+    THREAD_ALLOCS.with(|c| c.get())
+}
+
+/// System allocator wrapper counting every allocating entry point.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_run_once_allocates_nothing() {
+    // The Figure 13 mix: 0–2 tags, VL2 sample bits on some frames, a few
+    // hundred distinct flows so both the memory and the EMC carry real
+    // populations.
+    let frames: Vec<Vec<u8>> = (0..512usize)
+        .map(|i| {
+            let flow = FlowId::tcp(
+                Ip(0x0A00_0002 + (i as u32 % 256)),
+                1024 + (i % 400) as u16,
+                Ip(0x0A63_0002),
+                80,
+            );
+            let tags: Vec<u16> = match i % 3 {
+                0 => vec![],
+                1 => vec![(i % 4096) as u16],
+                _ => vec![(i % 4096) as u16, ((i * 7) % 4096) as u16],
+            };
+            let dscp = if i % 5 == 0 {
+                (1 + (i % 30) as u8) << 1
+            } else {
+                0
+            };
+            build_frame(&flow, &tags, dscp, 64 + i % 128)
+        })
+        .collect();
+    let mut dp = DataPath::new(Mode::PathDump);
+    dp.learn([0x02, 0, 0, 0, 0, 0x01], 1);
+    let mut batch = FrameBatch::new(frames);
+    // Warm up: create every flow-path record and EMC entry (allocates).
+    for _ in 0..2 {
+        assert_eq!(batch.run_once(&mut dp), 512);
+    }
+    let before = thread_alloc_count();
+    for _ in 0..5 {
+        assert_eq!(batch.run_once(&mut dp), 512);
+    }
+    let after = thread_alloc_count();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state run_once must not touch the heap ({} allocations over 5 passes of 512 frames)",
+        after - before
+    );
+    assert_eq!(dp.packets, 512 * 7);
+    assert_eq!(dp.memory.len(), 512, "one record per flow-path");
+}

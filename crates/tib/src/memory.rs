@@ -10,43 +10,11 @@
 use crate::record::PendingRecord;
 use pathdump_topology::{FlowId, Nanos, SECONDS};
 use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
 
-/// A fast FNV-1a-with-final-mix hasher for the datapath hot path: the
-/// default SipHash costs more than the rest of the per-packet PathDump
-/// hook combined, and trajectory-memory keys are not attacker-controlled
-/// in this reproduction.
-#[derive(Default)]
-pub struct FnvHasher(u64);
-
-impl Hasher for FnvHasher {
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        let mut h = if self.0 == 0 {
-            0xcbf2_9ce4_8422_2325
-        } else {
-            self.0
-        };
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
-        self.0 = h;
-    }
-
-    #[inline]
-    fn finish(&self) -> u64 {
-        // Final avalanche (see `ecmp_hash` for why FNV alone is weak).
-        let mut h = self.0;
-        h ^= h >> 33;
-        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
-        h ^= h >> 33;
-        h
-    }
-}
-
-/// Build-hasher alias for [`FnvHasher`].
-pub type FnvBuild = BuildHasherDefault<FnvHasher>;
+// The datapath-hot-path hasher now lives in `pathdump_topology::fnv`
+// (shared with the cherrypick decode memo); re-exported here so existing
+// `pathdump_tib::memory::{FnvHasher, FnvBuild}` imports keep working.
+pub use pathdump_topology::{FnvBuild, FnvHasher};
 
 /// Key of a per-path flow record: flow ID plus raw trajectory samples.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -124,17 +92,21 @@ impl TrajectoryMemory {
         v.pkts += 1;
     }
 
-    /// Allocation-free update for the datapath fast path: looks up with a
-    /// borrowed key and clones it only when the record is new (once per
-    /// flow-path, not once per packet — the differential Figure 13
-    /// measures).
-    pub fn update_borrowed(&mut self, key: &MemKey, bytes: u32, now: Nanos) {
+    /// Allocation-free probe-and-update for the edge fast paths (datapath
+    /// and host agent): looks up with a borrowed key and clones it only
+    /// when the record is new (once per flow-path, not once per packet —
+    /// the differential Figure 13 measures). Returns `true` when this
+    /// packet *created* the record, i.e. first sight of the (flow, path)
+    /// pair — the signal the agent's real-time invariant checks key on.
+    #[inline]
+    pub fn update_borrowed(&mut self, key: &MemKey, bytes: u32, now: Nanos) -> bool {
         self.updates += 1;
         self.lookups += 1;
         if let Some(v) = self.records.get_mut(key) {
             v.etime = now;
             v.bytes += bytes as u64;
             v.pkts += 1;
+            false
         } else {
             self.records.insert(
                 key.clone(),
@@ -145,6 +117,7 @@ impl TrajectoryMemory {
                     pkts: 1,
                 },
             );
+            true
         }
     }
 
@@ -325,6 +298,21 @@ mod tests {
         let all = m.flush(Nanos(100));
         assert_eq!(all.len(), 10);
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn update_borrowed_reports_new_records() {
+        let mut m = TrajectoryMemory::default();
+        assert!(
+            m.update_borrowed(&key(1, &[5]), 100, Nanos(1)),
+            "first sight"
+        );
+        assert!(!m.update_borrowed(&key(1, &[5]), 50, Nanos(2)));
+        assert!(m.update_borrowed(&key(1, &[6]), 10, Nanos(3)), "new path");
+        assert_eq!(m.peek(&key(1, &[5])), Some((150, 2)));
+        // Eviction then re-sight: the record is new again.
+        m.evict_flow(&flow(1), Nanos(4));
+        assert!(m.update_borrowed(&key(1, &[5]), 1, Nanos(5)));
     }
 
     #[test]

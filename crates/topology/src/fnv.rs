@@ -1,0 +1,109 @@
+//! A fast FNV-1a-with-final-mix hasher for the per-packet hot paths
+//! (trajectory memory, EMC, decode memo): the default SipHash costs more
+//! than the rest of those paths combined, and their keys are not
+//! attacker-controlled in this reproduction. Lives here so every edge
+//! crate shares one implementation (topology is the root dependency).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The hasher. Byte streams go through the classic per-byte FNV-1a loop;
+/// word-sized writes — which is what derived `Hash` impls over ids, tags,
+/// and flow fields emit — mix a whole word in one multiply. A murmur-style
+/// final avalanche makes up for the coarser mixing (see [`ecmp_hash`] for
+/// why raw FNV alone is too weak for bucket selection).
+///
+/// [`ecmp_hash`]: crate::ecmp_hash
+#[derive(Default)]
+pub struct FnvHasher(u64);
+
+impl FnvHasher {
+    #[inline]
+    fn mix_word(&mut self, v: u64) {
+        let h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        self.0 = (h ^ v).wrapping_mul(0x1000_0000_01b3);
+    }
+}
+
+impl Hasher for FnvHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        };
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix_word(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix_word(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut h = self.0;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h
+    }
+}
+
+/// Build-hasher alias for [`FnvHasher`].
+pub type FnvBuild = BuildHasherDefault<FnvHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        let mut h = FnvHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_hashes() {
+        let hashes: Vec<u64> = (0u32..1000).map(|i| hash_of(&i)).collect();
+        let mut dedup = hashes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 1000, "no collisions on small dense inputs");
+    }
+
+    #[test]
+    fn byte_stream_and_empty_input_hash() {
+        assert_ne!(hash_of(&[1u8, 2, 3][..]), hash_of(&[1u8, 2, 4][..]));
+        assert_ne!(hash_of(&Vec::<u16>::new()), hash_of(&vec![0u16]));
+    }
+}

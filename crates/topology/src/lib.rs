@@ -14,6 +14,7 @@
 
 pub mod coloring;
 pub mod fattree;
+pub mod fnv;
 pub mod graph;
 pub mod ids;
 pub mod path;
@@ -23,6 +24,7 @@ pub mod vl2;
 
 pub use coloring::color_bipartite_multigraph;
 pub use fattree::{FatTree, FatTreeParams};
+pub use fnv::{FnvBuild, FnvHasher};
 pub use graph::{HostMeta, Peer, SwitchMeta, Tier, Topology};
 pub use ids::{FlowId, HostId, Ip, LinkDir, LinkPattern, PortNo, Protocol, SwitchId};
 pub use path::{Flow, Path};

@@ -17,7 +17,7 @@ use pathdump_simnet::{
     EngineKind, FaultState, NoTagging, Packet, SimConfig, SimStats, Simulator, SinkWorld,
 };
 use pathdump_topology::{
-    FatTree, FatTreeParams, FlowId, HostId, LinkDir, Nanos, TimeRange, UpDownRouting,
+    FatTree, FatTreeParams, FlowId, HostId, LinkDir, LinkPattern, Nanos, TimeRange, UpDownRouting,
 };
 
 fn k8(engine: EngineKind) -> Testbed {
@@ -178,6 +178,81 @@ fn load_imbalance_fsd_k8_sharded_matches_sequential() {
     }
     assert_eq!(results[0].0, results[1].0, "FSD verdicts diverged");
     assert_eq!(results[0].1, results[1].1, "fabric stats diverged");
+}
+
+/// The zero-copy ingest pin: `HostAgent`s fed by both engines at k=8
+/// must end up with identical per-host TIBs. The agents now run the
+/// borrowed-key trajectory-memory probe and the memoized decode under the
+/// trajectory cache, so this differentially checks the whole new ingest
+/// path — per-flow `get_paths` at the receiving agent, `top_k_flows` on
+/// every involved host, and the cache/memo hit statistics — across the
+/// sequential reference and the sharded engine.
+#[test]
+fn host_agent_tib_queries_k8_sharded_matches_sequential() {
+    type HostSnapshot = (
+        HostId,
+        Vec<Vec<pathdump_topology::Path>>,
+        Vec<(u64, FlowId)>,
+        (u64, u64),
+        (u64, u64),
+    );
+    let mut results: Vec<Vec<HostSnapshot>> = Vec::new();
+    for engine in ENGINES {
+        let mut tb = k8(engine);
+        // Cross-pod mix into a handful of racks: several flows share each
+        // destination so ECMP produces multi-path record sets, and sizes
+        // differ so top-k has a real ordering to get wrong.
+        let mut flows = Vec::new();
+        let mut sport = 9000u16;
+        for spod in 0..4usize {
+            for dpod in 4..7usize {
+                let src = tb.ft.host(spod, spod % 4, dpod % 4);
+                let dst = tb.ft.host(dpod, spod % 4, (spod + dpod) % 4);
+                let size = 30_000 + 20_000 * ((sport - 9000) as u64 % 5);
+                let start = Nanos::from_millis(3 * (sport - 9000) as u64);
+                tb.add_flow(src, dst, sport, size, start);
+                flows.push((src, dst, tb.flow(src, dst, sport)));
+                sport += 1;
+            }
+        }
+        tb.run_and_flush(Nanos::from_secs(30));
+        assert!(
+            tb.sim.world.tcp.all_complete(),
+            "[{engine:?}] all flows must finish"
+        );
+        let mut hosts: Vec<HostId> = flows.iter().flat_map(|&(s, d, _)| [s, d]).collect();
+        hosts.sort_unstable_by_key(|h| h.0);
+        hosts.dedup();
+        let snapshot: Vec<HostSnapshot> = hosts
+            .iter()
+            .map(|&h| {
+                let agent = &tb.sim.world.agents[h.0 as usize];
+                let paths: Vec<Vec<pathdump_topology::Path>> = flows
+                    .iter()
+                    .filter(|&&(_, d, _)| d == h)
+                    .map(|(_, _, f)| agent.tib.get_paths(*f, LinkPattern::ANY, TimeRange::ANY))
+                    .collect();
+                (
+                    h,
+                    paths,
+                    agent.tib.top_k_flows(5, TimeRange::ANY),
+                    agent.cache.stats(),
+                    agent.memo.stats(),
+                )
+            })
+            .collect();
+        // The new ingest path must actually be exercised: receiving agents
+        // decode through the cache/memo stack.
+        assert!(
+            snapshot.iter().any(|(_, _, _, (h, m), _)| h + m > 0),
+            "[{engine:?}] no agent performed trajectory construction"
+        );
+        results.push(snapshot);
+    }
+    assert_eq!(
+        results[0], results[1],
+        "per-host TIB query results diverged across engines"
+    );
 }
 
 /// Scale check: a k=16 fat-tree (320 switches, 1024 hosts, 17 switch
