@@ -1,0 +1,198 @@
+//! The CI bench-regression gate: re-measures the three gated perf
+//! metrics and fails (nonzero exit) when any regresses more than the
+//! tolerance against the committed `BENCH_tib.json` baseline — the first
+//! *blocking* perf check in the pipeline, so a PR that halves the engine's
+//! throughput no longer sails through on green tests.
+//!
+//! Gated metrics (see `pathdump_bench::report` for the comparison logic):
+//!
+//! * `events_per_sec` — the k=8 simnet workload on the sharded-inline
+//!   engine, measured in-process (median of `--runs` runs; higher better).
+//! * `strip_path_min_speedup` — the dpswitch zero-copy strip-path speedup
+//!   vs the fixed pre-PR-4 medians, re-derived from a fresh
+//!   `dpswitch_throughput` bench run (a machine-relative ratio; higher
+//!   better).
+//! * `get_flows_wildcard_into_tor` — the TIB wildcard-query median from a
+//!   fresh `tib_queries` bench run (lower better).
+//!
+//! Usage: `cargo run --release -p pathdump_bench --bin bench_gate
+//! [-- --baseline PATH] [--tolerance F] [--runs N] [--handicap F]`.
+//! `--handicap 2` divides the measured performance by 2 before comparing —
+//! the knob used to demonstrate that the gate actually fails on an
+//! injected 2× slowdown.
+//!
+//! Caveat: `events_per_sec` and the wildcard-query median are absolute
+//! timings, so the committed baseline is **hardware-class-sensitive** —
+//! it must be produced on (or re-based to) the machine class that
+//! enforces it. When the CI runner class changes, refresh the baseline
+//! with `bench_trajectory` and commit it; `--tolerance` widens the band
+//! for a one-off run.
+
+use pathdump_bench::report::{
+    failing_checks, json_number, recorded_events_per_sec, recorded_median_ns, run_cargo_bench,
+    strip_path_min_speedup, Direction, GateCheck,
+};
+use pathdump_bench::simnet_scale::{run_scale_with, ScaleParams};
+use pathdump_simnet::EngineKind;
+
+struct GateArgs {
+    baseline: String,
+    tolerance: f64,
+    runs: usize,
+    handicap: f64,
+}
+
+fn parse_args() -> GateArgs {
+    let mut g = GateArgs {
+        baseline: "BENCH_tib.json".to_string(),
+        tolerance: 0.30,
+        runs: 5,
+        handicap: 1.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--baseline" => g.baseline = next("--baseline"),
+            "--tolerance" => g.tolerance = next("--tolerance").parse().expect("--tolerance"),
+            "--runs" => g.runs = next("--runs").parse().expect("--runs"),
+            "--handicap" => g.handicap = next("--handicap").parse().expect("--handicap"),
+            other => eprintln!("ignoring unknown flag {other}"),
+        }
+    }
+    assert!(g.handicap >= 1.0, "--handicap must be >= 1 (a slowdown)");
+    g
+}
+
+/// Median events/sec of the k=8 workload on the sharded-inline engine.
+fn measure_simnet_events_per_sec(runs: usize) -> f64 {
+    let p = ScaleParams::k8_default();
+    let mut rates: Vec<f64> = (0..runs.max(1))
+        .map(|_| run_scale_with(p, EngineKind::Sharded, 0).events_per_sec)
+        .collect();
+    rates.sort_by(f64::total_cmp);
+    rates[rates.len() / 2]
+}
+
+fn main() {
+    let args = parse_args();
+    let doc = std::fs::read_to_string(&args.baseline).unwrap_or_else(|e| {
+        eprintln!("FAIL: cannot read baseline {}: {e}", args.baseline);
+        std::process::exit(1);
+    });
+
+    // Committed baselines. A baseline file missing a gated metric is a
+    // gate failure, not a skip — otherwise deleting the baseline would
+    // turn the gate green.
+    let mut missing = Vec::new();
+    let mut need = |v: Option<f64>, what: &'static str| -> f64 {
+        if v.is_none() {
+            missing.push(what);
+        }
+        v.unwrap_or(f64::NAN)
+    };
+    let base_eps = need(
+        recorded_events_per_sec(&doc, "sharded"),
+        "simnet sharded events_per_sec",
+    );
+    let base_strip = need(
+        json_number(&doc, "strip_path_min_speedup"),
+        "strip_path_min_speedup",
+    );
+    let base_wildcard = need(
+        recorded_median_ns(&doc, "tib_240k/get_flows_wildcard_into_tor"),
+        "get_flows_wildcard_into_tor median",
+    );
+    if !missing.is_empty() {
+        eprintln!("FAIL: baseline {} lacks: {missing:?}", args.baseline);
+        std::process::exit(1);
+    }
+
+    // Fresh measurements.
+    eprintln!(
+        "bench_gate: measuring simnet k=8 (sharded-inline, {} runs)...",
+        args.runs
+    );
+    let cur_eps = measure_simnet_events_per_sec(args.runs) / args.handicap;
+
+    eprintln!("bench_gate: running dpswitch_throughput...");
+    let dpswitch = run_cargo_bench("dpswitch_throughput").unwrap_or_else(|e| {
+        eprintln!("FAIL: {e}");
+        std::process::exit(1);
+    });
+    let cur_strip = strip_path_min_speedup(&dpswitch).unwrap_or_else(|| {
+        eprintln!("FAIL: dpswitch bench produced no pathdump strip medians");
+        std::process::exit(1);
+    }) / args.handicap;
+
+    eprintln!("bench_gate: running tib_queries...");
+    let tib = run_cargo_bench("tib_queries").unwrap_or_else(|e| {
+        eprintln!("FAIL: {e}");
+        std::process::exit(1);
+    });
+    let cur_wildcard = tib
+        .iter()
+        .find(|e| e.name == "tib_240k/get_flows_wildcard_into_tor")
+        .map(|e| e.median_ns)
+        .unwrap_or_else(|| {
+            eprintln!("FAIL: tib bench lacks get_flows_wildcard_into_tor");
+            std::process::exit(1);
+        })
+        * args.handicap;
+
+    let checks = vec![
+        GateCheck {
+            metric: "events_per_sec",
+            baseline: base_eps,
+            current: cur_eps,
+            direction: Direction::HigherIsBetter,
+        },
+        GateCheck {
+            metric: "strip_path_min_speedup",
+            baseline: base_strip,
+            current: cur_strip,
+            direction: Direction::HigherIsBetter,
+        },
+        GateCheck {
+            metric: "get_flows_wildcard_into_tor",
+            baseline: base_wildcard,
+            current: cur_wildcard,
+            direction: Direction::LowerIsBetter,
+        },
+    ];
+
+    println!(
+        "bench_gate vs {} (tolerance {:.0}%{}):",
+        args.baseline,
+        args.tolerance * 100.0,
+        if args.handicap > 1.0 {
+            format!(", injected {:.2}x handicap", args.handicap)
+        } else {
+            String::new()
+        }
+    );
+    for c in &checks {
+        println!(
+            "  {:<28} baseline {:>14.1}  current {:>14.1}  regression {:>5.2}x  {}",
+            c.metric,
+            c.baseline,
+            c.current,
+            c.regression(),
+            if c.regressed(args.tolerance) {
+                "FAIL"
+            } else {
+                "ok"
+            }
+        );
+    }
+    let bad = failing_checks(&checks, args.tolerance);
+    if !bad.is_empty() {
+        eprintln!(
+            "FAIL: {} gated metric(s) regressed more than {:.0}%",
+            bad.len(),
+            args.tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("ok: all gated metrics within tolerance");
+}

@@ -1,21 +1,24 @@
 //! Perf-trajectory capture: runs the four Criterion benches
 //! (`tib_queries`, `wire_codec`, `reconstruct`, `dpswitch_throughput`)
-//! via nested `cargo bench` invocations, parses the vendored harness's
-//! `name: median <time> over N samples` lines, runs the in-process simnet
-//! engine comparison (k=8 sequential vs sharded, see the `simnet_scale`
-//! module), and writes one `BENCH_tib.json` with a `benchmarks` array, a
-//! `simnet` section, and `dpswitch`/`reconstruct` before-vs-after sections
-//! (current medians against the pre-PR-4 baselines, with the zero-copy
-//! strip-path and memo-decode speedups the ISSUE-4 gates read) — the
-//! recorded perf trajectory CI uploads as an artifact so regressions are
-//! visible across PRs.
+//! via nested `cargo bench` invocations (parsing shared with `bench_gate`
+//! through `pathdump_bench::report`), runs the in-process simnet engine
+//! comparison (k=8 sequential vs sharded-inline vs pooled-threaded, see
+//! the `simnet_scale` module), and writes one `BENCH_tib.json` with a
+//! `benchmarks` array, a `simnet` section (including the threaded-vs-
+//! sequential speedup and the CPU count, so multicore runners report
+//! parallel headroom honestly), and `dpswitch`/`reconstruct`
+//! before-vs-after sections — the recorded perf trajectory CI uploads as
+//! an artifact and the `bench_gate` job compares against.
 //!
 //! Usage: `cargo run --release -p pathdump_bench --bin bench_trajectory
 //! [-- --out PATH]` (default `BENCH_tib.json` in the working directory).
 
+use pathdump_bench::report::{
+    baseline_of, json_escape, median_of, run_cargo_bench, strip_path_min_speedup, Entry,
+    DPSWITCH_BASELINE_NS, RECONSTRUCT_BASELINE_NS,
+};
 use pathdump_bench::simnet_scale::{run_scale_with, ScaleParams, ScaleResult};
 use pathdump_simnet::EngineKind;
-use std::process::Command;
 
 const BENCHES: [&str; 4] = [
     "tib_queries",
@@ -23,74 +26,6 @@ const BENCHES: [&str; 4] = [
     "reconstruct",
     "dpswitch_throughput",
 ];
-
-/// One parsed benchmark result.
-struct Entry {
-    bench: &'static str,
-    name: String,
-    median_ns: f64,
-    samples: u64,
-}
-
-/// Parses the vendored criterion's Duration debug format ("421ns",
-/// "315.789µs", "36.678929ms", "1.2s") into nanoseconds.
-fn parse_duration_ns(s: &str) -> Option<f64> {
-    // Order matters: try the longest suffixes first ("ms" before "s",
-    // "ns"/"µs"/"us" before "s").
-    for (suffix, scale) in [
-        ("ns", 1.0),
-        ("µs", 1e3),
-        ("us", 1e3),
-        ("ms", 1e6),
-        ("s", 1e9),
-    ] {
-        if let Some(num) = s.strip_suffix(suffix) {
-            return num.parse::<f64>().ok().map(|v| v * scale);
-        }
-    }
-    None
-}
-
-/// Parses one harness output line: `group/name: median 1.23ms over 20
-/// samples (...)`. Returns (full benchmark name, median ns, samples).
-fn parse_line(line: &str) -> Option<(String, f64, u64)> {
-    let (name, rest) = line.split_once(": median ")?;
-    let mut words = rest.split_whitespace();
-    let median_ns = parse_duration_ns(words.next()?)?;
-    if words.next()? != "over" {
-        return None;
-    }
-    let samples: u64 = words.next()?.parse().ok()?;
-    Some((name.trim().to_string(), median_ns, samples))
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
-/// Pre-PR-4 medians (the last `BENCH_tib.json` committed before the
-/// zero-copy ingest pipeline landed), used to report before/after speedups
-/// for the two hot paths that PR rebuilt.
-const DPSWITCH_BASELINE_NS: &[(&str, f64)] = &[
-    ("dpswitch/vanilla/64", 476_714.0),
-    ("dpswitch/pathdump/64", 700_014.0),
-    ("dpswitch/vanilla/512", 571_882.0),
-    ("dpswitch/pathdump/512", 1_277_122.0),
-    ("dpswitch/vanilla/1500", 1_576_772.0),
-    ("dpswitch/pathdump/1500", 1_879_560.0),
-];
-const RECONSTRUCT_BASELINE_NS: &[(&str, f64)] = &[
-    ("reconstruct/cold_decode", 1_263.0),
-    ("reconstruct/cached_decode", 3_366.0),
-];
-
-fn baseline_of(table: &[(&str, f64)], name: &str) -> Option<f64> {
-    table.iter().find(|(n, _)| *n == name).map(|&(_, ns)| ns)
-}
-
-fn median_of(entries: &[Entry], name: &str) -> Option<f64> {
-    entries.iter().find(|e| e.name == name).map(|e| e.median_ns)
-}
 
 /// Builds a before/after section for one bench: every current case, its
 /// pre-PR baseline where one exists, and the speedup.
@@ -116,18 +51,12 @@ fn before_after_cases(entries: &[Entry], bench: &str, baseline: &[(&str, f64)]) 
     rows.join(",\n")
 }
 
-/// The `dpswitch` section: before/after per case plus the ISSUE-4 gate
-/// number — the smallest pathdump (strip-path) speedup across sizes.
+/// The `dpswitch` section: before/after per case plus the gate number —
+/// the smallest pathdump (strip-path) speedup across sizes.
 fn dpswitch_section(entries: &[Entry]) -> String {
-    let strip_speedup_min = DPSWITCH_BASELINE_NS
-        .iter()
-        .filter(|(n, _)| n.contains("/pathdump/"))
-        .filter_map(|&(n, base)| median_of(entries, n).map(|cur| base / cur.max(1e-9)))
-        .fold(f64::INFINITY, f64::min);
-    let gate = if strip_speedup_min.is_finite() {
-        format!("{strip_speedup_min:.3}")
-    } else {
-        "null".to_string()
+    let gate = match strip_path_min_speedup(entries) {
+        Some(s) => format!("{s:.3}"),
+        None => "null".to_string(),
     };
     format!(
         "{{\n  \"baseline\": \"pre-PR4 (two copies + two allocations per frame per pass)\",\n  \"strip_path_min_speedup\": {gate},\n  \"cases\": [\n{}\n    ]\n  }}",
@@ -137,7 +66,7 @@ fn dpswitch_section(entries: &[Entry]) -> String {
 
 /// The `reconstruct` section: before/after per case plus the warm/cold
 /// ratios for the closed-form fast path and the memoized candidate-walk
-/// (punted ≥3-tag) decode the ISSUE-4 gate targets.
+/// (punted ≥3-tag) decode.
 fn reconstruct_section(entries: &[Entry]) -> String {
     let ratio = |cold: &str, warm: &str| -> String {
         match (median_of(entries, cold), median_of(entries, warm)) {
@@ -154,37 +83,46 @@ fn reconstruct_section(entries: &[Entry]) -> String {
 }
 
 /// Runs the k=8 engine comparison (median of `runs` wall-clocks per
-/// engine) and returns the `simnet` JSON object.
+/// engine/mode) and returns the `simnet` JSON object. Three cases:
+/// the sequential reference, the sharded-inline driver (`workers == 0`,
+/// the single-thread mode), and the pooled-threaded driver (workers =
+/// min(cpus, switch shards), floored at 2 so the parallel machinery is
+/// always measured — honest on a 1-CPU box, where it records < 1×).
 fn simnet_section(runs: usize) -> String {
     let p = ScaleParams::k8_default();
     let cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    // k=8 has 9 switch shards (8 pods + core).
+    let threaded_workers = cpus.clamp(2, 9);
     let median = |mut rs: Vec<ScaleResult>| -> ScaleResult {
         rs.sort_by(|a, b| a.wall_secs.total_cmp(&b.wall_secs));
         rs.swap_remove(rs.len() / 2)
     };
-    // Sequential reference, then the sharded engine with auto workers
-    // (one per CPU, capped at the 9 switch shards of k=8).
-    let seq = median(
-        (0..runs)
-            .map(|_| run_scale_with(p, EngineKind::Sequential, 0))
-            .collect(),
-    );
-    let sha = median(
-        (0..runs)
-            .map(|_| run_scale_with(p, EngineKind::Sharded, 0))
-            .collect(),
-    );
-    assert_eq!(
-        seq.events, sha.events,
-        "engines must process identical schedules"
-    );
+    let run_median = |engine: EngineKind, workers: usize| {
+        median(
+            (0..runs)
+                .map(|_| run_scale_with(p, engine, workers))
+                .collect(),
+        )
+    };
+    let seq = run_median(EngineKind::Sequential, 0);
+    let sha = run_median(EngineKind::Sharded, 0);
+    let thr = run_median(EngineKind::Sharded, threaded_workers);
+    for r in [&sha, &thr] {
+        assert_eq!(
+            seq.events, r.events,
+            "engines must process identical schedules"
+        );
+    }
     let speedup = seq.wall_secs / sha.wall_secs.max(1e-12);
+    let speedup_thr = seq.wall_secs / thr.wall_secs.max(1e-12);
     eprintln!(
-        "simnet k=8: sequential {:.2}M ev/s, sharded {:.2}M ev/s ({speedup:.2}x, {cpus} cpu(s))",
+        "simnet k=8: sequential {:.2}M ev/s, sharded-inline {:.2}M ev/s ({speedup:.2}x), \
+         pooled x{threaded_workers} {:.2}M ev/s ({speedup_thr:.2}x, {cpus} cpu(s))",
         seq.events_per_sec / 1e6,
-        sha.events_per_sec / 1e6
+        sha.events_per_sec / 1e6,
+        thr.events_per_sec / 1e6
     );
     let case = |r: &ScaleResult, name: &str| {
         format!(
@@ -193,12 +131,14 @@ fn simnet_section(runs: usize) -> String {
         )
     };
     format!(
-        "{{\n  \"k\": {},\n  \"pkts_per_host\": {},\n  \"cpus\": {cpus},\n  \"speedup_sharded_vs_sequential\": {:.3},\n  \"cases\": [\n{},\n{}\n    ]\n  }}",
+        "{{\n  \"k\": {},\n  \"pkts_per_host\": {},\n  \"cpus\": {cpus},\n  \"speedup_sharded_vs_sequential\": {:.3},\n  \"speedup_threaded_vs_sequential\": {:.3},\n  \"cases\": [\n{},\n{},\n{}\n    ]\n  }}",
         p.k,
         p.pkts_per_host,
         speedup,
+        speedup_thr,
         case(&seq, "sequential"),
-        case(&sha, "sharded")
+        case(&sha, "sharded"),
+        case(&thr, "sharded_threaded")
     )
 }
 
@@ -216,34 +156,11 @@ fn main() {
     let mut failures = 0usize;
     for bench in BENCHES {
         eprintln!("running bench {bench}...");
-        let result = Command::new(env!("CARGO"))
-            .args(["bench", "-p", "pathdump_bench", "--bench", bench])
-            .output();
-        let output = match result {
-            Ok(o) if o.status.success() => o,
-            Ok(o) => {
-                eprintln!(
-                    "bench {bench} failed with {}:\n{}",
-                    o.status,
-                    String::from_utf8_lossy(&o.stderr)
-                );
-                failures += 1;
-                continue;
-            }
+        match run_cargo_bench(bench) {
+            Ok(mut es) => entries.append(&mut es),
             Err(e) => {
-                eprintln!("could not spawn cargo for {bench}: {e}");
+                eprintln!("{e}");
                 failures += 1;
-                continue;
-            }
-        };
-        for line in String::from_utf8_lossy(&output.stdout).lines() {
-            if let Some((name, median_ns, samples)) = parse_line(line) {
-                entries.push(Entry {
-                    bench,
-                    name,
-                    median_ns,
-                    samples,
-                });
             }
         }
     }
@@ -285,15 +202,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn duration_parsing() {
-        assert_eq!(parse_duration_ns("421ns"), Some(421.0));
-        assert_eq!(parse_duration_ns("315.789µs"), Some(315_789.0));
-        assert_eq!(parse_duration_ns("36.5ms"), Some(36_500_000.0));
-        assert_eq!(parse_duration_ns("1.2s"), Some(1_200_000_000.0));
-        assert_eq!(parse_duration_ns("xyz"), None);
-    }
-
-    #[test]
     fn before_after_sections() {
         let entries = vec![
             Entry {
@@ -327,19 +235,5 @@ mod tests {
         );
         assert!(rc.contains("\"warm_over_cold_fast_path\": null"), "{rc}");
         assert!(rc.contains("\"baseline_ns\": null"), "{rc}");
-    }
-
-    #[test]
-    fn line_parsing() {
-        let (name, ns, n) =
-            parse_line("tib_240k/top_k_10000: median 2.707201ms over 20 samples").unwrap();
-        assert_eq!(name, "tib_240k/top_k_10000");
-        assert!((ns - 2_707_201.0).abs() < 1.0);
-        assert_eq!(n, 20);
-        let (_, ns, _) =
-            parse_line("wire/encode_10k_records: median 313.347µs over 30 samples (1.003 GiB/s)")
-                .unwrap();
-        assert!((ns - 313_347.0).abs() < 1.0);
-        assert_eq!(parse_line("Finished `bench` profile"), None);
     }
 }

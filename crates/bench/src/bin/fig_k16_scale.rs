@@ -6,7 +6,11 @@
 //! k=16 experiment.
 //!
 //! Usage: `cargo run --release -p pathdump_bench --bin fig_k16_scale
-//! [-- --runs N]` (N = packets per host, default 100).
+//! [-- --runs N] [--max-secs S]` (N = packets per host, default 100;
+//! S = wall-clock budget for the measured run, 0 = unlimited). With a
+//! budget, overrunning it exits nonzero — CI runs this as a *blocking*
+//! scale gate, so an engine change that tanks k=16 throughput fails the
+//! pipeline instead of merely looking slow in a log.
 
 use pathdump_bench::simnet_scale::{run_scale_with, ScaleParams};
 use pathdump_bench::{banner, Args};
@@ -29,12 +33,22 @@ fn main() {
         pkts_per_host: pkts,
         ..ScaleParams::k8_default()
     };
-    let r = run_scale_with(p, EngineKind::Sharded, 0);
+    // Exercise the *pooled* driver at paper scale (one worker per CPU,
+    // clamped to the 17 switch shards): on multicore CI this smoke is the
+    // only blocking coverage of real thread interleavings at k=16. The
+    // inline mode is covered too — it is strictly a subset of the same
+    // windowed-round driver with a trivial executor.
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = cpus.min(17);
+    let r = run_scale_with(p, EngineKind::Sharded, workers);
     println!(
-        "k=16: {} events in {:.3}s ({:.2}M events/sec), delivered {}/{} packets",
+        "k=16: {} events in {:.3}s ({:.2}M events/sec, {} pool worker(s)), delivered {}/{} packets",
         r.events,
         r.wall_secs,
         r.events_per_sec / 1e6,
+        r.workers,
         r.delivered,
         r.injected
     );
@@ -50,6 +64,22 @@ fn main() {
             r.delivered, r.injected
         );
         ok = false;
+    }
+    if args.max_secs > 0.0 {
+        if r.wall_secs > args.max_secs {
+            eprintln!(
+                "FAIL: wall clock {:.3}s exceeded the --max-secs {} budget",
+                r.wall_secs, args.max_secs
+            );
+            ok = false;
+        } else {
+            println!(
+                "budget: {:.3}s of {}s wall-clock used ({:.0}% headroom)",
+                r.wall_secs,
+                args.max_secs,
+                (1.0 - r.wall_secs / args.max_secs) * 100.0
+            );
+        }
     }
     if !ok {
         std::process::exit(1);

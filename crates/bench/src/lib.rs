@@ -10,6 +10,7 @@ use pathdump_topology::{FatTree, FlowId, HostId, Nanos, UpDownRouting};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+pub mod report;
 pub mod simnet_scale;
 
 /// Minimal CLI flags shared by the reproduction binaries.
@@ -21,15 +22,21 @@ pub struct Args {
     pub runs: usize,
     /// Base RNG seed.
     pub seed: u64,
+    /// Wall-clock budget in seconds (0 = unlimited): bins that honor it
+    /// exit nonzero when the measured run exceeds the budget, so CI can
+    /// make scale smokes blocking.
+    pub max_secs: f64,
 }
 
 impl Args {
-    /// Parses `--full`, `--runs N`, `--seed N` from `std::env::args`.
+    /// Parses `--full`, `--runs N`, `--seed N`, `--max-secs S` from
+    /// `std::env::args`.
     pub fn parse() -> Args {
         let mut args = Args {
             full: false,
             runs: 0, // 0 = binary default
             seed: 1,
+            max_secs: 0.0,
         };
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
@@ -46,6 +53,12 @@ impl Args {
                         .next()
                         .and_then(|v| v.parse().ok())
                         .expect("--seed needs a number");
+                }
+                "--max-secs" => {
+                    args.max_secs = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--max-secs needs a number");
                 }
                 other => eprintln!("ignoring unknown flag {other}"),
             }

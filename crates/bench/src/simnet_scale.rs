@@ -82,6 +82,8 @@ impl ScaleParams {
 }
 
 /// The scaled-up configuration for one parameter set (see module docs).
+/// `workers` is [`SimConfig::shard_workers`]: `0` = inline windowed
+/// rounds on the calling thread, `n ≥ 1` = the persistent worker pool.
 pub fn scale_config(p: ScaleParams, engine: EngineKind, workers: usize) -> SimConfig {
     let mut cfg = SimConfig {
         fabric_link: LinkConfig {
@@ -188,14 +190,17 @@ pub fn run_scale(k: u16, pkts_per_host: u32, engine: EngineKind, workers: usize)
 mod tests {
     use super::*;
 
-    /// The bench workload itself must be engine-invariant (tiny instance).
+    /// The bench workload itself must be engine-invariant (tiny instance):
+    /// sequential, sharded-inline, and pooled all process one schedule.
     #[test]
     fn scale_workload_engine_invariant() {
         let a = run_scale(4, 20, EngineKind::Sequential, 0);
-        let b = run_scale(4, 20, EngineKind::Sharded, 1);
-        assert_eq!(a.injected, b.injected);
-        assert_eq!(a.delivered, b.delivered);
-        assert_eq!(a.events, b.events);
+        for workers in [0usize, 2] {
+            let b = run_scale(4, 20, EngineKind::Sharded, workers);
+            assert_eq!(a.injected, b.injected, "workers={workers}");
+            assert_eq!(a.delivered, b.delivered, "workers={workers}");
+            assert_eq!(a.events, b.events, "workers={workers}");
+        }
         assert!(a.delivered > 0);
     }
 }

@@ -1,0 +1,402 @@
+//! The execution drivers: one generic **windowed-round driver** shared by
+//! every sharded mode, and the tournament-indexed **sequential** reference.
+//!
+//! # The windowed-round contract
+//!
+//! Before this module existed, the inline driver, the spawned-worker loop,
+//! and the edge loop were three hand-written copies of the same round
+//! shape that had to stay barrier-for-barrier identical by inspection.
+//! [`drive_windowed_rounds`] is now the single implementation; the modes
+//! differ only in the [`RoundSync`] executor plugged into it:
+//!
+//! 1. **Integrate & publish** — for each local lane (shard), drain
+//!    cross-round messages into its queue ([`RoundSync::integrate`]) and
+//!    publish its earliest pending event time ([`RoundSync::publish`]).
+//! 2. **Freeze** — [`RoundSync::freeze`] produces the frozen global
+//!    `t_next` snapshot (a two-phase barrier under the threaded executor);
+//!    if the global minimum exceeds the run horizon, the drive ends.
+//! 3. **Process** — each local lane pops and dispatches events strictly
+//!    below its horizon (`ShardPlan::horizon` over the frozen snapshot).
+//!    Derived events routed to *local* lanes are pushed directly — they
+//!    land at or beyond the destination's horizon by the lookahead
+//!    argument, so they cannot be processed until the next round — and
+//!    events for remote shards are buffered per destination
+//!    ([`RoundSync::post`]).
+//! 4. **Exchange** — [`RoundSync::round_end`] flushes the per-destination
+//!    buffers (one lock + one splice per shard per window, not one lock
+//!    per message) and waits the end-of-round barrier, making every
+//!    message visible before the next round's integrate.
+//!
+//! [`InlineSync`] (all lanes on the calling thread) makes steps 2 and 4
+//! trivial; [`ExchangeSync`] implements them over the shared
+//! [`Exchange`]. Any conservative schedule yields bit-identical results
+//! (see `sim.rs` module docs), so the executor choice is invisible.
+//!
+//! # The sequential driver
+//!
+//! [`seq_drive`] pops the globally earliest `(time, key)` event across all
+//! lanes. The per-pop linear scan over shard queues is replaced by a
+//! [`TournamentTree`] (a winner tree over the per-lane queue heads):
+//! re-seating a lane after a pop or a cross-lane push costs `O(log L)`
+//! comparisons instead of `O(L)` peeks per event.
+
+use crate::config::SimConfig;
+use crate::event::{EventEntry, EventQueue};
+use crate::shard::{AbortGuard, Exchange, Outgoing, ShardPlan};
+use crate::traits::TagPolicy;
+use pathdump_topology::{Nanos, RouteTables, Topology};
+
+/// Read-only state shared by every shard and every driver.
+pub(crate) struct Net<'a> {
+    pub cfg: &'a SimConfig,
+    pub topo: &'a Topology,
+    pub routes: &'a RouteTables,
+    pub plan: &'a ShardPlan,
+    pub tag: &'a dyn TagPolicy,
+}
+
+/// One schedulable shard: an event queue plus the dispatch half that
+/// mutates the shard's state. Implemented by the switch-shard and edge
+/// contexts in `sim.rs`; the drivers only see this surface.
+pub(crate) trait LaneCtx {
+    /// The shard this lane drives.
+    fn shard(&self) -> usize;
+    /// The lane's event queue.
+    fn queue_mut(&mut self) -> &mut EventQueue;
+    /// Dispatches one event, appending derived cross-shard events to `out`.
+    fn dispatch_event(&mut self, net: &Net, ev: EventEntry, out: &mut Vec<Outgoing>);
+}
+
+/// The synchronization half of the windowed-round driver (see module
+/// docs for the four-step contract).
+pub(crate) trait RoundSync {
+    /// Drains messages that arrived for `shard` since the last round.
+    fn integrate(&mut self, shard: usize, queue: &mut EventQueue);
+    /// Publishes `shard`'s earliest pending event time for this round.
+    fn publish(&mut self, shard: usize, t: u64);
+    /// Freezes the global `t_next` snapshot (threaded: barrier first).
+    fn freeze(&mut self, snap: &mut Vec<u64>);
+    /// Buffers one event for a shard no local lane drives.
+    fn post(&mut self, m: Outgoing);
+    /// Flushes buffered events and ends the round (threaded: barrier).
+    fn round_end(&mut self);
+}
+
+/// Executor for the single-thread sharded mode: every lane is local, so
+/// there is nothing to exchange and no barrier to wait.
+pub(crate) struct InlineSync {
+    t_next: Vec<u64>,
+}
+
+impl InlineSync {
+    pub fn new(total_shards: usize) -> Self {
+        InlineSync {
+            t_next: vec![u64::MAX; total_shards],
+        }
+    }
+}
+
+impl RoundSync for InlineSync {
+    fn integrate(&mut self, _shard: usize, _queue: &mut EventQueue) {}
+
+    fn publish(&mut self, shard: usize, t: u64) {
+        self.t_next[shard] = t;
+    }
+
+    fn freeze(&mut self, snap: &mut Vec<u64>) {
+        snap.clear();
+        snap.extend_from_slice(&self.t_next);
+    }
+
+    fn post(&mut self, _m: Outgoing) {
+        unreachable!("the inline driver holds every lane locally");
+    }
+
+    fn round_end(&mut self) {}
+}
+
+/// Executor for one participant of the threaded mode (a pool worker's
+/// shard group, or the calling thread's edge shard): mailbox integrate,
+/// barrier-frozen snapshots, and **per-destination batched** posting —
+/// one inbox lock and one splice per shard per window.
+pub(crate) struct ExchangeSync<'a> {
+    exch: &'a Exchange,
+    /// Outgoing events buffered per destination shard within one round.
+    pending: Vec<Vec<Outgoing>>,
+    /// Reusable drain buffer; rotates capacity with the inboxes.
+    scratch: Vec<Outgoing>,
+    /// Aborts the barrier if this participant unwinds mid-round.
+    _abort: AbortGuard<'a>,
+}
+
+impl<'a> ExchangeSync<'a> {
+    pub fn new(exch: &'a Exchange) -> Self {
+        ExchangeSync {
+            pending: (0..exch.inboxes.len()).map(|_| Vec::new()).collect(),
+            scratch: Vec::new(),
+            _abort: AbortGuard(exch),
+            exch,
+        }
+    }
+}
+
+impl RoundSync for ExchangeSync<'_> {
+    fn integrate(&mut self, shard: usize, queue: &mut EventQueue) {
+        {
+            let mut inbox = self.exch.inboxes[shard].lock().expect("inbox poisoned");
+            std::mem::swap(&mut *inbox, &mut self.scratch);
+        }
+        for m in self.scratch.drain(..) {
+            queue.push_keyed(m.at, m.key, m.kind);
+        }
+    }
+
+    fn publish(&mut self, shard: usize, t: u64) {
+        self.exch.publish(shard, t);
+    }
+
+    fn freeze(&mut self, snap: &mut Vec<u64>) {
+        self.exch.barrier.wait();
+        self.exch.snapshot(snap);
+    }
+
+    fn post(&mut self, m: Outgoing) {
+        self.pending[m.shard].push(m);
+    }
+
+    fn round_end(&mut self) {
+        for (shard, msgs) in self.pending.iter_mut().enumerate() {
+            self.exch.post_batch(shard, msgs);
+        }
+        self.exch.barrier.wait();
+    }
+}
+
+/// Builds the shard → local-lane-index map used to route derived events.
+fn lane_index(total_shards: usize, lanes: &[&mut dyn LaneCtx]) -> Vec<usize> {
+    let mut lane_of = vec![usize::MAX; total_shards];
+    for (i, l) in lanes.iter().enumerate() {
+        lane_of[l.shard()] = i;
+    }
+    lane_of
+}
+
+/// Routes the events produced by one dispatch: local lanes are pushed
+/// directly (sound — see module docs), the rest buffered in the executor.
+fn route_out(
+    out: &mut Vec<Outgoing>,
+    lanes: &mut [&mut dyn LaneCtx],
+    lane_of: &[usize],
+    sync: &mut impl RoundSync,
+) {
+    for m in out.drain(..) {
+        let li = lane_of[m.shard];
+        if li != usize::MAX {
+            lanes[li].queue_mut().push_keyed(m.at, m.key, m.kind);
+        } else {
+            sync.post(m);
+        }
+    }
+}
+
+/// The one windowed-round driver (see module docs for the contract all
+/// sharded modes share). `lanes` is whatever subset of shards this
+/// participant drives; `sync` supplies integration, snapshots, and
+/// cross-participant exchange.
+pub(crate) fn drive_windowed_rounds(
+    net: &Net,
+    lanes: &mut [&mut dyn LaneCtx],
+    sync: &mut impl RoundSync,
+    t: Nanos,
+) {
+    let total = net.plan.total_shards();
+    let lane_of = lane_index(total, lanes);
+    let mut snap: Vec<u64> = Vec::with_capacity(total);
+    let mut out: Vec<Outgoing> = Vec::new();
+    loop {
+        for l in lanes.iter_mut() {
+            let s = l.shard();
+            sync.integrate(s, l.queue_mut());
+            let t_next = l.queue_mut().peek_time().map_or(u64::MAX, |n| n.0);
+            sync.publish(s, t_next);
+        }
+        sync.freeze(&mut snap);
+        let gmin = snap.iter().copied().min().unwrap_or(u64::MAX);
+        if gmin == u64::MAX || gmin > t.0 {
+            break;
+        }
+        for i in 0..lanes.len() {
+            let h = net.plan.horizon(lanes[i].shard(), &snap);
+            while let Some((at, _)) = lanes[i].queue_mut().peek_time_key() {
+                if at.0 >= h || at > t {
+                    break;
+                }
+                let ev = lanes[i].queue_mut().pop().expect("peeked event must pop");
+                lanes[i].dispatch_event(net, ev, &mut out);
+                route_out(&mut out, lanes, &lane_of, sync);
+            }
+        }
+        sync.round_end();
+    }
+}
+
+/// The sequential reference engine: pops the globally earliest
+/// `(time, key)` event across all lanes, ordered by a [`TournamentTree`]
+/// over the per-lane queue heads.
+///
+/// Events stamped exactly `Nanos::MAX` are the saturated "never" sentinel
+/// and do not fire (the windowed drivers cannot distinguish them from
+/// empty queues, so neither engine runs them).
+pub(crate) fn seq_drive(net: &Net, lanes: &mut [&mut dyn LaneCtx], t: Nanos) {
+    let lane_of = lane_index(net.plan.total_shards(), lanes);
+    let mut tree = TournamentTree::new(lanes.len());
+    for (i, l) in lanes.iter_mut().enumerate() {
+        tree.set(i, l.queue_mut().peek_time_key());
+    }
+    let mut out: Vec<Outgoing> = Vec::new();
+    while let Some((i, (at, _))) = tree.min() {
+        if at > t || at == Nanos::MAX {
+            break;
+        }
+        let ev = lanes[i].queue_mut().pop().expect("tree head must pop");
+        lanes[i].dispatch_event(net, ev, &mut out);
+        for m in out.drain(..) {
+            let li = lane_of[m.shard];
+            lanes[li].queue_mut().push_keyed(m.at, m.key, m.kind);
+            if li != i {
+                tree.set(li, lanes[li].queue_mut().peek_time_key());
+            }
+        }
+        // The popped lane re-seats last: it covers both the pop and any
+        // same-lane events the dispatch pushed.
+        tree.set(i, lanes[i].queue_mut().peek_time_key());
+    }
+}
+
+/// A winner (tournament) tree over per-lane `(time, key)` queue heads:
+/// `min()` is O(1), re-seating a lane after its head changes is
+/// O(log lanes). Ties — impossible between real events short of a 64-bit
+/// causal-key collision — break on the lane index, matching the
+/// first-wins linear scan this structure replaced.
+pub(crate) struct TournamentTree {
+    /// Leaf count rounded up to a power of two.
+    width: usize,
+    /// Winning lane per node, 1-based heap layout (leaves at `width + i`).
+    node: Vec<u32>,
+    /// Current head per lane; the extra last slot is the permanent
+    /// "empty leaf" sentinel.
+    heads: Vec<Option<(Nanos, u64)>>,
+}
+
+impl TournamentTree {
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "tournament over zero lanes");
+        let width = lanes.next_power_of_two();
+        let sentinel = lanes as u32;
+        let mut node = vec![sentinel; 2 * width];
+        for i in 0..lanes {
+            node[width + i] = i as u32;
+        }
+        let mut tree = TournamentTree {
+            width,
+            node,
+            heads: vec![None; lanes + 1],
+        };
+        for x in (1..width).rev() {
+            tree.node[x] = tree.winner(tree.node[2 * x], tree.node[2 * x + 1]);
+        }
+        tree
+    }
+
+    /// Total order on lanes by current head: real heads first (by time,
+    /// then key), empty lanes last, lane index breaking exact ties.
+    fn rank(&self, lane: u32) -> (bool, Nanos, u64, u32) {
+        match self.heads[lane as usize] {
+            Some((at, key)) => (false, at, key, lane),
+            None => (true, Nanos(u64::MAX), u64::MAX, lane),
+        }
+    }
+
+    fn winner(&self, a: u32, b: u32) -> u32 {
+        if self.rank(a) <= self.rank(b) {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Re-seats `lane` after its queue head changed.
+    pub fn set(&mut self, lane: usize, head: Option<(Nanos, u64)>) {
+        self.heads[lane] = head;
+        let mut x = (self.width + lane) / 2;
+        while x >= 1 {
+            self.node[x] = self.winner(self.node[2 * x], self.node[2 * x + 1]);
+            if x == 1 {
+                break;
+            }
+            x /= 2;
+        }
+    }
+
+    /// The lane holding the globally earliest `(time, key)` head, if any
+    /// lane is non-empty.
+    pub fn min(&self) -> Option<(usize, (Nanos, u64))> {
+        let w = self.node[1] as usize;
+        self.heads[w].map(|h| (w, h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Differential check against a linear scan over random head churn.
+    #[test]
+    fn tournament_matches_linear_scan() {
+        for lanes in [1usize, 2, 3, 5, 8, 11] {
+            let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ lanes as u64);
+            let mut tree = TournamentTree::new(lanes);
+            let mut heads: Vec<Option<(Nanos, u64)>> = vec![None; lanes];
+            for step in 0..500 {
+                let lane = rng.gen_range(0..lanes);
+                let head = if rng.gen::<f64>() < 0.25 {
+                    None
+                } else {
+                    Some((Nanos(rng.gen_range(0..50)), rng.gen::<u64>() % 16))
+                };
+                heads[lane] = head;
+                tree.set(lane, head);
+                let expect = heads
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, h)| h.map(|(at, k)| (at, k, i)))
+                    .min();
+                let got = tree.min().map(|(i, (at, k))| (at, k, i));
+                assert_eq!(got, expect, "lanes={lanes} step={step}");
+            }
+        }
+    }
+
+    #[test]
+    fn tournament_tie_breaks_on_lane_index() {
+        let mut tree = TournamentTree::new(4);
+        tree.set(2, Some((Nanos(7), 9)));
+        tree.set(1, Some((Nanos(7), 9)));
+        assert_eq!(tree.min(), Some((1, (Nanos(7), 9))));
+        tree.set(1, None);
+        assert_eq!(tree.min(), Some((2, (Nanos(7), 9))));
+        tree.set(2, None);
+        assert_eq!(tree.min(), None);
+    }
+
+    /// A saturated `Nanos::MAX` head is a real (orderable) entry — the
+    /// drivers, not the tree, decide it never fires.
+    #[test]
+    fn tournament_orders_saturated_heads_before_empty() {
+        let mut tree = TournamentTree::new(2);
+        tree.set(0, Some((Nanos::MAX, 3)));
+        assert_eq!(tree.min(), Some((0, (Nanos::MAX, 3))));
+    }
+}

@@ -11,24 +11,47 @@
 //!
 //! Determinism: per-shard event queues ordered by `(time, causal key)`
 //! plus partitioned seeded RNG streams make every run exactly reproducible
-//! — on either engine. The simulation can run on one global event loop
+//! — on every engine. The simulation can run on one global event loop
 //! ([`config::EngineKind::Sequential`]) or sharded per fat-tree pod as a
-//! conservative parallel DES ([`config::EngineKind::Sharded`]); both
+//! conservative parallel DES ([`config::EngineKind::Sharded`]); all modes
 //! produce bit-identical results (see `sim` module docs and
 //! `tests/prop_shard_equivalence.rs`).
+//!
+//! # Engine selection matrix
+//!
+//! | `engine` | `shard_workers` | Execution | Use when |
+//! |---|---|---|---|
+//! | `Sequential` | (ignored) | Global `(time, key)` scan via a tournament tree, single thread | Reference semantics; smallest constant factor for tiny fabrics |
+//! | `Sharded` | `0` | [`WorkerMode::Inline`]: windowed rounds, all shards on the calling thread | Single-core boxes and fine-grained stepping harnesses — faster than sequential at k ≥ 8 (smaller per-shard heaps), zero threads |
+//! | `Sharded` | `n ≥ 1` | [`WorkerMode::Pool`]: a **persistent pool** of `min(n, switch shards)` workers plus the calling thread on the edge shard | Multicore parallel headroom; threads spawn once and park between `run_until` calls |
+//!
+//! `Sharded` falls back to the sequential driver when the topology has
+//! fewer than two switch shards or any cross-shard channel has zero
+//! lookahead ([`sim::Simulator::effective_engine`]).
+//!
+//! Whatever the mode, every sharded run executes the **one** windowed-round
+//! driver (`driver::drive_windowed_rounds`): integrate mailboxes → publish
+//! earliest pending times → freeze the round snapshot → process strictly
+//! below per-shard horizons (derived events routed directly to local
+//! shards, batched per destination otherwise) → flush and end the round.
+//! The executor trait is the only thing that differs between inline and
+//! pooled execution, so the barrier discipline cannot drift between them.
 
 pub mod config;
+mod driver;
 pub mod event;
 pub mod fault;
 pub mod packet;
+mod pool;
 mod shard;
 pub mod sim;
 pub mod stats;
 pub mod traits;
 
-pub use config::{EngineKind, LinkConfig, SimConfig};
+pub use config::{EngineKind, LinkConfig, SimConfig, WorkerMode};
 pub use fault::{FaultState, LoadBalance, Quirk, SwitchQuirks};
 pub use packet::{Packet, TagHeaders, TcpFlags, HEADER_BYTES, VLAN_TAG_BYTES};
+pub use pool::PoolStats;
 pub use sim::Simulator;
 pub use stats::{DropReason, DropRecord, LinkCounters, SimStats, SwitchCounters};
 pub use traits::{CtrlApi, HostApi, NoTagging, Punt, SinkWorld, TagPolicy, World};

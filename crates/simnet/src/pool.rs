@@ -1,0 +1,333 @@
+//! A persistent worker pool for the sharded engine.
+//!
+//! The threaded driver used to spawn and join its shard workers inside
+//! every `run_until` call (`std::thread::scope`), which taxes fine-grained
+//! stepping harnesses — the differential proptests and any world that
+//! advances the clock in small increments pay a thread create/destroy
+//! cycle per step. The pool amortizes that: worker threads are spawned
+//! once, park on a mailbox between runs, and receive one *job* (a closure
+//! driving their shard group through the windowed rounds) per batch.
+//!
+//! # Scoped-job soundness
+//!
+//! Jobs borrow the simulator's per-run shard contexts, so they are not
+//! `'static`. [`WorkerPool::dispatch`] erases the lifetime (an internal
+//! `transmute`) and returns a [`BatchGuard`] that **always** blocks until
+//! every job of the batch has finished — on the explicit
+//! [`BatchGuard::finish`] path and, crucially, in its `Drop` when the
+//! caller unwinds mid-batch. A job therefore never outlives the borrows it
+//! captures, which is the same guarantee `std::thread::scope` provides,
+//! minus the per-call spawn.
+//!
+//! Worker panics are caught at the job boundary (the thread survives for
+//! the next batch) and re-raised on the dispatching thread by
+//! [`BatchGuard::finish`]; the round barrier's abort protocol (see
+//! [`crate::shard::RoundBarrier`]) has already unblocked the surviving
+//! participants by then.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work dispatched to one pool worker.
+pub(crate) type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// What a parked worker wakes up to.
+enum Command {
+    Run(Job<'static>),
+    Shutdown,
+}
+
+/// One worker's parked-thread handoff slot.
+#[derive(Default)]
+struct Mailbox {
+    slot: Mutex<Option<Command>>,
+    cv: Condvar,
+}
+
+/// Completion state of the in-flight batch.
+#[derive(Default)]
+struct BatchState {
+    remaining: usize,
+    /// Panic payloads of jobs that unwound (re-raised by the dispatcher).
+    panics: Vec<Box<dyn Any + Send>>,
+}
+
+#[derive(Default)]
+struct Shared {
+    batch: Mutex<BatchState>,
+    done_cv: Condvar,
+}
+
+struct Worker {
+    mailbox: Arc<Mailbox>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Pool lifecycle counters, exposed through
+/// [`crate::sim::Simulator::pool_stats`] so tests can pin the reuse
+/// contract (repeated `run_until` calls must not spawn threads).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads currently alive (parked or running a job).
+    pub threads: usize,
+    /// Threads ever spawned — the pool *generation* counter. Flat across
+    /// `run_until` calls that reuse the pool; grows only when the pool
+    /// first fills or is asked for more workers than it has.
+    pub spawned_total: u64,
+    /// Job batches dispatched (one per pooled `run_until`).
+    pub batches: u64,
+}
+
+/// The persistent pool. Default-constructed empty (no threads); workers
+/// are spawned lazily on the first pooled run and parked between runs.
+/// Dropping the pool delivers a shutdown command to every mailbox and
+/// joins all threads.
+#[derive(Default)]
+pub(crate) struct WorkerPool {
+    workers: Vec<Worker>,
+    shared: Arc<Shared>,
+    spawned_total: u64,
+    batches: u64,
+}
+
+fn worker_main(mailbox: Arc<Mailbox>, shared: Arc<Shared>) {
+    loop {
+        let cmd = {
+            let mut slot = mailbox.slot.lock().expect("pool mailbox poisoned");
+            loop {
+                if let Some(c) = slot.take() {
+                    break c;
+                }
+                slot = mailbox.cv.wait(slot).expect("pool mailbox poisoned");
+            }
+        };
+        match cmd {
+            Command::Shutdown => return,
+            Command::Run(job) => {
+                let result = catch_unwind(AssertUnwindSafe(job));
+                let mut batch = shared.batch.lock().expect("pool batch poisoned");
+                if let Err(p) = result {
+                    batch.panics.push(p);
+                }
+                batch.remaining -= 1;
+                if batch.remaining == 0 {
+                    shared.done_cv.notify_all();
+                }
+            }
+        }
+    }
+}
+
+impl WorkerPool {
+    /// Current lifecycle counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.workers.len(),
+            spawned_total: self.spawned_total,
+            batches: self.batches,
+        }
+    }
+
+    /// Grows the pool to at least `n` workers (never shrinks — parked
+    /// spares are cheap and a later run may want them back).
+    fn ensure_workers(&mut self, n: usize) {
+        while self.workers.len() < n {
+            let mailbox = Arc::new(Mailbox::default());
+            let mb = Arc::clone(&mailbox);
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("simnet-shard-{}", self.workers.len()))
+                .spawn(move || worker_main(mb, shared))
+                .expect("spawn shard worker");
+            self.workers.push(Worker {
+                mailbox,
+                handle: Some(handle),
+            });
+            self.spawned_total += 1;
+        }
+    }
+
+    /// Hands one job to each worker (spawning workers on first use) and
+    /// returns the guard that synchronizes batch completion. The caller
+    /// may run its own share of the work (the edge shard) between
+    /// `dispatch` and [`BatchGuard::finish`].
+    pub fn dispatch<'env>(&mut self, jobs: Vec<Job<'env>>) -> BatchGuard<'_> {
+        self.ensure_workers(jobs.len());
+        {
+            let mut batch = self.shared.batch.lock().expect("pool batch poisoned");
+            assert_eq!(batch.remaining, 0, "previous batch still in flight");
+            batch.remaining = jobs.len();
+            batch.panics.clear();
+        }
+        self.batches += 1;
+        for (w, job) in self.workers.iter().zip(jobs) {
+            // SAFETY: the returned BatchGuard blocks until every job of
+            // this batch has completed — on finish() and on Drop during
+            // unwinding — so nothing borrowed by `job` is dropped while a
+            // worker can still touch it (the std::thread::scope guarantee).
+            let job: Job<'static> = unsafe { std::mem::transmute(job) };
+            let mut slot = w.mailbox.slot.lock().expect("pool mailbox poisoned");
+            debug_assert!(slot.is_none(), "worker mailbox already full");
+            *slot = Some(Command::Run(job));
+            w.mailbox.cv.notify_one();
+        }
+        BatchGuard {
+            shared: &self.shared,
+            finished: false,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let mut slot = w.mailbox.slot.lock().expect("pool mailbox poisoned");
+            debug_assert!(slot.is_none(), "shutdown with a job still queued");
+            *slot = Some(Command::Shutdown);
+            w.mailbox.cv.notify_one();
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Synchronizes one dispatched batch; see [`WorkerPool::dispatch`].
+pub(crate) struct BatchGuard<'p> {
+    shared: &'p Shared,
+    finished: bool,
+}
+
+impl BatchGuard<'_> {
+    fn wait(&mut self) -> Vec<Box<dyn Any + Send>> {
+        self.finished = true;
+        let mut batch = self.shared.batch.lock().expect("pool batch poisoned");
+        while batch.remaining > 0 {
+            batch = self
+                .shared
+                .done_cv
+                .wait(batch)
+                .expect("pool batch poisoned");
+        }
+        std::mem::take(&mut batch.panics)
+    }
+
+    /// Blocks until every job of the batch has finished; re-raises the
+    /// first worker panic on this thread.
+    pub fn finish(mut self) {
+        let panics = self.wait();
+        if let Some(p) = panics.into_iter().next() {
+            resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            // The dispatcher is unwinding mid-batch (its own shard of the
+            // round panicked, aborting the barrier): the workers observe
+            // the abort and finish promptly — wait for them so the batch's
+            // borrows stay valid, and swallow their payloads (one panic is
+            // already in flight).
+            let _ = self.wait();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn reuses_threads_across_batches() {
+        let mut pool = WorkerPool::default();
+        assert_eq!(pool.stats(), PoolStats::default());
+        let hits = AtomicUsize::new(0);
+        for round in 1..=5u64 {
+            let jobs: Vec<Job> = (0..3)
+                .map(|_| {
+                    Box::new(|| {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                    }) as Job
+                })
+                .collect();
+            pool.dispatch(jobs).finish();
+            let st = pool.stats();
+            assert_eq!(st.threads, 3);
+            assert_eq!(st.spawned_total, 3, "round {round} must reuse threads");
+            assert_eq!(st.batches, round);
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 15);
+    }
+
+    /// Jobs may borrow caller-scoped state: the guard's completion wait is
+    /// what makes the internal lifetime erasure sound.
+    #[test]
+    fn jobs_borrow_scoped_state() {
+        let mut pool = WorkerPool::default();
+        let mut cells = vec![0u64; 4];
+        {
+            let jobs: Vec<Job> = cells
+                .iter_mut()
+                .enumerate()
+                .map(|(i, c)| {
+                    Box::new(move || {
+                        *c = (i as u64 + 1) * 10;
+                    }) as Job
+                })
+                .collect();
+            pool.dispatch(jobs).finish();
+        }
+        assert_eq!(cells, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn propagates_job_panic_and_survives() {
+        let mut pool = WorkerPool::default();
+        let jobs: Vec<Job> = vec![
+            Box::new(|| panic!("job died")) as Job,
+            Box::new(|| {}) as Job,
+        ];
+        let guard = pool.dispatch(jobs);
+        let err = catch_unwind(AssertUnwindSafe(move || guard.finish()));
+        assert!(err.is_err(), "worker panic must re-raise on the dispatcher");
+        // The pool is still usable: the panicking job did not kill its thread.
+        let ok = AtomicUsize::new(0);
+        let jobs: Vec<Job> = (0..2)
+            .map(|_| {
+                Box::new(|| {
+                    ok.fetch_add(1, Ordering::SeqCst);
+                }) as Job
+            })
+            .collect();
+        pool.dispatch(jobs).finish();
+        assert_eq!(ok.load(Ordering::SeqCst), 2);
+        assert_eq!(pool.stats().spawned_total, 2);
+    }
+
+    /// Dropping the pool must deliver shutdown and join every thread —
+    /// observable as the worker-held Arcs being released.
+    #[test]
+    fn drop_joins_cleanly() {
+        let mut pool = WorkerPool::default();
+        pool.dispatch((0..2).map(|_| Box::new(|| {}) as Job).collect())
+            .finish();
+        let shared = Arc::clone(&pool.shared);
+        // pool + 2 workers hold the shared state.
+        assert_eq!(Arc::strong_count(&shared), 4);
+        drop(pool);
+        assert_eq!(
+            Arc::strong_count(&shared),
+            1,
+            "joined workers must have released their pool references"
+        );
+        // An empty pool (never used) also drops without hanging.
+        drop(WorkerPool::default());
+    }
+}

@@ -1,6 +1,7 @@
 //! Pod sharding: the partition of the fabric into conservatively
-//! synchronized event-loop shards, and the two sharded drivers (inline
-//! windowed rounds, and spawned worker threads).
+//! synchronized event-loop shards, and the synchronization primitives
+//! (round barrier, mailbox exchange) the windowed-round driver in
+//! [`crate::driver`] runs on.
 //!
 //! # Partition
 //!
@@ -220,18 +221,6 @@ impl ShardPlan {
     }
 }
 
-/// How many worker threads the sharded engine should spawn.
-pub(crate) fn resolve_workers(cfg: &SimConfig, switch_shards: usize) -> usize {
-    let req = if cfg.shard_workers == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-    } else {
-        cfg.shard_workers
-    };
-    req.min(switch_shards).max(1)
-}
-
 /// A reusable round barrier that can be *aborted*: unlike
 /// `std::sync::Barrier`, a participant that unwinds (see [`AbortGuard`])
 /// wakes every blocked peer with a panic instead of deadlocking the run —
@@ -323,12 +312,18 @@ impl Exchange {
         }
     }
 
-    /// Routes one message into its destination inbox.
-    pub fn post(&self, msg: Outgoing) {
-        self.inboxes[msg.shard]
+    /// Splices one participant's whole per-destination batch into `shard`'s
+    /// inbox: one lock and one append per shard per window, instead of a
+    /// lock per message. `msgs` is drained and keeps its capacity for the
+    /// next round.
+    pub fn post_batch(&self, shard: usize, msgs: &mut Vec<Outgoing>) {
+        if msgs.is_empty() {
+            return;
+        }
+        self.inboxes[shard]
             .lock()
             .expect("inbox poisoned")
-            .push(msg);
+            .append(msgs);
     }
 
     /// Publishes shard `s`'s earliest pending time.

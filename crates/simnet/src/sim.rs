@@ -8,7 +8,8 @@
 //! selected by [`SimConfig::engine`]:
 //!
 //! * **Sequential** — one thread pops the globally earliest event across
-//!   all shard queues (the reference engine).
+//!   all shard queues (the reference engine), ordered by a tournament
+//!   tree over the per-shard queue heads.
 //! * **Sharded** — conservative parallel DES: the fabric is partitioned
 //!   into one shard per fat-tree pod plus a core shard (see
 //!   [`crate::shard::ShardPlan`]), while hosts, NICs, timers, the
@@ -18,10 +19,21 @@
 //!   processes everything strictly below its *horizon* — the minimum over
 //!   other shards of `their earliest event + the minimum latency of any
 //!   message they could send here`. Cross-shard packets travel through
-//!   mailboxes drained at the next window barrier. The minimum cross-shard
-//!   latency (fabric/host propagation, punt and packet-out latency) is the
+//!   mailboxes, spliced per destination shard once per window and drained
+//!   at the next window barrier. The minimum cross-shard latency
+//!   (fabric/host propagation, punt and packet-out latency) is the
 //!   lookahead bound; if any is zero the facade silently falls back to the
 //!   sequential driver.
+//!
+//! The sharded engine executes in one of two modes, normalized from
+//! [`SimConfig::shard_workers`] by [`SimConfig::worker_mode`]: **inline**
+//! (`0` — every shard's rounds run on the calling thread) or **pooled**
+//! (`n ≥ 1` — a persistent worker pool, spawned once and parked between
+//! runs, drives the switch shards while the calling thread drives the
+//! edge shard). All three execution paths are the *same* round loop,
+//! `driver::drive_windowed_rounds`, parameterized over a synchronization
+//! executor — the barrier structure is enforced by the type, not by
+//! keeping hand-written loops in sync.
 //!
 //! # Determinism: both engines are bit-identical
 //!
@@ -56,11 +68,13 @@
 //! harnesses stepping the simulation observe identical values on either
 //! engine even when a step boundary lands mid-flight ("mid-window").
 
-use crate::config::{EngineKind, SimConfig};
+use crate::config::{EngineKind, SimConfig, WorkerMode};
+use crate::driver::{drive_windowed_rounds, seq_drive, ExchangeSync, InlineSync, LaneCtx, Net};
 use crate::event::{mix64, EventEntry, EventKind, EventQueue, KeyGen};
 use crate::fault::{FaultState, LoadBalance, Quirk, SwitchQuirks};
 use crate::packet::Packet;
-use crate::shard::{resolve_workers, AbortGuard, Exchange, Outgoing, ShardPlan};
+use crate::pool::{Job, PoolStats, WorkerPool};
+use crate::shard::{Exchange, Outgoing, ShardPlan};
 use crate::stats::{DropReason, DropRecord, SimStats, DROP_LOG_CAP};
 use crate::stats::{LinkCounters, SwitchCounters};
 use crate::traits::{CtrlAction, CtrlApi, HostAction, HostApi, Punt, TagPolicy, World};
@@ -101,15 +115,6 @@ struct KeyedDrop {
     parent: u64,
     birth: u64,
     rec: DropRecord,
-}
-
-/// Read-only state shared by every shard (and both engines).
-struct Net<'a> {
-    cfg: &'a SimConfig,
-    topo: &'a Topology,
-    routes: &'a RouteTables,
-    plan: &'a ShardPlan,
-    tag: &'a dyn TagPolicy,
 }
 
 /// Stages a drop record into a shard buffer.
@@ -552,6 +557,20 @@ impl SwitchCtx<'_> {
     }
 }
 
+impl LaneCtx for SwitchCtx<'_> {
+    fn shard(&self) -> usize {
+        self.shard
+    }
+
+    fn queue_mut(&mut self) -> &mut EventQueue {
+        self.queue
+    }
+
+    fn dispatch_event(&mut self, net: &Net, ev: EventEntry, out: &mut Vec<Outgoing>) {
+        self.dispatch(net, ev, out);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The edge shard: hosts, NICs, timers, world, controller.
 // ---------------------------------------------------------------------------
@@ -831,138 +850,17 @@ impl<W: World> EdgeCtx<'_, W> {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Drivers.
-// ---------------------------------------------------------------------------
-
-/// Routes buffered cross-shard messages (sequential/inline drivers only).
-fn route_out<W: World>(out: &mut Vec<Outgoing>, sctxs: &mut [SwitchCtx], ectx: &mut EdgeCtx<W>) {
-    for m in out.drain(..) {
-        if m.shard == ectx.shard {
-            ectx.queue.push_keyed(m.at, m.key, m.kind);
-        } else {
-            sctxs[m.shard].queue.push_keyed(m.at, m.key, m.kind);
-        }
+impl<W: World> LaneCtx for EdgeCtx<'_, W> {
+    fn shard(&self) -> usize {
+        self.shard
     }
-}
 
-/// The sequential reference engine: globally earliest `(time, key)` first.
-fn seq_drive<W: World>(net: &Net, sctxs: &mut [SwitchCtx], ectx: &mut EdgeCtx<W>, t: Nanos) {
-    let mut out: Vec<Outgoing> = Vec::new();
-    loop {
-        let mut best: Option<(Nanos, u64, usize)> = None;
-        for (i, c) in sctxs.iter().enumerate() {
-            if let Some((at, key)) = c.queue.peek_time_key() {
-                if best.is_none_or(|(ba, bk, _)| (at, key) < (ba, bk)) {
-                    best = Some((at, key, i));
-                }
-            }
-        }
-        let edge = ectx.shard;
-        if let Some((at, key)) = ectx.queue.peek_time_key() {
-            if best.is_none_or(|(ba, bk, _)| (at, key) < (ba, bk)) {
-                best = Some((at, key, edge));
-            }
-        }
-        let Some((at, _, idx)) = best else { break };
-        // `Nanos::MAX` is the saturated "never" sentinel, not a real
-        // timestamp: such events do not fire on either engine (the sharded
-        // drivers cannot distinguish them from empty queues, and a fully
-        // saturated timer is a harness bug, not a schedule).
-        if at > t || at == Nanos::MAX {
-            break;
-        }
-        if idx == edge {
-            let ev = ectx.queue.pop().expect("peeked event must pop");
-            ectx.dispatch(net, ev, &mut out);
-        } else {
-            let ev = sctxs[idx].queue.pop().expect("peeked event must pop");
-            sctxs[idx].dispatch(net, ev, &mut out);
-        }
-        route_out(&mut out, sctxs, ectx);
+    fn queue_mut(&mut self) -> &mut EventQueue {
+        self.queue
     }
-}
 
-/// The sharded engine on the calling thread: windowed rounds without
-/// spawning (used when only one worker is available — same schedule
-/// structure, no synchronization overhead).
-fn sharded_inline<W: World>(net: &Net, sctxs: &mut [SwitchCtx], ectx: &mut EdgeCtx<W>, t: Nanos) {
-    let total = net.plan.total_shards();
-    let edge = ectx.shard;
-    let mut out: Vec<Outgoing> = Vec::new();
-    let mut t_next = vec![u64::MAX; total];
-    loop {
-        for (i, c) in sctxs.iter().enumerate() {
-            t_next[i] = c.queue.peek_time().map_or(u64::MAX, |n| n.0);
-        }
-        t_next[edge] = ectx.queue.peek_time().map_or(u64::MAX, |n| n.0);
-        let gmin = t_next.iter().copied().min().unwrap_or(u64::MAX);
-        if gmin == u64::MAX || gmin > t.0 {
-            break;
-        }
-        for s in 0..total {
-            let h = net.plan.horizon(s, &t_next);
-            loop {
-                let peek = if s == edge {
-                    ectx.queue.peek_time()
-                } else {
-                    sctxs[s].queue.peek_time()
-                };
-                let Some(at) = peek else { break };
-                if at.0 >= h || at > t {
-                    break;
-                }
-                if s == edge {
-                    let ev = ectx.queue.pop().expect("peeked event must pop");
-                    ectx.dispatch(net, ev, &mut out);
-                } else {
-                    let ev = sctxs[s].queue.pop().expect("peeked event must pop");
-                    sctxs[s].dispatch(net, ev, &mut out);
-                }
-                // Immediate routing is safe: any cross-shard message created
-                // in this window arrives at or beyond the destination's
-                // horizon, so it cannot be processed until the next round.
-                route_out(&mut out, sctxs, ectx);
-            }
-        }
-    }
-}
-
-/// The edge half of the threaded engine, driven by the calling thread.
-/// Switch workers run the same round shape in [`worker_group_loop`]:
-/// phase A integrates mailboxes and publishes earliest pending times, a
-/// barrier freezes the snapshot, phase B processes strictly below each
-/// shard's horizon, and a second barrier makes all posted messages visible
-/// before the next drain.
-fn edge_loop<W: World>(net: &Net, ectx: &mut EdgeCtx<W>, exch: &Exchange, t: Nanos) {
-    let _abort = AbortGuard(exch);
-    let mut out: Vec<Outgoing> = Vec::new();
-    let mut snap: Vec<u64> = Vec::new();
-    let edge = ectx.shard;
-    loop {
-        let msgs = std::mem::take(&mut *exch.inboxes[edge].lock().expect("inbox"));
-        for m in msgs {
-            ectx.queue.push_keyed(m.at, m.key, m.kind);
-        }
-        exch.publish(edge, ectx.queue.peek_time().map_or(u64::MAX, |n| n.0));
-        exch.barrier.wait();
-        exch.snapshot(&mut snap);
-        let gmin = snap.iter().copied().min().unwrap_or(u64::MAX);
-        if gmin == u64::MAX || gmin > t.0 {
-            break;
-        }
-        let h = net.plan.horizon(edge, &snap);
-        while let Some((at, _)) = ectx.queue.peek_time_key() {
-            if at.0 >= h || at > t {
-                break;
-            }
-            let ev = ectx.queue.pop().expect("peeked event must pop");
-            ectx.dispatch(net, ev, &mut out);
-            for m in out.drain(..) {
-                exch.post(m);
-            }
-        }
-        exch.barrier.wait();
+    fn dispatch_event(&mut self, net: &Net, ev: EventEntry, out: &mut Vec<Outgoing>) {
+        self.dispatch(net, ev, out);
     }
 }
 
@@ -998,6 +896,9 @@ pub struct Simulator<W: World> {
     /// Counters (see [`SimStats`]).
     pub stats: SimStats,
     drop_stage: Vec<Vec<KeyedDrop>>,
+    /// Persistent shard workers (empty until the first pooled run; parked
+    /// between runs; joined on drop).
+    pool: WorkerPool,
 }
 
 impl<W: World> Simulator<W> {
@@ -1049,6 +950,7 @@ impl<W: World> Simulator<W> {
             drop_stage,
             plan,
             topo,
+            pool: WorkerPool::default(),
         }
     }
 
@@ -1185,69 +1087,27 @@ impl<W: World> Simulator<W> {
 
         // Borrow an edge context for the enqueue so the logic (queue caps,
         // drop staging, HostTx scheduling) is exactly the in-run path.
-        let Simulator {
-            cfg,
-            topo,
-            routes,
-            plan,
-            tag_policy,
-            world,
-            nics,
-            queues,
-            edge_rng,
-            next_uid,
-            stats,
-            drop_stage,
-            ..
-        } = self;
-        let edge = plan.edge_shard();
-        let net = Net {
-            cfg,
-            topo,
-            routes,
-            plan,
-            tag: tag_policy.as_ref(),
-        };
-        let (_, edge_queue) = queues.split_at_mut(edge);
-        let (_, edge_stage) = drop_stage.split_at_mut(edge);
-        let mut out: Vec<Outgoing> = Vec::new();
-        let mut ectx = EdgeCtx {
-            shard: edge,
-            world,
-            nics,
-            nic_stats: &mut stats.host_nics,
-            queue: &mut edge_queue[0],
-            rng: edge_rng,
-            next_uid,
-            delivered_pkts: &mut stats.delivered_pkts,
-            delivered_bytes: &mut stats.delivered_bytes,
-            injected_pkts: &mut stats.injected_pkts,
-            drops: &mut edge_stage[0],
-            events: 0,
-            max_t: Nanos::ZERO,
-        };
-        ectx.nic_enqueue(&net, now, &mut kg, host, pkt, &mut out);
-        let _ = ectx;
-        // A NIC enqueue can only schedule HostTx, which is edge-local.
-        debug_assert!(out.is_empty(), "facade injection cannot cross shards");
+        self.with_edge_ctx(|net, ectx| {
+            let mut out: Vec<Outgoing> = Vec::new();
+            ectx.nic_enqueue(net, now, &mut kg, host, pkt, &mut out);
+            // A NIC enqueue can only schedule HostTx, which is edge-local.
+            debug_assert!(out.is_empty(), "facade injection cannot cross shards");
+        });
         self.merge_staged();
     }
 
-    // --- run loop ----------------------------------------------------------
+    // --- shared context construction ---------------------------------------
 
-    /// Processes events until simulated time `t` (inclusive); the clock ends
-    /// at `t` even if the queue drains earlier.
-    ///
-    /// Events stamped exactly `Nanos::MAX` (a saturated timestamp, e.g. an
-    /// overflowing timer delay) are treated as "never" and do not fire on
-    /// either engine.
-    pub fn run_until(&mut self, t: Nanos) {
-        let engine = self.effective_engine();
-        let workers = match engine {
-            EngineKind::Sequential => 0,
-            EngineKind::Sharded => resolve_workers(&self.cfg, self.plan.switch_shards),
-        };
-
+    /// Splits the facade into the read-only [`Net`] view, the per-shard
+    /// switch contexts (only when `build_switches`), and the edge context
+    /// — the one borrow decomposition both `send_from` and `run_until`
+    /// use — runs `f`, then folds the contexts' event totals and clock
+    /// back into the facade.
+    fn with_ctxs<R>(
+        &mut self,
+        build_switches: bool,
+        f: impl FnOnce(&Net, &mut [SwitchCtx<'_>], &mut EdgeCtx<'_, W>) -> R,
+    ) -> R {
         let Simulator {
             cfg,
             topo,
@@ -1282,12 +1142,16 @@ impl<W: World> Simulator<W> {
             tag: tag_policy.as_ref(),
         };
 
+        let (switch_queues, edge_queue) = queues.split_at_mut(plan.edge_shard());
+        let (switch_stage, edge_stage) = drop_stage.split_at_mut(plan.edge_shard());
+
         // Distribute per-switch state into shard contexts (ascending global
         // id per shard, matching `ShardPlan::local_of_switch`).
-        let mut sctxs: Vec<SwitchCtx> = Vec::with_capacity(plan.switch_shards);
-        {
-            let mut queue_it = queues.iter_mut();
-            let mut stage_it = drop_stage.iter_mut();
+        let mut sctxs: Vec<SwitchCtx> = Vec::new();
+        if build_switches {
+            sctxs.reserve(plan.switch_shards);
+            let mut queue_it = switch_queues.iter_mut();
+            let mut stage_it = switch_stage.iter_mut();
             for s in 0..plan.switch_shards {
                 sctxs.push(SwitchCtx {
                     shard: s,
@@ -1314,72 +1178,132 @@ impl<W: World> Simulator<W> {
             for (i, p) in switch_ports.iter_mut().enumerate() {
                 sctxs[plan.shard_of_switch[i]].port_stats.push(p);
             }
-            let mut ectx = EdgeCtx {
-                shard: plan.edge_shard(),
-                world,
-                nics,
-                nic_stats: host_nics,
-                queue: queue_it.next().expect("edge queue"),
-                rng: edge_rng,
-                next_uid,
-                delivered_pkts,
-                delivered_bytes,
-                injected_pkts,
-                drops: stage_it.next().expect("edge stage"),
-                events: 0,
-                max_t: Nanos::ZERO,
-            };
+        }
+        let mut ectx = EdgeCtx {
+            shard: plan.edge_shard(),
+            world,
+            nics,
+            nic_stats: host_nics,
+            queue: &mut edge_queue[0],
+            rng: edge_rng,
+            next_uid,
+            delivered_pkts,
+            delivered_bytes,
+            injected_pkts,
+            drops: &mut edge_stage[0],
+            events: 0,
+            max_t: Nanos::ZERO,
+        };
 
-            match engine {
-                EngineKind::Sequential => seq_drive(&net, &mut sctxs, &mut ectx, t),
-                EngineKind::Sharded if workers <= 1 => {
-                    sharded_inline(&net, &mut sctxs, &mut ectx, t)
+        let r = f(&net, &mut sctxs, &mut ectx);
+
+        // Fold per-shard run totals back into the facade.
+        let mut events = ectx.events;
+        let mut max_t = ectx.max_t;
+        for c in &sctxs {
+            events += c.events;
+            if c.max_t > max_t {
+                max_t = c.max_t;
+            }
+        }
+        stats.events += events;
+        if max_t > self.clock {
+            self.clock = max_t;
+        }
+        r
+    }
+
+    /// [`Self::with_ctxs`] without the switch contexts: the cheap
+    /// decomposition for facade operations that only touch the edge shard.
+    fn with_edge_ctx<R>(&mut self, f: impl FnOnce(&Net, &mut EdgeCtx<'_, W>) -> R) -> R {
+        self.with_ctxs(false, |net, _sctxs, ectx| f(net, ectx))
+    }
+
+    // --- run loop ----------------------------------------------------------
+
+    /// Processes events until simulated time `t` (inclusive); the clock ends
+    /// at `t` even if the queue drains earlier.
+    ///
+    /// Events stamped exactly `Nanos::MAX` (a saturated timestamp, e.g. an
+    /// overflowing timer delay) are treated as "never" and do not fire on
+    /// either engine.
+    pub fn run_until(&mut self, t: Nanos) {
+        let engine = self.effective_engine();
+        let mode = self.cfg.worker_mode(self.plan.switch_shards);
+        // The pool steps out of `self` for the duration of the run so the
+        // context decomposition can borrow everything else; it is restored
+        // even when the run unwinds (a caught world panic must not cost
+        // the parked threads).
+        let mut pool = std::mem::take(&mut self.pool);
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.drive(engine, mode, &mut pool, t)
+        }));
+        self.pool = pool;
+        if let Err(p) = run {
+            std::panic::resume_unwind(p);
+        }
+        if t > self.clock && t != Nanos::MAX {
+            self.clock = t;
+        }
+        self.merge_staged();
+    }
+
+    /// The engine dispatch of one `run_until` call (split out so the
+    /// caller can restore the pool around an unwinding run).
+    fn drive(&mut self, engine: EngineKind, mode: WorkerMode, pool: &mut WorkerPool, t: Nanos) {
+        self.with_ctxs(true, |net, sctxs, ectx| {
+            match (engine, mode) {
+                (EngineKind::Sequential, _) => {
+                    let mut lanes = all_lanes(sctxs, ectx);
+                    seq_drive(net, &mut lanes, t);
                 }
-                EngineKind::Sharded => {
-                    let exch = Exchange::new(plan.total_shards(), workers + 1);
+                (EngineKind::Sharded, WorkerMode::Inline) => {
+                    let mut lanes = all_lanes(sctxs, ectx);
+                    let mut sync = InlineSync::new(net.plan.total_shards());
+                    drive_windowed_rounds(net, &mut lanes, &mut sync, t);
+                }
+                (EngineKind::Sharded, WorkerMode::Pool(workers)) => {
+                    let exch = Exchange::new(net.plan.total_shards(), workers + 1);
                     // Round-robin shards over workers.
                     let mut groups: Vec<Vec<&mut SwitchCtx>> =
                         (0..workers).map(|_| Vec::new()).collect();
                     for (i, c) in sctxs.iter_mut().enumerate() {
                         groups[i % workers].push(c);
                     }
-                    let netr = &net;
                     let exchr = &exch;
-                    std::thread::scope(|scope| {
-                        let mut handles = Vec::new();
-                        for mut group in groups {
-                            handles.push(scope.spawn(move || {
-                                // SwitchCtx is !Copy; flatten &mut refs.
-                                let grp: &mut [&mut SwitchCtx] = &mut group;
-                                worker_group_loop(netr, grp, exchr, t);
-                            }));
-                        }
-                        edge_loop(netr, &mut ectx, exchr, t);
-                        for h in handles {
-                            h.join().expect("shard worker panicked");
-                        }
-                    });
+                    let jobs: Vec<Job<'_>> = groups
+                        .into_iter()
+                        .map(|mut group| {
+                            Box::new(move || {
+                                let mut lanes: Vec<&mut dyn LaneCtx> = group
+                                    .iter_mut()
+                                    .map(|c| &mut **c as &mut dyn LaneCtx)
+                                    .collect();
+                                let mut sync = ExchangeSync::new(exchr);
+                                drive_windowed_rounds(net, &mut lanes, &mut sync, t);
+                            }) as Job<'_>
+                        })
+                        .collect();
+                    // Parked pool workers drive the switch groups; this
+                    // thread drives the edge shard through the identical
+                    // round loop; the batch guard joins the round trip.
+                    let batch = pool.dispatch(jobs);
+                    {
+                        let mut lanes: Vec<&mut dyn LaneCtx> = vec![ectx];
+                        let mut sync = ExchangeSync::new(exchr);
+                        drive_windowed_rounds(net, &mut lanes, &mut sync, t);
+                    }
+                    batch.finish();
                 }
             }
+        });
+    }
 
-            // Fold per-shard run totals back into the facade.
-            let mut events = ectx.events;
-            let mut max_t = ectx.max_t;
-            for c in &sctxs {
-                events += c.events;
-                if c.max_t > max_t {
-                    max_t = c.max_t;
-                }
-            }
-            stats.events += events;
-            if max_t > self.clock {
-                self.clock = max_t;
-            }
-        }
-        if t > self.clock && t != Nanos::MAX {
-            self.clock = t;
-        }
-        self.merge_staged();
+    /// Pool lifecycle counters (tests pin the thread-reuse contract on
+    /// these; see [`PoolStats`]). All zero until the first run under
+    /// [`WorkerMode::Pool`].
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
     }
 
     /// Runs until the event queue drains (or `hard_cap` is reached).
@@ -1416,41 +1340,21 @@ impl<W: World> Simulator<W> {
     }
 }
 
-/// Adapter so worker threads can run over `&mut [&mut SwitchCtx]` groups.
-fn worker_group_loop(net: &Net, group: &mut [&mut SwitchCtx], exch: &Exchange, t: Nanos) {
-    let _abort = AbortGuard(exch);
-    let mut out: Vec<Outgoing> = Vec::new();
-    let mut snap: Vec<u64> = Vec::new();
-    loop {
-        for c in group.iter_mut() {
-            let msgs = std::mem::take(&mut *exch.inboxes[c.shard].lock().expect("inbox"));
-            for m in msgs {
-                c.queue.push_keyed(m.at, m.key, m.kind);
-            }
-            exch.publish(c.shard, c.queue.peek_time().map_or(u64::MAX, |n| n.0));
-        }
-        exch.barrier.wait();
-        exch.snapshot(&mut snap);
-        let gmin = snap.iter().copied().min().unwrap_or(u64::MAX);
-        if gmin == u64::MAX || gmin > t.0 {
-            break;
-        }
-        for c in group.iter_mut() {
-            let h = net.plan.horizon(c.shard, &snap);
-            while let Some((at, _)) = c.queue.peek_time_key() {
-                if at.0 >= h || at > t {
-                    break;
-                }
-                let ev = c.queue.pop().expect("peeked event must pop");
-                c.dispatch(net, ev, &mut out);
-                for m in out.drain(..) {
-                    exch.post(m);
-                }
-            }
-        }
-        exch.barrier.wait();
-    }
+/// Collects every shard context into the lane list the drivers consume:
+/// switch shards in shard order, the edge shard last (lane order is also
+/// the sequential tie-scan order).
+fn all_lanes<'c, W: World>(
+    sctxs: &'c mut [SwitchCtx<'_>],
+    ectx: &'c mut EdgeCtx<'_, W>,
+) -> Vec<&'c mut (dyn LaneCtx + 'c)> {
+    let mut lanes: Vec<&mut (dyn LaneCtx + 'c)> = sctxs
+        .iter_mut()
+        .map(|c| c as &mut (dyn LaneCtx + 'c))
+        .collect();
+    lanes.push(ectx as &mut (dyn LaneCtx + 'c));
+    lanes
 }
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1992,19 +1896,112 @@ mod tests {
         (s.stats.clone(), traj)
     }
 
-    /// The sharded engine — inline and threaded — must be bit-identical to
-    /// the sequential reference on stats and per-packet trajectories.
+    /// The sharded engine — inline (`workers == 0`) and pooled — must be
+    /// bit-identical to the sequential reference on stats and per-packet
+    /// trajectories.
     #[test]
     fn sharded_engine_matches_sequential() {
         let ft = ft4();
         let t = Nanos::from_millis(500);
         let (seq_stats, seq_traj) = mixed_run(&ft, SimConfig::for_tests(), t);
         assert!(!seq_traj.is_empty(), "workload must deliver packets");
-        for workers in [1usize, 2, 3] {
+        for workers in [0usize, 1, 2, 3] {
             let (st, tr) = mixed_run(&ft, sharded_cfg(workers), t);
             assert_eq!(tr, seq_traj, "trajectories diverged at workers={workers}");
             assert_eq!(st, seq_stats, "stats diverged at workers={workers}");
         }
+    }
+
+    /// The pool-reuse contract: repeated fine-grained `run_until` steps
+    /// dispatch batches to the *same* threads — the spawn counter (pool
+    /// generation) stays at the worker count, however many steps run.
+    #[test]
+    fn pool_reuses_threads_across_run_until_steps() {
+        let ft = ft4();
+        let mut s = Simulator::new(
+            &ft,
+            sharded_cfg(2),
+            Box::new(NoTagging),
+            TestWorld::default(),
+        );
+        assert_eq!(s.pool_stats(), crate::pool::PoolStats::default());
+        let (a, b) = (ft.host(0, 0, 0), ft.host(2, 1, 1));
+        for sport in 0..30u16 {
+            one_packet(&mut s, flow(&ft, a, b, 5500 + sport), a);
+        }
+        let steps = 40u64;
+        for i in 1..=steps {
+            s.run_until(Nanos(i * 100_000));
+        }
+        let st = s.pool_stats();
+        assert_eq!(st.threads, 2);
+        assert_eq!(
+            st.spawned_total, 2,
+            "stepping must reuse the persistent workers, not respawn"
+        );
+        assert_eq!(st.batches, steps, "one dispatched batch per run_until");
+        assert_eq!(s.world.delivered.len(), 30);
+        // Dropping the simulator parks nothing: the pool joins its threads.
+        drop(s);
+    }
+
+    /// `shard_workers == 0` is the inline mode: windowed rounds on the
+    /// calling thread, no pool threads ever spawned.
+    #[test]
+    fn inline_mode_spawns_no_threads() {
+        let ft = ft4();
+        let mut s = Simulator::new(
+            &ft,
+            sharded_cfg(0),
+            Box::new(NoTagging),
+            TestWorld::default(),
+        );
+        let (a, b) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        one_packet(&mut s, flow(&ft, a, b, 1), a);
+        s.run_until(Nanos::from_millis(10));
+        assert_eq!(s.world.delivered.len(), 1);
+        assert_eq!(s.pool_stats(), crate::pool::PoolStats::default());
+    }
+
+    /// A panicking world takes the pooled run down loudly — and the pool
+    /// survives: the same simulator config can run again afterwards.
+    #[test]
+    fn pooled_run_survives_world_panic() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        struct BombWorld {
+            armed: bool,
+        }
+        impl World for BombWorld {
+            fn on_packet(&mut self, _api: &mut HostApi<'_>, _pkt: Packet) {
+                if self.armed {
+                    panic!("world exploded");
+                }
+            }
+            fn on_timer(&mut self, _api: &mut HostApi<'_>, _token: u64) {}
+        }
+        let ft = ft4();
+        let mut s = Simulator::new(
+            &ft,
+            sharded_cfg(2),
+            Box::new(NoTagging),
+            BombWorld { armed: true },
+        );
+        let (a, b) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        let send = |s: &mut Simulator<BombWorld>, sport: u16| {
+            let pkt = Packet::data(0, flow(&ft, a, b, sport), 0, 1000, s.now());
+            s.send_from(a, pkt);
+        };
+        send(&mut s, 7);
+        let err = catch_unwind(AssertUnwindSafe(|| s.run_until(Nanos::from_millis(10))));
+        assert!(err.is_err(), "the edge panic must propagate");
+        // The workers were unblocked (barrier abort) and are parked again;
+        // a fresh run reuses the same pool — no respawn even across the
+        // caught panic.
+        s.world.armed = false;
+        send(&mut s, 8);
+        s.run_until(Nanos::from_millis(20));
+        assert_eq!(s.pool_stats().threads, 2);
+        assert_eq!(s.pool_stats().spawned_total, 2);
     }
 
     /// `now()` and `pending_events()` observed at a `run_until` boundary

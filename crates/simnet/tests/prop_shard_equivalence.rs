@@ -96,7 +96,13 @@ struct Scenario {
     tagged: bool,
     faults: Vec<(u8, u8, u8)>, // (kind, selector a, selector b)
     flows: Vec<FlowSel>,
+    /// `shard_workers`: 0 = inline windowed rounds, n ≥ 1 = persistent
+    /// pool of n workers.
     workers: usize,
+    /// `run_until` steps: 0 = the default coarse two-step run; n ≥ 2 =
+    /// fine-grained stepping (n equal slices), exercising pool handoff
+    /// and mid-window merges once per slice.
+    steps: u8,
 }
 
 type Trajectories = Vec<(HostId, u64, Vec<SwitchId>, Nanos)>;
@@ -178,9 +184,26 @@ fn run(sc: &Scenario, engine: EngineKind) -> Observed {
         }
         sport += 1;
     }
-    // Two-step run: exercises the mid-stream boundary merge as well.
-    sim.run_until(Nanos::from_millis(3));
-    sim.run_until(Nanos::from_millis(200));
+    let end = Nanos::from_millis(200);
+    if sc.steps < 2 {
+        // Two-step run: exercises the mid-stream boundary merge as well.
+        sim.run_until(Nanos::from_millis(3));
+        sim.run_until(end);
+    } else {
+        // Fine-grained stepping: every slice boundary is a full
+        // park/dispatch round trip on the pooled engine.
+        for i in 1..=sc.steps as u64 {
+            sim.run_until(Nanos(end.0 * i / sc.steps as u64));
+        }
+        if sc.workers >= 1 && engine == EngineKind::Sharded {
+            let st = sim.pool_stats();
+            assert_eq!(
+                st.spawned_total, st.threads as u64,
+                "stepping must never respawn pool workers: {st:?}"
+            );
+            assert_eq!(st.batches, sc.steps as u64);
+        }
+    }
     let w = sim.world;
     (sim.stats, w.delivered, w.punts, w.rng_draws)
 }
@@ -210,7 +233,7 @@ proptest! {
             1..5,
         ),
     ) {
-        let sc = Scenario { k: 4, seed, lb, tagged, faults, flows, workers: 1 };
+        let sc = Scenario { k: 4, seed, lb, tagged, faults, flows, workers: 0, steps: 0 };
         assert_equivalent(&sc)?;
     }
 }
@@ -238,7 +261,8 @@ proptest! {
             tagged,
             faults,
             flows,
-            workers: 1,
+            workers: 0,
+            steps: 0,
         };
         assert_equivalent(&sc)?;
     }
@@ -247,7 +271,8 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
-    /// Spawned-worker path (threads + mailboxes + barriers) on k=4.
+    /// Pooled-worker path (persistent threads + mailboxes + barriers) on
+    /// k=4.
     #[test]
     fn shard_equivalence_threaded(
         seed in any::<u64>(),
@@ -260,7 +285,32 @@ proptest! {
             1..4,
         ),
     ) {
-        let sc = Scenario { k: 4, seed, lb, tagged, faults, flows, workers };
+        let sc = Scenario { k: 4, seed, lb, tagged, faults, flows, workers, steps: 0 };
+        assert_equivalent(&sc)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Fine-grained stepping on the pooled engine (≥ 2 workers): many
+    /// small `run_until` slices must reuse the same pool threads (the
+    /// per-step spawn/join this suite used to pay is gone) and still be
+    /// bit-identical to the sequential reference stepped the same way.
+    #[test]
+    fn shard_equivalence_pooled_stepping(
+        seed in any::<u64>(),
+        lb in 0u8..3,
+        tagged in any::<bool>(),
+        workers in 2usize..4,
+        steps in 5u8..12,
+        faults in proptest::collection::vec((0u8..4, 0u8..=255, 0u8..=255), 0..3),
+        flows in proptest::collection::vec(
+            ((0u8..=255, 0u8..=255, 0u8..=255), (0u8..=255, 0u8..=255, 0u8..=255), 0u8..=255),
+            1..4,
+        ),
+    ) {
+        let sc = Scenario { k: 4, seed, lb, tagged, faults, flows, workers, steps };
         assert_equivalent(&sc)?;
     }
 }

@@ -7,7 +7,11 @@
 //! - no shrinking: a failing case reports its inputs (via `Debug` where
 //!   available in the assertion message) but is not minimized;
 //! - generation is deterministic per test name, so CI runs reproduce
-//!   failures without a persistence file.
+//!   failures without a persistence file;
+//! - the `PROPTEST_CASES` environment variable overrides the case count
+//!   of **every** suite, including ones configured with
+//!   `ProptestConfig::with_cases` (real proptest only applies it to
+//!   `Config::default()`) — the knob CI's deeper differential passes use.
 
 pub mod strategy;
 pub mod test_runner;
@@ -185,12 +189,15 @@ macro_rules! __proptest_body {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $config;
+                // `PROPTEST_CASES` overrides the configured depth (see
+                // `ProptestConfig::resolved_cases`).
+                let cases = config.resolved_cases();
                 let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
                 let strategies = ($($strategy,)*);
                 let mut accepted: u32 = 0;
                 let mut attempts: u32 = 0;
-                let max_attempts = config.cases.saturating_mul(50).max(10_000);
-                while accepted < config.cases {
+                let max_attempts = cases.saturating_mul(50).max(10_000);
+                while accepted < cases {
                     attempts += 1;
                     assert!(
                         attempts <= max_attempts,
@@ -215,9 +222,10 @@ macro_rules! __proptest_body {
                             $crate::test_runner::TestCaseError::Fail(msg),
                         ) => {
                             panic!(
-                                "proptest {} failed at case {}: {}",
+                                "proptest {} failed at case {} of {}: {}",
                                 stringify!($name),
                                 accepted,
+                                cases,
                                 msg
                             );
                         }

@@ -14,6 +14,20 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// The case count after applying the `PROPTEST_CASES` environment
+    /// override — the knob CI uses to run a deeper (or quicker) pass
+    /// without editing tests. Divergence from real proptest, by design:
+    /// the override applies even to configs built with [`with_cases`],
+    /// because this workspace sets every suite's depth explicitly.
+    ///
+    /// [`with_cases`]: ProptestConfig::with_cases
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.trim().parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
 }
 
 impl Default for ProptestConfig {
@@ -76,5 +90,30 @@ impl TestRng {
         assert!(lo < hi, "empty range");
         let span = (hi - lo) as u64;
         lo + (self.next_u64() % span) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `PROPTEST_CASES` must override explicit depths (and fall back to
+    /// them when unset or unparsable). This is the only test in this
+    /// binary touching the variable, so the set/remove dance cannot race.
+    #[test]
+    fn proptest_cases_env_overrides_depth() {
+        let cfg = ProptestConfig::with_cases(40);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(cfg.resolved_cases(), 40);
+        std::env::set_var("PROPTEST_CASES", "7");
+        assert_eq!(cfg.resolved_cases(), 7);
+        std::env::set_var("PROPTEST_CASES", "not-a-number");
+        assert_eq!(
+            cfg.resolved_cases(),
+            40,
+            "garbage keeps the configured depth"
+        );
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(cfg.resolved_cases(), 40);
     }
 }
