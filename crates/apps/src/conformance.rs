@@ -6,8 +6,11 @@
 //! real time: the agent reconstructs each new path and raises `PC_FAIL`
 //! with the offending trajectory.
 
+use std::sync::Arc;
+
 use pathdump_core::{Alarm, Invariant, PathDumpWorld, Reason};
 use pathdump_topology::{HostId, SwitchId};
+use pathdump_verifier::IntentModel;
 
 /// A conformance policy, installable on a set of hosts.
 #[derive(Clone, Debug, Default)]
@@ -16,6 +19,10 @@ pub struct ConformancePolicy {
     pub max_hops: Option<usize>,
     /// Switches that packets must avoid.
     pub forbidden: Vec<SwitchId>,
+    /// Statically verified forwarding intent: observed trajectories outside
+    /// the intended path set raise `PC_FAIL` with the nearest intended path
+    /// attached.
+    pub intent: Option<Arc<IntentModel>>,
 }
 
 impl ConformancePolicy {
@@ -25,6 +32,18 @@ impl ConformancePolicy {
         ConformancePolicy {
             max_hops: Some(6),
             forbidden: vec![forbidden],
+            ..ConformancePolicy::default()
+        }
+    }
+
+    /// A policy *derived* from statically verified forwarding state rather
+    /// than hand-written limits: every observed trajectory must be one of
+    /// the verifier-enumerated intended paths. This is the check that
+    /// catches misrouting that drops nothing.
+    pub fn from_intent(intent: Arc<IntentModel>) -> Self {
+        ConformancePolicy {
+            intent: Some(intent),
+            ..ConformancePolicy::default()
         }
     }
 
@@ -37,6 +56,7 @@ impl ConformancePolicy {
                 max_hops: self.max_hops,
                 forbidden: self.forbidden.clone(),
                 flow_filter: None,
+                intent: self.intent.clone(),
             },
         );
     }
@@ -81,7 +101,7 @@ mod tests {
         // Policy: intra-pod traffic must stay at <= 4 hops.
         ConformancePolicy {
             max_hops: Some(4),
-            forbidden: vec![],
+            ..ConformancePolicy::default()
         }
         .install(&mut tb.sim.world, &[dst]);
         // Fail Agg(0,0) -> ToR(0,1); pin several flows via Agg(0,0) so
@@ -114,8 +134,8 @@ mod tests {
         let hosts: Vec<HostId> = (0..16).map(HostId).collect();
         // Forbid every core: any inter-pod flow must violate.
         ConformancePolicy {
-            max_hops: None,
             forbidden: (0..4).map(|j| tb.ft.core(j)).collect(),
+            ..ConformancePolicy::default()
         }
         .install(&mut tb.sim.world, &hosts);
         tb.add_flow(src, dst, 9100, 20_000, Nanos::ZERO);
@@ -132,7 +152,7 @@ mod tests {
         let _ = ConformancePolicy::example(tb.ft.core(99 % 4)).max_hops; // no-op use
         ConformancePolicy {
             max_hops: Some(6),
-            forbidden: vec![],
+            ..ConformancePolicy::default()
         }
         .install(&mut tb.sim.world, &hosts);
         tb.add_flow(src, dst, 9200, 20_000, Nanos::ZERO);

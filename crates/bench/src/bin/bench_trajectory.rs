@@ -6,9 +6,11 @@
 //! the `simnet_scale` module), and writes one `BENCH_tib.json` with a
 //! `benchmarks` array, a `simnet` section (including the threaded-vs-
 //! sequential speedup and the CPU count, so multicore runners report
-//! parallel headroom honestly), and `dpswitch`/`reconstruct`
-//! before-vs-after sections — the recorded perf trajectory CI uploads as
-//! an artifact and the `bench_gate` job compares against.
+//! parallel headroom honestly), `dpswitch`/`reconstruct` before-vs-after
+//! sections, and a `verifier` section (static-analysis wall time over
+//! k=16 fat-tree and VL2 — trend-watching only, gated separately by
+//! `verifier_gate`) — the recorded perf trajectory CI uploads as an
+//! artifact and the `bench_gate` job compares against.
 //!
 //! Usage: `cargo run --release -p pathdump_bench --bin bench_trajectory
 //! [-- --out PATH]` (default `BENCH_tib.json` in the working directory).
@@ -19,6 +21,8 @@ use pathdump_bench::report::{
 };
 use pathdump_bench::simnet_scale::{run_scale_with, ScaleParams, ScaleResult};
 use pathdump_simnet::EngineKind;
+use pathdump_topology::{FatTree, FatTreeParams, RouteTables, UpDownRouting, Vl2, Vl2Params};
+use pathdump_verifier::{verify, IntentModel};
 
 const BENCHES: [&str; 4] = [
     "tib_queries",
@@ -142,6 +146,52 @@ fn simnet_section(runs: usize) -> String {
     )
 }
 
+/// Times one static-verifier pass (healthy tables, exhaustive ECMP
+/// coverage) plus the intent-model build, and returns a JSON case row.
+/// Recorded in the trajectory for trend-watching only — `bench_gate` does
+/// NOT gate on these numbers (the blocking wall-time check lives in
+/// `verifier_gate`).
+fn verifier_case(name: &str, routing: &dyn UpDownRouting) -> String {
+    let topo = routing.topology();
+    let rt = RouteTables::build(routing);
+    let t0 = std::time::Instant::now();
+    let verdict = verify(topo, &rt);
+    let verify_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        verdict.is_clean(),
+        "{name}: healthy tables must verify clean"
+    );
+    let t1 = std::time::Instant::now();
+    let im = IntentModel::build(topo, &rt).expect("clean tables build an intent model");
+    let intent_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let total = im.total_paths();
+    eprintln!(
+        "verifier {name}: {} pairs, {total} intended paths, verify {verify_ms:.2} ms, intent {intent_ms:.2} ms",
+        verdict.pairs_checked
+    );
+    format!(
+        "    {{\"topology\": \"{}\", \"pairs\": {}, \"intended_paths\": {total}, \"verify_ms\": {verify_ms:.3}, \"intent_build_ms\": {intent_ms:.3}}}",
+        json_escape(name),
+        verdict.pairs_checked
+    )
+}
+
+/// The `verifier` section: static-analysis wall time over the largest
+/// fabrics the test suite exercises.
+fn verifier_section() -> String {
+    let ft = FatTree::build(FatTreeParams { k: 16 });
+    let v2 = Vl2::build(Vl2Params {
+        da: 16,
+        di: 16,
+        hosts_per_tor: 4,
+    });
+    format!(
+        "{{\n  \"cases\": [\n{},\n{}\n    ]\n  }}",
+        verifier_case("fat-tree k=16", &ft),
+        verifier_case("VL2 da=16 di=16", &v2)
+    )
+}
+
 fn main() {
     let mut out_path = String::from("BENCH_tib.json");
     let mut args = std::env::args().skip(1);
@@ -168,6 +218,9 @@ fn main() {
     eprintln!("running simnet engine comparison (k=8)...");
     let simnet = simnet_section(3);
 
+    eprintln!("running static verifier timing (k=16 + VL2)...");
+    let verifier = verifier_section();
+
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let sep = if i + 1 == entries.len() { "" } else { "," };
@@ -185,6 +238,8 @@ fn main() {
     json.push_str(&reconstruct_section(&entries));
     json.push_str(",\n  \"simnet\": ");
     json.push_str(&simnet);
+    json.push_str(",\n  \"verifier\": ");
+    json.push_str(&verifier);
     json.push_str("\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH json");
     println!("wrote {} benchmark medians to {out_path}", entries.len());

@@ -18,7 +18,7 @@ fn main() {
     let (src, dst) = (tb.ft.host(0, 0, 0), tb.ft.host(0, 1, 0));
     ConformancePolicy {
         max_hops: Some(4),
-        forbidden: vec![],
+        ..ConformancePolicy::default()
     }
     .install(&mut tb.sim.world, &[dst]);
     println!(

@@ -16,6 +16,8 @@ use pathdump_cherrypick::{
 use pathdump_simnet::{Packet, TcpFlags};
 use pathdump_tib::{MemKey, PendingRecord, Tib, TibRecord, TrajectoryMemory};
 use pathdump_topology::{HostId, LinkPattern, Nanos, Path, SwitchId, Topology};
+use pathdump_verifier::IntentModel;
+use std::sync::Arc;
 
 /// The reconstruction backend: which structured topology the fabric runs.
 #[derive(Clone, Debug)]
@@ -96,11 +98,18 @@ pub struct Invariant {
     pub forbidden: Vec<SwitchId>,
     /// Restrict to one flow (`None` = all flows).
     pub flow_filter: Option<pathdump_topology::FlowId>,
+    /// Statically verified intent: the observed trajectory must be one of
+    /// the intended paths for its (src ToR, dst ToR) pair. Catches
+    /// misrouting that drops nothing (shared across agents, hence the
+    /// `Arc`).
+    pub intent: Option<Arc<IntentModel>>,
 }
 
 impl Invariant {
-    /// Returns true if `path` violates this invariant for `flow`.
-    pub fn violated(&self, flow: &pathdump_topology::FlowId, path: &Path) -> bool {
+    /// Returns true if `path` violates this invariant for `flow`. The
+    /// topology maps the flow's endpoint IPs to their ToRs for the intent
+    /// check.
+    pub fn violated(&self, topo: &Topology, flow: &pathdump_topology::FlowId, path: &Path) -> bool {
         if let Some(f) = &self.flow_filter {
             if f != flow {
                 return false;
@@ -111,7 +120,29 @@ impl Invariant {
                 return true;
             }
         }
+        if let Some(im) = &self.intent {
+            match Self::endpoint_tors(topo, flow) {
+                // A trajectory whose endpoints the intent model cannot even
+                // place is by definition outside the intended path set.
+                None => return true,
+                Some((st, dt)) => {
+                    if !im.contains(st, dt, path) {
+                        return true;
+                    }
+                }
+            }
+        }
         self.forbidden.iter().any(|sw| path.contains(*sw))
+    }
+
+    /// Maps a flow's endpoint IPs to their ToR switches.
+    fn endpoint_tors(
+        topo: &Topology,
+        flow: &pathdump_topology::FlowId,
+    ) -> Option<(SwitchId, SwitchId)> {
+        let s = topo.host_by_ip(flow.src_ip)?;
+        let d = topo.host_by_ip(flow.dst_ip)?;
+        Some((topo.host(s).tor, topo.host(d).tor))
     }
 }
 
@@ -234,18 +265,33 @@ impl HostAgent {
         // Real-time invariant checks on first sight of a (flow, path) pair.
         if is_new_path && !self.invariants.is_empty() {
             let key = self.scratch.clone(); // cold path: once per flow-path
+            let topo = fabric.topology();
             match self.construct(fabric, &key) {
                 Ok(path) => {
                     let violations: Vec<&Invariant> = self
                         .invariants
                         .iter()
-                        .filter(|inv| inv.violated(&pkt.flow, &path))
+                        .filter(|inv| inv.violated(topo, &pkt.flow, &path))
                         .collect();
                     if !violations.is_empty() {
+                        // When an intent-derived invariant fired, attach the
+                        // nearest intended path after the observed one so
+                        // the alarm shows where the trajectory diverged.
+                        let nearest = violations.iter().find_map(|inv| {
+                            let im = inv.intent.as_ref()?;
+                            let (st, dt) = Invariant::endpoint_tors(topo, &pkt.flow)?;
+                            im.nearest_intended(st, dt, &path)
+                        });
+                        let mut paths = vec![path];
+                        if let Some(n) = nearest {
+                            if paths[0] != n {
+                                paths.push(n);
+                            }
+                        }
                         self.alarms.push(Alarm {
                             flow: pkt.flow,
                             reason: Reason::PcFail,
-                            paths: vec![path],
+                            paths,
                             host: self.host,
                             at: now,
                         });
@@ -562,9 +608,8 @@ mod tests {
         // Forbid one specific core switch.
         let forbidden = ft.core(0);
         agent.install_invariant(Invariant {
-            max_hops: None,
             forbidden: vec![forbidden],
-            flow_filter: None,
+            ..Invariant::default()
         });
         let flow = flow_of(&ft, src, dst, 1003);
         let via_core0 = ft
@@ -598,16 +643,67 @@ mod tests {
 
     #[test]
     fn max_hops_invariant() {
+        let (ft, _, _) = fabric();
+        let topo = ft.topology();
         let inv = Invariant {
             max_hops: Some(6),
-            forbidden: vec![],
-            flow_filter: None,
+            ..Invariant::default()
         };
         let f = FlowId::tcp(pathdump_topology::Ip(1), 1, pathdump_topology::Ip(2), 2);
         let short = Path::new((0..5).map(SwitchId).collect());
         let long = Path::new((0..7).map(SwitchId).collect());
-        assert!(!inv.violated(&f, &short), "6 hops allowed");
-        assert!(inv.violated(&f, &long), "8 hops rejected");
+        assert!(!inv.violated(topo, &f, &short), "6 hops allowed");
+        assert!(inv.violated(topo, &f, &long), "8 hops rejected");
+    }
+
+    #[test]
+    fn intent_invariant_attaches_nearest_intended_path() {
+        let (ft, fabric, policy) = fabric();
+        let (src, dst) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        let mut agent = HostAgent::new(dst, AgentConfig::default());
+        let im = Arc::new(IntentModel::from_routing(&ft).expect("healthy k=4"));
+        agent.install_invariant(Invariant {
+            intent: Some(im.clone()),
+            ..Invariant::default()
+        });
+        // An intended path raises nothing.
+        let good = ft.all_paths(src, dst).remove(0);
+        let pkt = pkt_on_path(
+            &ft,
+            &policy,
+            flow_of(&ft, src, dst, 2001),
+            &good,
+            400,
+            false,
+        );
+        agent.on_packet(&fabric, &pkt, Nanos::from_millis(1));
+        assert!(agent.drain_alarms().is_empty());
+        // A 7-switch bounce walk is outside the intent set: PC_FAIL with
+        // the observed path first and the nearest intended path second.
+        let detour = Path::new(vec![
+            ft.tor(0, 0),
+            ft.agg(0, 0),
+            ft.core(0),
+            ft.agg(1, 0),
+            ft.tor(1, 1),
+            ft.agg(1, 1),
+            ft.tor(1, 0),
+        ]);
+        let flow = flow_of(&ft, src, dst, 2002);
+        let pkt = pkt_on_path(&ft, &policy, flow, &detour, 400, false);
+        agent.on_packet(&fabric, &pkt, Nanos::from_millis(2));
+        let alarms = agent.drain_alarms();
+        assert_eq!(alarms.len(), 1);
+        assert_eq!(alarms[0].reason, Reason::PcFail);
+        assert_eq!(alarms[0].paths.len(), 2, "observed + nearest intended");
+        assert_eq!(alarms[0].paths[0], detour);
+        let (st, dt) = (ft.tor(0, 0), ft.tor(1, 0));
+        assert!(im.contains(st, dt, &alarms[0].paths[1]));
+        // Nearest = shares the longest prefix with the observed detour.
+        assert_eq!(
+            &alarms[0].paths[1].0[..4],
+            &[ft.tor(0, 0), ft.agg(0, 0), ft.core(0), ft.agg(1, 0)]
+        );
     }
 
     #[test]

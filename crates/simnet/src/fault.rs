@@ -5,7 +5,7 @@
 //! (Figs. 7/8), blackholes (§4.4), and forwarding misconfigurations that
 //! create routing loops (Fig. 9).
 
-use pathdump_topology::{FlowId, PortNo};
+use pathdump_topology::{FlowId, PortNo, RouteTables, SwitchId};
 use serde::{Deserialize, Serialize};
 
 /// Fault state of one *directed* link egress (switch port or host NIC).
@@ -77,6 +77,92 @@ pub enum Quirk {
         /// Egress for small flows ("link 2").
         small_port: PortNo,
     },
+}
+
+/// A *route-table* misconfiguration: a persistent edit of the installed
+/// forwarding rules, as opposed to [`Quirk`]s (per-packet egress overrides)
+/// and [`FaultState`]s (per-link health).
+///
+/// Misconfigurations rewrite the candidate sets the switch consults, so
+/// they are visible to static analysis (`pathdump_verifier`) — the point of
+/// the differential tests: the verifier must flag the same rule the
+/// dataplane then misbehaves on. They deliberately do *not* touch fault
+/// state or drop accounting: a packet misrouted by a bad rule that then
+/// dies on a faulty link is staged in the drop log exactly once, by the
+/// fault machinery.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Misconfig {
+    /// Replace the rule at `sw` toward `dst_tor` with the single `port` —
+    /// e.g. a host-facing port (misdelivery) or a wrong uplink.
+    WrongPort {
+        /// Switch holding the rewritten rule.
+        sw: SwitchId,
+        /// Destination ToR of the rule.
+        dst_tor: SwitchId,
+        /// The (wrong) sole candidate.
+        port: PortNo,
+    },
+    /// Remove one member from the ECMP group at `sw` toward `dst_tor`.
+    /// Pruning the last member leaves an empty rule — a blackhole the
+    /// dataplane papers over with a failover bounce.
+    PruneCandidate {
+        /// Switch holding the pruned group.
+        sw: SwitchId,
+        /// Destination ToR of the rule.
+        dst_tor: SwitchId,
+        /// The member to remove.
+        port: PortNo,
+    },
+    /// Transpose the rules for two destinations at one switch — swapped
+    /// downlinks/uplinks after a miscabled maintenance window.
+    SwapRules {
+        /// Switch holding the transposed rules.
+        sw: SwitchId,
+        /// First destination ToR.
+        dst_a: SwitchId,
+        /// Second destination ToR.
+        dst_b: SwitchId,
+    },
+    /// Point the rule at `sw` toward `dst_tor` at `wrong_port`, chosen so
+    /// traffic re-ascends the fabric — the cross-pod routing-loop shape of
+    /// Fig. 9 (identical mechanics to [`Misconfig::WrongPort`]; kept
+    /// distinct so scenarios and verdicts name the class).
+    CrossPodLoop {
+        /// Switch holding the looping rule.
+        sw: SwitchId,
+        /// Destination ToR of the rule.
+        dst_tor: SwitchId,
+        /// Egress that sends traffic back up/across.
+        wrong_port: PortNo,
+    },
+}
+
+impl Misconfig {
+    /// Applies the misconfiguration to installed route tables.
+    pub fn apply(&self, tables: &mut RouteTables) {
+        match *self {
+            Misconfig::WrongPort { sw, dst_tor, port }
+            | Misconfig::CrossPodLoop {
+                sw,
+                dst_tor,
+                wrong_port: port,
+            } => tables.set_candidates(sw, dst_tor, vec![port]),
+            Misconfig::PruneCandidate { sw, dst_tor, port } => {
+                tables.remove_candidate(sw, dst_tor, port);
+            }
+            Misconfig::SwapRules { sw, dst_a, dst_b } => tables.swap_rules(sw, dst_a, dst_b),
+        }
+    }
+
+    /// The switch whose rules the misconfiguration touches.
+    pub fn switch(&self) -> SwitchId {
+        match *self {
+            Misconfig::WrongPort { sw, .. }
+            | Misconfig::PruneCandidate { sw, .. }
+            | Misconfig::SwapRules { sw, .. }
+            | Misconfig::CrossPodLoop { sw, .. } => sw,
+        }
+    }
 }
 
 /// The set of quirks installed on one switch.
@@ -175,6 +261,51 @@ mod tests {
         assert_eq!(q.resolve(&flow(1), 999, &cands), Some(PortNo(3)));
         // Not at the split point: no override.
         assert_eq!(q.resolve(&flow(1), 2_000_000, &[PortNo(0)]), None);
+    }
+
+    #[test]
+    fn misconfig_apply_edits_route_tables() {
+        use pathdump_topology::{FatTree, FatTreeParams};
+        let ft = FatTree::build(FatTreeParams { k: 4 });
+        let mut rt = RouteTables::build(&ft);
+        let (t00, t10, t11, a10) = (ft.tor(0, 0), ft.tor(1, 0), ft.tor(1, 1), ft.agg(1, 0));
+
+        let wrong = Misconfig::WrongPort {
+            sw: t00,
+            dst_tor: t10,
+            port: PortNo(0),
+        };
+        assert_eq!(wrong.switch(), t00);
+        wrong.apply(&mut rt);
+        assert_eq!(rt.candidates_to_tor(t00, t10), &[PortNo(0)]);
+
+        Misconfig::PruneCandidate {
+            sw: t00,
+            dst_tor: t11,
+            port: PortNo(2),
+        }
+        .apply(&mut rt);
+        assert_eq!(rt.candidates_to_tor(t00, t11), &[PortNo(3)]);
+
+        let before_a = rt.candidates_to_tor(a10, t10).to_vec();
+        let before_b = rt.candidates_to_tor(a10, t11).to_vec();
+        Misconfig::SwapRules {
+            sw: a10,
+            dst_a: t10,
+            dst_b: t11,
+        }
+        .apply(&mut rt);
+        assert_eq!(rt.candidates_to_tor(a10, t10), before_b.as_slice());
+        assert_eq!(rt.candidates_to_tor(a10, t11), before_a.as_slice());
+
+        // CrossPodLoop is WrongPort mechanics under a class-specific name.
+        Misconfig::CrossPodLoop {
+            sw: ft.core(0),
+            dst_tor: t00,
+            wrong_port: PortNo(1),
+        }
+        .apply(&mut rt);
+        assert_eq!(rt.candidates_to_tor(ft.core(0), t00), &[PortNo(1)]);
     }
 
     #[test]

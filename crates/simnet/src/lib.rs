@@ -49,7 +49,7 @@ pub mod stats;
 pub mod traits;
 
 pub use config::{EngineKind, LinkConfig, SimConfig, WorkerMode};
-pub use fault::{FaultState, LoadBalance, Quirk, SwitchQuirks};
+pub use fault::{FaultState, LoadBalance, Misconfig, Quirk, SwitchQuirks};
 pub use packet::{Packet, TagHeaders, TcpFlags, HEADER_BYTES, VLAN_TAG_BYTES};
 pub use pool::PoolStats;
 pub use sim::Simulator;

@@ -71,7 +71,7 @@
 use crate::config::{EngineKind, SimConfig, WorkerMode};
 use crate::driver::{drive_windowed_rounds, seq_drive, ExchangeSync, InlineSync, LaneCtx, Net};
 use crate::event::{mix64, EventEntry, EventKind, EventQueue, KeyGen};
-use crate::fault::{FaultState, LoadBalance, Quirk, SwitchQuirks};
+use crate::fault::{FaultState, LoadBalance, Misconfig, Quirk, SwitchQuirks};
 use crate::packet::Packet;
 use crate::pool::{Job, PoolStats, WorkerPool};
 use crate::shard::{Exchange, Outgoing, ShardPlan};
@@ -1061,6 +1061,23 @@ impl<W: World> Simulator<W> {
     /// Removes all quirks from a switch.
     pub fn clear_quirks(&mut self, sw: SwitchId) {
         self.switches[sw.index()].quirks.clear();
+    }
+
+    /// Applies a route-table misconfiguration: a persistent rewrite of the
+    /// installed candidate sets (see [`Misconfig`]).
+    ///
+    /// Only candidate *selection* changes — per-link fault filtering,
+    /// quirks, load balancing, and drop accounting all run unchanged on the
+    /// misrouted traffic, so a packet steered onto a faulty link by a bad
+    /// rule is staged in the drop log exactly once by the fault machinery.
+    pub fn install_misconfig(&mut self, m: &Misconfig) {
+        m.apply(&mut self.routes);
+    }
+
+    /// The installed route tables (after any misconfigurations) — the
+    /// exact forwarding state the static verifier should analyze.
+    pub fn route_tables(&self) -> &RouteTables {
+        &self.routes
     }
 
     // --- injection --------------------------------------------------------

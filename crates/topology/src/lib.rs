@@ -28,6 +28,6 @@ pub use fnv::{FnvBuild, FnvHasher};
 pub use graph::{HostMeta, Peer, SwitchMeta, Tier, Topology};
 pub use ids::{FlowId, HostId, Ip, LinkDir, LinkPattern, PortNo, Protocol, SwitchId};
 pub use path::{Flow, Path};
-pub use routing::{ecmp_hash, RouteTables, UpDownRouting};
+pub use routing::{ecmp_hash, is_contiguous_walk, is_walk, RouteTables, UpDownRouting};
 pub use time::{Nanos, TimeRange, MICROS, MILLIS, SECONDS};
 pub use vl2::{Vl2, Vl2Params};

@@ -151,6 +151,73 @@ impl RouteTables {
     pub fn tors(&self) -> &[SwitchId] {
         &self.tors
     }
+
+    fn slot(&self, dst_tor: SwitchId) -> usize {
+        let slot = self.tor_slot[dst_tor.index()];
+        assert!(slot != usize::MAX, "{dst_tor} is not a ToR switch");
+        slot
+    }
+
+    /// Replaces the candidate set at `sw` toward `dst_tor`.
+    ///
+    /// This is the mutation hook used by misconfiguration injection and by
+    /// the static verifier's differential tests; canonical tables never call
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst_tor` is not a ToR switch.
+    pub fn set_candidates(&mut self, sw: SwitchId, dst_tor: SwitchId, ports: Vec<PortNo>) {
+        let slot = self.slot(dst_tor);
+        self.table[sw.index()][slot] = ports;
+    }
+
+    /// Removes one candidate port at `sw` toward `dst_tor`.
+    ///
+    /// Returns true if the port was present (and is now gone).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst_tor` is not a ToR switch.
+    pub fn remove_candidate(&mut self, sw: SwitchId, dst_tor: SwitchId, port: PortNo) -> bool {
+        let slot = self.slot(dst_tor);
+        let cands = &mut self.table[sw.index()][slot];
+        let before = cands.len();
+        cands.retain(|&p| p != port);
+        cands.len() != before
+    }
+
+    /// Swaps the candidate sets at `sw` for two destination ToRs — the
+    /// classic "transposed uplink rules" misconfiguration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either destination is not a ToR switch.
+    pub fn swap_rules(&mut self, sw: SwitchId, dst_a: SwitchId, dst_b: SwitchId) {
+        let (sa, sb) = (self.slot(dst_a), self.slot(dst_b));
+        self.table[sw.index()].swap(sa, sb);
+    }
+
+    /// Iterates every rule as `(switch, destination ToR, candidate ports)`.
+    ///
+    /// This is the rule-level view the static verifier and table-diffing
+    /// consume; order is dense by switch then by ToR slot.
+    pub fn rules(&self) -> impl Iterator<Item = (SwitchId, SwitchId, &[PortNo])> + '_ {
+        self.table.iter().enumerate().flat_map(move |(s, row)| {
+            row.iter()
+                .enumerate()
+                .map(move |(slot, cands)| (SwitchId(s as u16), self.tors[slot], cands.as_slice()))
+        })
+    }
+}
+
+/// Checks that a non-empty `path` is a contiguous switch walk in the
+/// topology: every consecutive switch pair is joined by a physical link.
+///
+/// This is the single path-validity definition shared by [`is_walk`] and by
+/// the static verifier's witness walks, so the two cannot drift.
+pub fn is_contiguous_walk(topo: &Topology, path: &Path) -> bool {
+    !path.is_empty() && path.links().all(|l| topo.adjacent(l.from, l.to))
 }
 
 /// Checks that `path` is a contiguous switch walk in the topology and
@@ -163,7 +230,7 @@ pub fn is_walk(topo: &Topology, src: HostId, dst: HostId, path: &Path) -> bool {
     if topo.host(src).tor != first || topo.host(dst).tor != last {
         return false;
     }
-    path.links().all(|l| topo.adjacent(l.from, l.to))
+    is_contiguous_walk(topo, path)
 }
 
 /// Picks one ECMP member from a candidate list for a flow.
@@ -206,6 +273,62 @@ mod tests {
             let p = ecmp_pick(&cands, &f, salt).unwrap();
             assert!(cands.contains(&p));
         }
+    }
+
+    #[test]
+    fn route_table_mutation_api() {
+        use crate::fattree::{FatTree, FatTreeParams};
+        let ft = FatTree::build(FatTreeParams { k: 4 });
+        let mut rt = RouteTables::build(&ft);
+        let (t00, t10, t11) = (ft.tor(0, 0), ft.tor(1, 0), ft.tor(1, 1));
+
+        // set_candidates replaces the whole group.
+        assert_eq!(rt.candidates_to_tor(t00, t10).len(), 2);
+        rt.set_candidates(t00, t10, vec![PortNo(0)]);
+        assert_eq!(rt.candidates_to_tor(t00, t10), &[PortNo(0)]);
+
+        // remove_candidate reports presence.
+        assert!(rt.remove_candidate(t00, t11, PortNo(2)));
+        assert!(!rt.remove_candidate(t00, t11, PortNo(2)));
+        assert_eq!(rt.candidates_to_tor(t00, t11), &[PortNo(3)]);
+        rt.remove_candidate(t00, t11, PortNo(3));
+        assert!(rt.candidates_to_tor(t00, t11).is_empty());
+
+        // swap_rules transposes two destinations at one switch.
+        let a10 = ft.agg(1, 0);
+        let down_t10 = rt.candidates_to_tor(a10, t10).to_vec();
+        let down_t11 = rt.candidates_to_tor(a10, t11).to_vec();
+        assert_ne!(down_t10, down_t11);
+        rt.swap_rules(a10, t10, t11);
+        assert_eq!(rt.candidates_to_tor(a10, t10), down_t11.as_slice());
+        assert_eq!(rt.candidates_to_tor(a10, t11), down_t10.as_slice());
+
+        // rules() walks every (switch, dst ToR) pair exactly once.
+        let topo = ft.topology();
+        let n = rt.rules().count();
+        assert_eq!(n, topo.num_switches() * rt.tors().len());
+        let hit = rt
+            .rules()
+            .find(|&(sw, dst, _)| sw == t00 && dst == t10)
+            .unwrap();
+        assert_eq!(hit.2, &[PortNo(0)]);
+    }
+
+    #[test]
+    fn contiguous_walk_definition_shared_with_is_walk() {
+        use crate::fattree::{FatTree, FatTreeParams};
+        let ft = FatTree::build(FatTreeParams { k: 4 });
+        let topo = ft.topology();
+        let good = Path(vec![ft.tor(0, 0), ft.agg(0, 0), ft.tor(0, 1)]);
+        let bad = Path(vec![ft.tor(0, 0), ft.tor(1, 0)]);
+        assert!(is_contiguous_walk(topo, &good));
+        assert!(!is_contiguous_walk(topo, &bad));
+        assert!(!is_contiguous_walk(topo, &Path(vec![])));
+        // is_walk = contiguity + correct endpoint ToRs.
+        let src = ft.host(0, 0, 0);
+        let dst = ft.host(0, 1, 0);
+        assert!(is_walk(topo, src, dst, &good));
+        assert!(!is_walk(topo, src, dst, &bad));
     }
 
     #[test]

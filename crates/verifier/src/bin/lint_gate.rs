@@ -1,0 +1,280 @@
+//! Repo-level source lint: fails CI on banned patterns in crate sources.
+//!
+//! Rules (library code only — `src/bin/`, `examples/`, `tests/` and the
+//! `#[cfg(test)]` tail of a file are exempt; the workspace convention keeps
+//! unit tests at the bottom of each file, so scanning stops at the first
+//! `#[cfg(test)]`):
+//!
+//! - `unwrap()` / `expect(` are banned in the forwarding/query hot paths:
+//!   `crates/dpswitch/src/**`, `crates/simnet/src/driver.rs`,
+//!   `crates/simnet/src/pool.rs`, `crates/tib/src/tib.rs`. A panic there
+//!   takes down the datapath or a pool worker.
+//! - `println!` is banned in all library code (benches and bins own stdout;
+//!   libraries must not pollute it — `BENCH_tib.json` is parsed from files,
+//!   and dpswitch pipelines stdout).
+//!
+//! Justified sites live in the allowlist file (`lint_allow.txt` at the repo
+//! root): one `path needle` pair per line, `#` comments. A finding is
+//! allowed when its file matches `path` and its source line contains
+//! `needle`.
+//!
+//! Usage: `lint_gate [--root DIR] [--allow FILE]` (defaults: `crates`,
+//! `lint_allow.txt`), run from the repository root as in CI.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Files where a panic is a datapath outage: no `unwrap()` / `expect(`.
+const HOT_PATHS: &[&str] = &[
+    "crates/dpswitch/src/",
+    "crates/simnet/src/driver.rs",
+    "crates/simnet/src/pool.rs",
+    "crates/tib/src/tib.rs",
+];
+
+/// One banned-pattern hit.
+#[derive(Debug, PartialEq, Eq)]
+struct Finding {
+    file: String,
+    line_no: usize,
+    pattern: &'static str,
+    line: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: banned `{}`: {}",
+            self.file,
+            self.line_no,
+            self.pattern,
+            self.line.trim()
+        )
+    }
+}
+
+/// Is `needle` present at a macro/method boundary (previous char is not a
+/// word char)? Keeps `eprintln!` from matching the `println!` ban.
+fn has_bounded(line: &str, needle: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(needle) {
+        let at = from + rel;
+        let bounded = at == 0 || {
+            let c = bytes[at - 1] as char;
+            !(c.is_ascii_alphanumeric() || c == '_')
+        };
+        if bounded {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+/// Scans one library source file. `file` is the normalized repo-relative
+/// path (forward slashes); scanning stops at the unit-test tail.
+fn scan_source(file: &str, source: &str) -> Vec<Finding> {
+    let hot = HOT_PATHS.iter().any(|p| file.starts_with(p));
+    let mut findings = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("#[cfg(test)]") {
+            break;
+        }
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let mut hit = |pattern: &'static str| {
+            findings.push(Finding {
+                file: file.to_string(),
+                line_no: i + 1,
+                pattern,
+                line: line.to_string(),
+            });
+        };
+        if hot {
+            if line.contains("unwrap()") {
+                hit("unwrap()");
+            }
+            if has_bounded(line, "expect(") {
+                hit("expect(");
+            }
+        }
+        if has_bounded(line, "println!") {
+            hit("println!");
+        }
+    }
+    findings
+}
+
+/// Parses the allowlist: `path needle…` per line, `#` comments.
+fn parse_allowlist(text: &str) -> Vec<(String, String)> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (path, needle) = l.split_once(char::is_whitespace)?;
+            Some((path.to_string(), needle.trim().to_string()))
+        })
+        .collect()
+}
+
+fn is_allowed(f: &Finding, allow: &[(String, String)]) -> bool {
+    allow
+        .iter()
+        .any(|(path, needle)| f.file == *path && f.line.contains(needle))
+}
+
+/// Library sources under `root`: every `crates/*/src/**/*.rs` except
+/// `src/bin/` (per-crate binaries own their stdout and exit behavior).
+fn library_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates = match std::fs::read_dir(root) {
+        Ok(rd) => rd,
+        Err(e) => {
+            eprintln!("lint_gate: cannot read {}: {e}", root.display());
+            return out;
+        }
+    };
+    for entry in crates.flatten() {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut out);
+        }
+    }
+    out.sort();
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in rd.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from("crates");
+    let mut allow_path = PathBuf::from("lint_allow.txt");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = PathBuf::from(args.next().unwrap_or_default()),
+            "--allow" => allow_path = PathBuf::from(args.next().unwrap_or_default()),
+            other => {
+                eprintln!("lint_gate: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(t) => parse_allowlist(&t),
+        Err(e) => {
+            eprintln!(
+                "lint_gate: cannot read allowlist {}: {e}",
+                allow_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let files = library_sources(&root);
+    if files.is_empty() {
+        eprintln!("lint_gate: no sources found under {}", root.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut bad = 0usize;
+    let mut scanned = 0usize;
+    for path in files {
+        let Ok(source) = std::fs::read_to_string(&path) else {
+            eprintln!("lint_gate: unreadable {}", path.display());
+            bad += 1;
+            continue;
+        };
+        scanned += 1;
+        let file = path.to_string_lossy().replace('\\', "/");
+        for f in scan_source(&file, &source) {
+            if !is_allowed(&f, &allow) {
+                eprintln!("{f}");
+                bad += 1;
+            }
+        }
+    }
+
+    if bad > 0 {
+        eprintln!("lint_gate: {bad} finding(s) across {scanned} file(s)");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("lint_gate: clean ({scanned} files)");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_path_bans_unwrap_and_expect() {
+        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"oops\");\n}\n";
+        let f = scan_source("crates/dpswitch/src/datapath.rs", src);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].pattern, "unwrap()");
+        assert_eq!(f[0].line_no, 2);
+        assert_eq!(f[1].pattern, "expect(");
+    }
+
+    #[test]
+    fn non_hot_library_allows_unwrap_but_not_println() {
+        let src = "fn f() {\n    x.unwrap();\n    println!(\"hi\");\n}\n";
+        let f = scan_source("crates/topology/src/graph.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].pattern, "println!");
+    }
+
+    #[test]
+    fn eprintln_is_not_println() {
+        let src = "fn f() {\n    eprintln!(\"to stderr\");\n}\n";
+        assert!(scan_source("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_test_tail_are_skipped() {
+        let src = "fn f() {}\n// println! in a comment\n#[cfg(test)]\nmod tests {\n    fn g() { x.unwrap(); println!(\"t\"); }\n}\n";
+        assert!(scan_source("crates/simnet/src/driver.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_matches_path_and_needle() {
+        let allow = parse_allowlist(
+            "# comment\ncrates/tib/src/tib.rs expect(\"overlap checked\")\n\ncrates/bench/src/lib.rs println!\n",
+        );
+        assert_eq!(allow.len(), 2);
+        let f = scan_source(
+            "crates/tib/src/tib.rs",
+            "fn f() { y.expect(\"overlap checked\"); }\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert!(is_allowed(&f[0], &allow));
+        let g = scan_source(
+            "crates/tib/src/tib.rs",
+            "fn f() { y.expect(\"something else\"); }\n",
+        );
+        assert!(!is_allowed(&g[0], &allow));
+    }
+}

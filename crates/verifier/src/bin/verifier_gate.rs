@@ -1,0 +1,86 @@
+//! CI gate: healthy fat-tree (k=4/6/8/16) and VL2 forwarding state must
+//! statically verify clean, and the k=16 pass must finish inside a wall-time
+//! budget — pinning the "well under a second" promise of the memoized DFS.
+//!
+//! Usage: `verifier_gate [--max-secs F]` (default 5.0, generous for loaded
+//! CI runners; locally k=16 verifies in milliseconds). Exits non-zero on
+//! any violation or budget overrun.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use pathdump_topology::{FatTree, FatTreeParams, RouteTables, UpDownRouting, Vl2, Vl2Params};
+use pathdump_verifier::{verify, IntentModel};
+
+fn check(name: &str, routing: &dyn UpDownRouting, budget_secs: f64) -> Result<f64, String> {
+    let topo = routing.topology();
+    let rt = RouteTables::build(routing);
+    let t0 = Instant::now();
+    let verdict = verify(topo, &rt);
+    let secs = t0.elapsed().as_secs_f64();
+    if !verdict.is_clean() {
+        return Err(format!(
+            "{name}: healthy topology failed verification: {} violation(s), first: {:?}",
+            verdict.violations.len(),
+            verdict.violations.first()
+        ));
+    }
+    let im = IntentModel::build(topo, &rt).map_err(|e| {
+        format!(
+            "{name}: IntentModel::build rejected clean tables: {} violation(s)",
+            e.violations.len()
+        )
+    })?;
+    let total = im.total_paths();
+    eprintln!(
+        "verifier_gate: {name}: clean, {} pairs, {} intended paths, verify {:.1} ms",
+        verdict.pairs_checked,
+        total,
+        secs * 1e3
+    );
+    if secs > budget_secs {
+        return Err(format!(
+            "{name}: verify took {secs:.3} s > budget {budget_secs:.3} s"
+        ));
+    }
+    Ok(secs)
+}
+
+fn main() -> ExitCode {
+    let mut max_secs = 5.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--max-secs" => max_secs = args.next().and_then(|v| v.parse().ok()).unwrap_or(max_secs),
+            other => {
+                eprintln!("verifier_gate: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut failed = false;
+    for k in [4u16, 6, 8, 16] {
+        let ft = FatTree::build(FatTreeParams { k });
+        if let Err(e) = check(&format!("fat-tree k={k}"), &ft, max_secs) {
+            eprintln!("verifier_gate: FAIL: {e}");
+            failed = true;
+        }
+    }
+    let v2 = Vl2::build(Vl2Params {
+        da: 16,
+        di: 16,
+        hosts_per_tor: 4,
+    });
+    if let Err(e) = check("VL2 da=16 di=16", &v2, max_secs) {
+        eprintln!("verifier_gate: FAIL: {e}");
+        failed = true;
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        eprintln!("verifier_gate: all healthy topologies verify clean within {max_secs} s");
+        ExitCode::SUCCESS
+    }
+}

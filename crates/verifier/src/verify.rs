@@ -1,0 +1,455 @@
+//! The static analysis pass: per-destination DFS with memoized suffix
+//! results over the ECMP candidate multigraph.
+//!
+//! See the crate docs for the soundness argument. Every [`Violation`]
+//! carries the offending switch and, where meaningful, a concrete witness
+//! walk that is contiguous in the topology
+//! ([`is_contiguous_walk`](pathdump_topology::routing::is_contiguous_walk))
+//! — loop witnesses additionally repeat a directed link, the same loop
+//! signature the runtime trap uses (`Path::has_repeated_link`).
+
+use pathdump_topology::routing::port_connected;
+use pathdump_topology::{Path, PortNo, RouteTables, SwitchId, Topology};
+
+/// The class of a [`Violation`], for filtering and test assertions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ViolationKind {
+    /// A directed forwarding cycle for some destination.
+    Loop,
+    /// A switch with no usable candidate egress (or an unwired port).
+    Blackhole,
+    /// A candidate port that delivers to a host although the switch is not
+    /// the destination ToR.
+    Misdelivery,
+    /// Installed rule differs from the intended rule (table diff only).
+    RuleDeviation,
+}
+
+/// One refutation of loop-/blackhole-/reachability-freedom.
+///
+/// Witness walks start at the source ToR whose DFS discovered the problem
+/// and end at the offending switch (for loops, they continue around the
+/// cycle once so the repeated directed link is explicit).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Traffic toward `dst_tor` can cycle; `witness` walks from a source
+    /// ToR into the cycle and around it once (`witness.has_repeated_link()`).
+    Loop {
+        /// Destination whose forwarding graph contains the cycle.
+        dst_tor: SwitchId,
+        /// Switch at which the cycle-closing edge leaves.
+        sw: SwitchId,
+        /// Concrete walk: source ToR → … → `sw` → around the cycle.
+        witness: Path,
+    },
+    /// Traffic toward `dst_tor` can strand at `sw`: either the candidate
+    /// list is empty (`port == None`) or a candidate port is unwired.
+    Blackhole {
+        /// Destination whose traffic strands.
+        dst_tor: SwitchId,
+        /// Switch where forwarding stops.
+        sw: SwitchId,
+        /// The unwired candidate port, or `None` for an empty rule.
+        port: Option<PortNo>,
+        /// Concrete walk from a source ToR ending at `sw`.
+        witness: Path,
+    },
+    /// A candidate port at `sw` hands traffic for `dst_tor` to a host even
+    /// though `sw` is not `dst_tor` — the packet is delivered to the wrong
+    /// rack without ever being dropped.
+    Misdelivery {
+        /// Destination the rule claims to serve.
+        dst_tor: SwitchId,
+        /// Switch holding the bad rule.
+        sw: SwitchId,
+        /// The host-facing candidate port.
+        port: PortNo,
+        /// Concrete walk from a source ToR ending at `sw`.
+        witness: Path,
+    },
+    /// The installed candidate set at `(sw, dst_tor)` differs from the
+    /// intended one. Produced only by [`diff_tables`] /
+    /// [`verify_with_intent`]; carries no witness because the deviation may
+    /// be benign in isolation (e.g. a pruned but still loop-free group).
+    RuleDeviation {
+        /// Switch holding the deviating rule.
+        sw: SwitchId,
+        /// Destination ToR of the rule.
+        dst_tor: SwitchId,
+        /// Intended candidates absent from the installed rule.
+        missing: Vec<PortNo>,
+        /// Installed candidates absent from the intended rule.
+        unexpected: Vec<PortNo>,
+    },
+}
+
+impl Violation {
+    /// The violation class.
+    pub fn kind(&self) -> ViolationKind {
+        match self {
+            Violation::Loop { .. } => ViolationKind::Loop,
+            Violation::Blackhole { .. } => ViolationKind::Blackhole,
+            Violation::Misdelivery { .. } => ViolationKind::Misdelivery,
+            Violation::RuleDeviation { .. } => ViolationKind::RuleDeviation,
+        }
+    }
+
+    /// The switch the violation is pinned to.
+    pub fn offending_switch(&self) -> SwitchId {
+        match self {
+            Violation::Loop { sw, .. }
+            | Violation::Blackhole { sw, .. }
+            | Violation::Misdelivery { sw, .. }
+            | Violation::RuleDeviation { sw, .. } => *sw,
+        }
+    }
+
+    /// The destination ToR whose forwarding graph is affected.
+    pub fn dst_tor(&self) -> SwitchId {
+        match self {
+            Violation::Loop { dst_tor, .. }
+            | Violation::Blackhole { dst_tor, .. }
+            | Violation::Misdelivery { dst_tor, .. }
+            | Violation::RuleDeviation { dst_tor, .. } => *dst_tor,
+        }
+    }
+
+    /// The concrete witness walk, when the class carries one.
+    pub fn witness(&self) -> Option<&Path> {
+        match self {
+            Violation::Loop { witness, .. }
+            | Violation::Blackhole { witness, .. }
+            | Violation::Misdelivery { witness, .. } => Some(witness),
+            Violation::RuleDeviation { .. } => None,
+        }
+    }
+}
+
+/// The outcome of a static verification pass.
+#[derive(Clone, Debug, Default)]
+pub struct Verdict {
+    /// Every refutation found, in destination-major discovery order.
+    pub violations: Vec<Violation>,
+    /// Number of destination ToRs analyzed.
+    pub destinations: usize,
+    /// Number of (src ToR, dst ToR) pairs covered by the analysis.
+    pub pairs_checked: usize,
+}
+
+impl Verdict {
+    /// True when every property holds for every pair.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violations of one class.
+    pub fn of_kind(&self, kind: ViolationKind) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(move |v| v.kind() == kind)
+    }
+}
+
+/// Per-switch memo state for one destination's DFS.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum St {
+    Unknown,
+    InProgress,
+    Ok,
+    Bad,
+}
+
+struct Dfs<'a> {
+    topo: &'a Topology,
+    routes: &'a RouteTables,
+    dst: SwitchId,
+    st: Vec<St>,
+    stack: Vec<SwitchId>,
+    violations: Vec<Violation>,
+}
+
+impl Dfs<'_> {
+    /// Explores every ECMP resolution of the suffix walks leaving `u`
+    /// toward `self.dst`. Returns the memoized status of `u`.
+    fn explore(&mut self, u: SwitchId) -> St {
+        if u == self.dst {
+            return St::Ok;
+        }
+        match self.st[u.index()] {
+            St::Ok => return St::Ok,
+            St::Bad => return St::Bad,
+            // Callers check for stack membership before recursing.
+            St::InProgress => unreachable!("cycle edges are handled at the caller"),
+            St::Unknown => {}
+        }
+        self.st[u.index()] = St::InProgress;
+        self.stack.push(u);
+        let mut bad = false;
+
+        let cands = self.routes.candidates_to_tor(u, self.dst).to_vec();
+        if cands.is_empty() {
+            bad = true;
+            self.violations.push(Violation::Blackhole {
+                dst_tor: self.dst,
+                sw: u,
+                port: None,
+                witness: Path(self.stack.clone()),
+            });
+        }
+        for p in cands {
+            // A candidate numbering a port the switch does not even have is
+            // the same operational failure as an unwired port.
+            let exists = p.index() < self.topo.switch(u).ports.len();
+            if !exists || !port_connected(self.topo, u, p) {
+                bad = true;
+                self.violations.push(Violation::Blackhole {
+                    dst_tor: self.dst,
+                    sw: u,
+                    port: Some(p),
+                    witness: Path(self.stack.clone()),
+                });
+                continue;
+            }
+            match self.topo.peer(u, p) {
+                pathdump_topology::Peer::Host(_) => {
+                    bad = true;
+                    self.violations.push(Violation::Misdelivery {
+                        dst_tor: self.dst,
+                        sw: u,
+                        port: p,
+                        witness: Path(self.stack.clone()),
+                    });
+                }
+                pathdump_topology::Peer::Switch { sw: v, .. } => {
+                    if self.st[v.index()] == St::InProgress {
+                        // v is a DFS ancestor: the edge u→v closes a cycle.
+                        // Witness: prefix into the cycle, then once more
+                        // around it so the repeated directed link is
+                        // explicit in the walk itself.
+                        bad = true;
+                        let pos = self
+                            .stack
+                            .iter()
+                            .position(|&s| s == v)
+                            .expect("InProgress switch must be on the stack");
+                        let mut w = self.stack.clone();
+                        w.push(v);
+                        w.extend_from_slice(&self.stack[pos + 1..]);
+                        w.push(v);
+                        self.violations.push(Violation::Loop {
+                            dst_tor: self.dst,
+                            sw: u,
+                            witness: Path(w),
+                        });
+                    } else if self.explore(v) == St::Bad {
+                        bad = true;
+                    }
+                }
+                pathdump_topology::Peer::Unconnected => {
+                    unreachable!("port_connected checked above")
+                }
+            }
+        }
+
+        self.stack.pop();
+        let res = if bad { St::Bad } else { St::Ok };
+        self.st[u.index()] = res;
+        res
+    }
+}
+
+/// Verifies loop-freedom, blackhole-freedom, and reachability of the
+/// installed `routes` over `topo`, exhaustively over the ECMP candidate
+/// product per (src ToR, dst ToR) pair.
+///
+/// Cost is `O(destinations × switches × ports)`; see the crate docs for why
+/// suffix memoization is exact.
+pub fn verify(topo: &Topology, routes: &RouteTables) -> Verdict {
+    let tors = routes.tors();
+    let mut verdict = Verdict {
+        destinations: tors.len(),
+        pairs_checked: tors.len() * tors.len(),
+        ..Verdict::default()
+    };
+    for &d in tors {
+        let mut dfs = Dfs {
+            topo,
+            routes,
+            dst: d,
+            st: vec![St::Unknown; topo.num_switches()],
+            stack: Vec::new(),
+            violations: Vec::new(),
+        };
+        for &s in tors {
+            dfs.explore(s);
+            debug_assert!(dfs.stack.is_empty());
+        }
+        verdict.violations.append(&mut dfs.violations);
+    }
+    verdict
+}
+
+/// Diffs the installed tables against intended ones, rule by rule, emitting
+/// a [`Violation::RuleDeviation`] per differing `(switch, dst ToR)` pair.
+///
+/// Candidate sets compare as sets (order-insensitive). Both tables must
+/// come from the same topology.
+pub fn diff_tables(actual: &RouteTables, intended: &RouteTables) -> Vec<Violation> {
+    assert_eq!(
+        actual.tors(),
+        intended.tors(),
+        "tables built for different topologies"
+    );
+    let mut out = Vec::new();
+    for (sw, dst_tor, got) in actual.rules() {
+        let want = intended.candidates_to_tor(sw, dst_tor);
+        let missing: Vec<PortNo> = want.iter().copied().filter(|p| !got.contains(p)).collect();
+        let unexpected: Vec<PortNo> = got.iter().copied().filter(|p| !want.contains(p)).collect();
+        if !missing.is_empty() || !unexpected.is_empty() {
+            out.push(Violation::RuleDeviation {
+                sw,
+                dst_tor,
+                missing,
+                unexpected,
+            });
+        }
+    }
+    out
+}
+
+/// [`verify`] plus a rule-level diff against intended tables. Catches
+/// deviations that stay loop- and blackhole-free (e.g. a pruned ECMP
+/// member) which pure graph analysis cannot see.
+pub fn verify_with_intent(
+    topo: &Topology,
+    actual: &RouteTables,
+    intended: &RouteTables,
+) -> Verdict {
+    let mut verdict = verify(topo, actual);
+    verdict.violations.extend(diff_tables(actual, intended));
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathdump_topology::routing::is_contiguous_walk;
+    use pathdump_topology::{FatTree, FatTreeParams, UpDownRouting, Vl2, Vl2Params};
+
+    #[test]
+    fn healthy_fat_trees_verify_clean() {
+        for k in [4u16, 6, 8] {
+            let ft = FatTree::build(FatTreeParams { k });
+            let rt = RouteTables::build(&ft);
+            let v = verify(ft.topology(), &rt);
+            assert!(v.is_clean(), "k={k}: {:?}", v.violations);
+            let tors = (k as usize) * (k as usize) / 2;
+            assert_eq!(v.destinations, tors);
+            assert_eq!(v.pairs_checked, tors * tors);
+        }
+    }
+
+    #[test]
+    fn healthy_vl2_verifies_clean() {
+        let v2 = Vl2::build(Vl2Params {
+            da: 4,
+            di: 4,
+            hosts_per_tor: 2,
+        });
+        let rt = RouteTables::build(&v2);
+        let v = verify(v2.topology(), &rt);
+        assert!(v.is_clean(), "{:?}", v.violations);
+    }
+
+    #[test]
+    fn empty_rule_is_a_blackhole_with_witness() {
+        let ft = FatTree::build(FatTreeParams { k: 4 });
+        let mut rt = RouteTables::build(&ft);
+        let (a10, t10) = (ft.agg(1, 0), ft.tor(1, 0));
+        rt.set_candidates(a10, t10, vec![]);
+        let v = verify(ft.topology(), &rt);
+        assert!(!v.is_clean());
+        let bh = v.of_kind(ViolationKind::Blackhole).next().unwrap();
+        assert_eq!(bh.offending_switch(), a10);
+        assert_eq!(bh.dst_tor(), t10);
+        let w = bh.witness().unwrap();
+        assert!(is_contiguous_walk(ft.topology(), w));
+        assert_eq!(w.last(), Some(a10));
+        assert!(matches!(bh, Violation::Blackhole { port: None, .. }));
+    }
+
+    #[test]
+    fn swapped_downlinks_are_a_loop_with_link_repeating_witness() {
+        let ft = FatTree::build(FatTreeParams { k: 4 });
+        let mut rt = RouteTables::build(&ft);
+        let a10 = ft.agg(1, 0);
+        rt.swap_rules(a10, ft.tor(1, 0), ft.tor(1, 1));
+        let v = verify(ft.topology(), &rt);
+        let lp = v.of_kind(ViolationKind::Loop).next().unwrap();
+        let w = lp.witness().unwrap();
+        assert!(is_contiguous_walk(ft.topology(), w));
+        assert!(
+            w.has_repeated_link(),
+            "loop witness must repeat a link: {w}"
+        );
+    }
+
+    #[test]
+    fn host_facing_rule_is_a_misdelivery() {
+        let ft = FatTree::build(FatTreeParams { k: 4 });
+        let mut rt = RouteTables::build(&ft);
+        let (t00, t10) = (ft.tor(0, 0), ft.tor(1, 0));
+        // Port 0 of a ToR faces a host.
+        rt.set_candidates(t00, t10, vec![PortNo(0)]);
+        let v = verify(ft.topology(), &rt);
+        let md = v.of_kind(ViolationKind::Misdelivery).next().unwrap();
+        assert_eq!(md.offending_switch(), t00);
+        assert_eq!(md.dst_tor(), t10);
+        assert_eq!(md.witness().unwrap().last(), Some(t00));
+    }
+
+    #[test]
+    fn unwired_candidate_port_is_a_blackhole() {
+        let ft = FatTree::build(FatTreeParams { k: 4 });
+        let mut rt = RouteTables::build(&ft);
+        let (t00, t10) = (ft.tor(0, 0), ft.tor(1, 0));
+        // Ports ≥ k do not exist on a k-port switch.
+        rt.set_candidates(t00, t10, vec![PortNo(9)]);
+        let v = verify(ft.topology(), &rt);
+        let bh = v.of_kind(ViolationKind::Blackhole).next().unwrap();
+        assert!(matches!(
+            bh,
+            Violation::Blackhole {
+                port: Some(PortNo(9)),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn diff_tables_flags_pruned_and_foreign_candidates() {
+        let ft = FatTree::build(FatTreeParams { k: 4 });
+        let intended = RouteTables::build(&ft);
+        let mut actual = intended.clone();
+        let (t00, t10) = (ft.tor(0, 0), ft.tor(1, 0));
+        actual.remove_candidate(t00, t10, PortNo(2));
+        let devs = diff_tables(&actual, &intended);
+        assert_eq!(devs.len(), 1);
+        match &devs[0] {
+            Violation::RuleDeviation {
+                sw,
+                dst_tor,
+                missing,
+                unexpected,
+            } => {
+                assert_eq!((*sw, *dst_tor), (t00, t10));
+                assert_eq!(missing, &[PortNo(2)]);
+                assert!(unexpected.is_empty());
+            }
+            other => panic!("unexpected violation {other:?}"),
+        }
+        // The pruned-but-nonempty group stays loop/blackhole free, so the
+        // graph pass alone is clean — only the diff catches it.
+        assert!(verify(ft.topology(), &actual).is_clean());
+        let both = verify_with_intent(ft.topology(), &actual, &intended);
+        assert_eq!(both.violations.len(), 1);
+    }
+}

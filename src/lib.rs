@@ -14,6 +14,8 @@
 //! - [`core`]: host agents, alarms, the controller, direct & multi-level
 //!   distributed queries;
 //! - [`apps`]: the §4 debugging applications;
+//! - [`verifier`]: static dataplane verification (loops, blackholes,
+//!   reachability) and intent models for runtime conformance;
 //! - [`dpswitch`]: the userspace datapath for the Figure 13 experiment.
 //!
 //! # Examples
@@ -47,6 +49,7 @@ pub use pathdump_simnet as simnet;
 pub use pathdump_tib as tib;
 pub use pathdump_topology as topology;
 pub use pathdump_transport as transport;
+pub use pathdump_verifier as verifier;
 pub use pathdump_wire as wire;
 
 /// The most common imports, bundled.
@@ -60,7 +63,7 @@ pub mod prelude {
         WorldConfig,
     };
     pub use pathdump_simnet::{
-        FaultState, LoadBalance, Packet, Quirk, SimConfig, Simulator, TagPolicy, World,
+        FaultState, LoadBalance, Misconfig, Packet, Quirk, SimConfig, Simulator, TagPolicy, World,
     };
     pub use pathdump_tib::{Tib, TibRecord};
     pub use pathdump_topology::{
@@ -68,4 +71,5 @@ pub mod prelude {
         TimeRange, UpDownRouting, Vl2, Vl2Params,
     };
     pub use pathdump_transport::{FlowSpec, TcpConfig, TcpEngine, WebWorkload};
+    pub use pathdump_verifier::{verify, IntentModel, Verdict, Violation, ViolationKind};
 }
