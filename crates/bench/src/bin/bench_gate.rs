@@ -10,10 +10,29 @@
 //!   engine, measured in-process (median of `--runs` runs; higher better).
 //! * `strip_path_min_speedup` — the dpswitch zero-copy strip-path speedup
 //!   vs the fixed pre-PR-4 medians, re-derived from a fresh
-//!   `dpswitch_throughput` bench run (a machine-relative ratio; higher
-//!   better).
+//!   `dpswitch_throughput` bench run (higher better). The committed
+//!   baseline was re-based at the batched-pipeline level (~2.8, up from
+//!   ~2.2), so the gate now holds the improved level.
+//! * `batched_over_frame_512` — the batched-parse case: the per-frame
+//!   512 B median over the batched one (`pathdump_frame/512` ÷
+//!   `pathdump/512`; higher better). A same-run ratio, so far less
+//!   drift-exposed than absolute medians, but its two cases are sampled
+//!   minutes apart within the run, so it gets a slightly widened band
+//!   ([`BATCH_RATIO_SCALE`]) and fails when the batch pipeline becomes a
+//!   clear pessimization vs per-frame processing.
+//! * `pathdump_gap_512` — the tentpole acceptance ratio: the PathDump
+//!   512 B median over vanilla (`pathdump/512` ÷ `vanilla/512`; lower
+//!   better), gated against the committed ratio *and* held under the
+//!   absolute [`GAP_512_CEILING`], which survives baseline re-basing.
 //! * `get_flows_wildcard_into_tor` — the TIB wildcard-query median from a
 //!   fresh `tib_queries` bench run (lower better).
+//! * `ingest_events_per_sec` — the sharded host-agent ingest rate at the
+//!   recorded multi-worker point (higher better). **Skipped when the
+//!   runner has one CPU**: without parallelism the curve only reflects
+//!   shard-locality and replay-batching effects minus spawn/join
+//!   overhead, so a 1-CPU box records the honest curve in
+//!   `BENCH_tib.json` but does not gate on it (same policy as the simnet
+//!   threaded numbers).
 //!
 //! Usage: `cargo run --release -p pathdump_bench --bin bench_gate
 //! [-- --baseline PATH] [--tolerance F] [--runs N] [--handicap F]`.
@@ -21,19 +40,49 @@
 //! the knob used to demonstrate that the gate actually fails on an
 //! injected 2× slowdown.
 //!
-//! Caveat: `events_per_sec` and the wildcard-query median are absolute
-//! timings, so the committed baseline is **hardware-class-sensitive** —
-//! it must be produced on (or re-based to) the machine class that
-//! enforces it. When the CI runner class changes, refresh the baseline
-//! with `bench_trajectory` and commit it; `--tolerance` widens the band
-//! for a one-off run.
+//! Caveat: `events_per_sec`, `strip_path_min_speedup`, the wildcard-query
+//! median and the ingest rate are absolute timings, so the committed
+//! baseline is **hardware-class-sensitive** — it must be produced on (or
+//! re-based to) the machine class that enforces it — and even on one
+//! machine their medians drift up to ~2x between timing windows on
+//! shared/virtualized runners. Those gates therefore run with a widened
+//! band ([`DRIFT_SCALE`] × the base tolerance); the same-run ratio gates
+//! keep the tight band and carry the precision. When the CI runner class
+//! changes, refresh the baseline with `bench_trajectory` and commit it;
+//! `--tolerance` widens every band proportionally for a one-off run.
 
+use pathdump_bench::ingest_scale::{build_stream, run_ingest, IngestParams};
 use pathdump_bench::report::{
-    failing_checks, json_number, recorded_events_per_sec, recorded_median_ns, run_cargo_bench,
-    strip_path_min_speedup, Direction, GateCheck,
+    failing_checks, json_number, recorded_events_per_sec, recorded_ingest_events_per_sec,
+    recorded_median_ns, run_cargo_bench, strip_path_min_speedup, Direction, GateCheck,
 };
 use pathdump_bench::simnet_scale::{run_scale_with, ScaleParams};
 use pathdump_simnet::EngineKind;
+
+/// Hard ceiling on the PathDump-vs-vanilla 512 B gap — the PR-7
+/// acceptance criterion (was ~5.8× before the batched pipeline, ~3.1×
+/// after; the box-speed drift on shared runners leaves the ratio stable
+/// within ~0.2). Unlike the baseline comparison this does not drift when
+/// `BENCH_tib.json` is re-based.
+const GAP_512_CEILING: f64 = 3.5;
+
+/// Tolerance multiplier for the absolute-timing gates (see
+/// `GateCheck::tolerance_scale`): the virtualized runner's absolute
+/// medians drift up to ~2x between timing windows with no code change,
+/// so those gates get a `1 + 0.30 * 4 = 2.2x` band — wide enough to
+/// absorb the drift, still tight enough to trip on the order-of-magnitude
+/// regressions they exist to catch. The same-run `pathdump_gap_512`
+/// ratio is genuinely drift-stable and keeps the tight 30% band, so it
+/// carries the precision. `batched_over_frame_512` compares two cases
+/// sampled minutes apart within one bench run, so in-run drift skews it
+/// more — it gets [`BATCH_RATIO_SCALE`], a band that still fails when the
+/// batched pipeline becomes clearly slower than per-frame processing.
+const DRIFT_SCALE: f64 = 4.0;
+
+/// See [`DRIFT_SCALE`]: the band for `batched_over_frame_512`
+/// (`1 + 0.30 * 1.5 = 1.45x`, i.e. the batched median may not exceed the
+/// per-frame median by more than ~15% of the committed ~1.24 ratio).
+const BATCH_RATIO_SCALE: f64 = 1.5;
 
 struct GateArgs {
     baseline: String,
@@ -103,6 +152,34 @@ fn main() {
         recorded_median_ns(&doc, "tib_240k/get_flows_wildcard_into_tor"),
         "get_flows_wildcard_into_tor median",
     );
+    let recorded_ratio = |num: &str, den: &str| -> Option<f64> {
+        match (recorded_median_ns(&doc, num), recorded_median_ns(&doc, den)) {
+            (Some(n), Some(d)) => Some(n / d.max(1e-9)),
+            _ => None,
+        }
+    };
+    let base_batched_ratio = need(
+        recorded_ratio("dpswitch/pathdump_frame/512", "dpswitch/pathdump/512"),
+        "dpswitch pathdump_frame/512 + pathdump/512 medians",
+    );
+    let base_gap = need(
+        recorded_ratio("dpswitch/pathdump/512", "dpswitch/vanilla/512"),
+        "dpswitch pathdump/512 + vanilla/512 medians",
+    );
+    // The ingest gate only engages on multicore runners (see module docs);
+    // its worker count matches a point the trajectory always records.
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let ingest_workers = cpus.clamp(2, 4);
+    let base_ingest = if cpus > 1 {
+        need(
+            recorded_ingest_events_per_sec(&doc, ingest_workers),
+            "ingest events_per_sec",
+        )
+    } else {
+        f64::NAN
+    };
     if !missing.is_empty() {
         eprintln!("FAIL: baseline {} lacks: {missing:?}", args.baseline);
         std::process::exit(1);
@@ -124,6 +201,23 @@ fn main() {
         eprintln!("FAIL: dpswitch bench produced no pathdump strip medians");
         std::process::exit(1);
     }) / args.handicap;
+    let dpswitch_median = |name: &str| -> f64 {
+        dpswitch
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.median_ns)
+            .unwrap_or_else(|| {
+                eprintln!("FAIL: dpswitch bench lacks {name}");
+                std::process::exit(1);
+            })
+    };
+    // Same-run ratios: immune to box-speed drift between gate runs.
+    let cur_batched_ratio = dpswitch_median("dpswitch/pathdump_frame/512")
+        / dpswitch_median("dpswitch/pathdump/512").max(1e-9)
+        / args.handicap;
+    let cur_gap = dpswitch_median("dpswitch/pathdump/512")
+        / dpswitch_median("dpswitch/vanilla/512").max(1e-9)
+        * args.handicap;
 
     eprintln!("bench_gate: running tib_queries...");
     let tib = run_cargo_bench("tib_queries").unwrap_or_else(|e| {
@@ -140,26 +234,67 @@ fn main() {
         })
         * args.handicap;
 
-    let checks = vec![
+    let mut checks = vec![
         GateCheck {
             metric: "events_per_sec",
             baseline: base_eps,
             current: cur_eps,
             direction: Direction::HigherIsBetter,
+            tolerance_scale: DRIFT_SCALE,
         },
         GateCheck {
             metric: "strip_path_min_speedup",
             baseline: base_strip,
             current: cur_strip,
             direction: Direction::HigherIsBetter,
+            tolerance_scale: DRIFT_SCALE,
+        },
+        GateCheck {
+            metric: "batched_over_frame_512",
+            baseline: base_batched_ratio,
+            current: cur_batched_ratio,
+            direction: Direction::HigherIsBetter,
+            tolerance_scale: BATCH_RATIO_SCALE,
+        },
+        GateCheck {
+            metric: "pathdump_gap_512",
+            baseline: base_gap,
+            current: cur_gap,
+            direction: Direction::LowerIsBetter,
+            tolerance_scale: 1.0,
         },
         GateCheck {
             metric: "get_flows_wildcard_into_tor",
             baseline: base_wildcard,
             current: cur_wildcard,
             direction: Direction::LowerIsBetter,
+            tolerance_scale: DRIFT_SCALE,
         },
     ];
+
+    if cpus > 1 {
+        eprintln!(
+            "bench_gate: measuring sharded ingest ({} workers, {} runs)...",
+            ingest_workers, args.runs
+        );
+        let stream = build_stream(IngestParams::default_shape());
+        let mut rates: Vec<f64> = (0..args.runs.max(1))
+            .map(|_| run_ingest(&stream, ingest_workers).events_per_sec)
+            .collect();
+        rates.sort_by(f64::total_cmp);
+        checks.push(GateCheck {
+            metric: "ingest_events_per_sec",
+            baseline: base_ingest,
+            current: rates[rates.len() / 2] / args.handicap,
+            direction: Direction::HigherIsBetter,
+            tolerance_scale: DRIFT_SCALE,
+        });
+    } else {
+        println!(
+            "bench_gate: 1 cpu — ingest scaling recorded in the trajectory but not gated \
+             (the curve measures no parallelism on this box)"
+        );
+    }
 
     println!(
         "bench_gate vs {} (tolerance {:.0}%{}):",
@@ -173,11 +308,12 @@ fn main() {
     );
     for c in &checks {
         println!(
-            "  {:<28} baseline {:>14.1}  current {:>14.1}  regression {:>5.2}x  {}",
+            "  {:<28} baseline {:>14.1}  current {:>14.1}  regression {:>5.2}x  band {:>4.2}x  {}",
             c.metric,
             c.baseline,
             c.current,
             c.regression(),
+            1.0 + args.tolerance * c.tolerance_scale,
             if c.regressed(args.tolerance) {
                 "FAIL"
             } else {
@@ -188,9 +324,17 @@ fn main() {
     let bad = failing_checks(&checks, args.tolerance);
     if !bad.is_empty() {
         eprintln!(
-            "FAIL: {} gated metric(s) regressed more than {:.0}%",
-            bad.len(),
-            args.tolerance * 100.0
+            "FAIL: {} gated metric(s) regressed past their band",
+            bad.len()
+        );
+        std::process::exit(1);
+    }
+    // The acceptance ceiling is absolute: re-basing the baseline file
+    // cannot relax it, and the same-run ratio survives box-speed drift.
+    if cur_gap > GAP_512_CEILING {
+        eprintln!(
+            "FAIL: pathdump/vanilla 512B gap {cur_gap:.3}x exceeds the acceptance \
+             ceiling {GAP_512_CEILING}x"
         );
         std::process::exit(1);
     }

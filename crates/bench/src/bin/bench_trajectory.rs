@@ -6,15 +6,18 @@
 //! the `simnet_scale` module), and writes one `BENCH_tib.json` with a
 //! `benchmarks` array, a `simnet` section (including the threaded-vs-
 //! sequential speedup and the CPU count, so multicore runners report
-//! parallel headroom honestly), `dpswitch`/`reconstruct` before-vs-after
-//! sections, and a `verifier` section (static-analysis wall time over
-//! k=16 fat-tree and VL2 — trend-watching only, gated separately by
-//! `verifier_gate`) — the recorded perf trajectory CI uploads as an
-//! artifact and the `bench_gate` job compares against.
+//! parallel headroom honestly), an `ingest` section (the sharded
+//! host-agent per-worker-count scaling curve vs the single-threaded
+//! reference — see `ingest_scale`), `dpswitch`/`reconstruct`
+//! before-vs-after sections, and a `verifier` section (static-analysis
+//! wall time over k=16 fat-tree and VL2 — trend-watching only, gated
+//! separately by `verifier_gate`) — the recorded perf trajectory CI
+//! uploads as an artifact and the `bench_gate` job compares against.
 //!
 //! Usage: `cargo run --release -p pathdump_bench --bin bench_trajectory
 //! [-- --out PATH]` (default `BENCH_tib.json` in the working directory).
 
+use pathdump_bench::ingest_scale::{build_stream, run_ingest, IngestParams, IngestResult};
 use pathdump_bench::report::{
     baseline_of, json_escape, median_of, run_cargo_bench, strip_path_min_speedup, Entry,
     DPSWITCH_BASELINE_NS, RECONSTRUCT_BASELINE_NS,
@@ -71,6 +74,16 @@ fn dpswitch_section(entries: &[Entry]) -> String {
 /// The `reconstruct` section: before/after per case plus the warm/cold
 /// ratios for the closed-form fast path and the memoized candidate-walk
 /// (punted ≥3-tag) decode.
+///
+/// The fast-path ratio is **expected to sit below 1** and is not a
+/// regression: `cold_decode`/`memo_warm_decode`/`cached_decode` measure
+/// ≤2-tag fat-tree trajectories, whose closed-form decode is a handful
+/// of arithmetic ops — cheaper than any memo or cache probe, so the
+/// "warm" variants pay pure lookup overhead on top of an already-trivial
+/// decode. The memo earns its keep on the punted ≥3-tag candidate walk
+/// (`walk_cold_decode` vs `walk_memo_decode`, a ~200× ratio), which is
+/// why only the walk ratio is a meaningful speedup and the JSON carries
+/// a `note` saying so.
 fn reconstruct_section(entries: &[Entry]) -> String {
     let ratio = |cold: &str, warm: &str| -> String {
         match (median_of(entries, cold), median_of(entries, warm)) {
@@ -78,11 +91,89 @@ fn reconstruct_section(entries: &[Entry]) -> String {
             _ => "null".to_string(),
         }
     };
+    let note = "warm_over_cold_fast_path < 1 is expected, not a regression: the \
+                cold/cached/memo_warm cases decode <=2-tag trajectories whose \
+                closed form is cheaper than any memo or cache probe, so warm \
+                variants only add lookup overhead; the memo pays off on the \
+                punted >=3-tag candidate walk (walk_cold_decode vs \
+                walk_memo_decode).";
     format!(
-        "{{\n  \"baseline\": \"pre-PR4 (no decode memo)\",\n  \"warm_over_cold_candidate_walk\": {},\n  \"warm_over_cold_fast_path\": {},\n  \"cases\": [\n{}\n    ]\n  }}",
+        "{{\n  \"baseline\": \"pre-PR4 (no decode memo)\",\n  \"note\": \"{}\",\n  \"warm_over_cold_candidate_walk\": {},\n  \"warm_over_cold_fast_path\": {},\n  \"cases\": [\n{}\n    ]\n  }}",
+        json_escape(note),
         ratio("reconstruct/walk_cold_decode", "reconstruct/walk_memo_decode"),
         ratio("reconstruct/cold_decode", "reconstruct/memo_warm_decode"),
         before_after_cases(entries, "reconstruct", RECONSTRUCT_BASELINE_NS)
+    )
+}
+
+/// Runs the host-agent ingest scaling curve (median of `runs` per worker
+/// count, single-threaded reference as `workers = 0`) and returns the
+/// `ingest` JSON object. Non-gated on 1-CPU boxes — the recorded `cpus`
+/// field is how `bench_gate` (and readers) know whether the curve can
+/// slope upward at all.
+fn ingest_section(runs: usize) -> String {
+    let p = IngestParams::default_shape();
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let stream = build_stream(p);
+    let median = |mut rs: Vec<IngestResult>| -> IngestResult {
+        rs.sort_by(|a, b| a.wall_secs.total_cmp(&b.wall_secs));
+        rs.swap_remove(rs.len() / 2)
+    };
+    let mut worker_counts = vec![0usize, 1, 2, 4];
+    if cpus > 4 && !worker_counts.contains(&cpus) {
+        worker_counts.push(cpus);
+    }
+    let results: Vec<IngestResult> = worker_counts
+        .iter()
+        .map(|&w| median((0..runs).map(|_| run_ingest(&stream, w)).collect()))
+        .collect();
+    for r in &results {
+        assert_eq!(
+            r.tib_records, results[0].tib_records,
+            "ingest runs must file identical TIBs (workers={})",
+            r.workers
+        );
+    }
+    let reference = results[0].events_per_sec;
+    for r in &results {
+        eprintln!(
+            "ingest {}: {:.2}M events/s ({:.2}x vs single-threaded, {cpus} cpu(s))",
+            if r.workers == 0 {
+                "single-threaded".to_string()
+            } else {
+                format!("{} worker(s)", r.workers)
+            },
+            r.events_per_sec / 1e6,
+            r.events_per_sec / reference.max(1e-9)
+        );
+    }
+    let note = "workers=0 is the single-threaded HostAgent reference; on a \
+                1-cpu box any speedup in the curve comes from smaller \
+                per-shard memories and batched replay, not parallelism, so \
+                bench_gate skips the ingest gate there.";
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workers\": {}, \"events\": {}, \"tib_records\": {}, \"wall_ms\": {:.3}, \"events_per_sec\": {:.0}, \"speedup_vs_single\": {:.3}}}",
+                r.workers,
+                r.events,
+                r.tib_records,
+                r.wall_secs * 1e3,
+                r.events_per_sec,
+                r.events_per_sec / reference.max(1e-9)
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"flows\": {},\n  \"pkts_per_flow\": {},\n  \"window\": {},\n  \"cpus\": {cpus},\n  \"note\": \"{}\",\n  \"cases\": [\n{}\n    ]\n  }}",
+        p.flows,
+        p.pkts_per_flow,
+        p.window,
+        json_escape(note),
+        rows.join(",\n")
     )
 }
 
@@ -218,6 +309,9 @@ fn main() {
     eprintln!("running simnet engine comparison (k=8)...");
     let simnet = simnet_section(3);
 
+    eprintln!("running host-agent ingest scaling curve...");
+    let ingest = ingest_section(3);
+
     eprintln!("running static verifier timing (k=16 + VL2)...");
     let verifier = verifier_section();
 
@@ -238,6 +332,8 @@ fn main() {
     json.push_str(&reconstruct_section(&entries));
     json.push_str(",\n  \"simnet\": ");
     json.push_str(&simnet);
+    json.push_str(",\n  \"ingest\": ");
+    json.push_str(&ingest);
     json.push_str(",\n  \"verifier\": ");
     json.push_str(&verifier);
     json.push_str("\n}\n");

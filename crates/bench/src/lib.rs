@@ -10,6 +10,7 @@ use pathdump_topology::{FatTree, FlowId, HostId, Nanos, UpDownRouting};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+pub mod ingest_scale;
 pub mod report;
 pub mod simnet_scale;
 

@@ -7,6 +7,12 @@
 //! reconstructor) turns link IDs into full paths and writes TIB records.
 //! Installed invariants (path conformance, §2.3/§4.1) are checked the
 //! moment a new path appears, raising alarms in real time.
+//!
+//! This module is the single-threaded reference; the [`crate::sharded`]
+//! module layers a per-core flow-sharded ingest mode on top of it
+//! (N workers, one [`TrajectoryMemory`] shard each, ordered event replay
+//! into this agent's construct/alarm/TIB half) that stays bit-identical
+//! to calling [`HostAgent::on_packet`] per packet.
 
 use crate::alarm::{Alarm, Reason};
 use crate::query::{Query, Response};
@@ -265,40 +271,7 @@ impl HostAgent {
         // Real-time invariant checks on first sight of a (flow, path) pair.
         if is_new_path && !self.invariants.is_empty() {
             let key = self.scratch.clone(); // cold path: once per flow-path
-            let topo = fabric.topology();
-            match self.construct(fabric, &key) {
-                Ok(path) => {
-                    let violations: Vec<&Invariant> = self
-                        .invariants
-                        .iter()
-                        .filter(|inv| inv.violated(topo, &pkt.flow, &path))
-                        .collect();
-                    if !violations.is_empty() {
-                        // When an intent-derived invariant fired, attach the
-                        // nearest intended path after the observed one so
-                        // the alarm shows where the trajectory diverged.
-                        let nearest = violations.iter().find_map(|inv| {
-                            let im = inv.intent.as_ref()?;
-                            let (st, dt) = Invariant::endpoint_tors(topo, &pkt.flow)?;
-                            im.nearest_intended(st, dt, &path)
-                        });
-                        let mut paths = vec![path];
-                        if let Some(n) = nearest {
-                            if paths[0] != n {
-                                paths.push(n);
-                            }
-                        }
-                        self.alarms.push(Alarm {
-                            flow: pkt.flow,
-                            reason: Reason::PcFail,
-                            paths,
-                            host: self.host,
-                            at: now,
-                        });
-                    }
-                }
-                Err(_) => self.note_infeasible(pkt.flow, now),
-            }
+            self.on_new_path(fabric, &key, now);
         }
 
         if pkt.flags.contains(TcpFlags::FIN) || pkt.flags.contains(TcpFlags::RST) {
@@ -319,7 +292,60 @@ impl HostAgent {
         self.finalize_batch(fabric, evicted, now);
     }
 
-    fn finalize_batch(&mut self, fabric: &Fabric, batch: Vec<PendingRecord>, now: Nanos) {
+    /// Invariant checks for a record seen for the first time (the
+    /// real-time half of §2.3). Shared verbatim between the inline
+    /// per-packet path above and the sharded agent's ordered replay, so
+    /// both produce the same alarms from the same construct sequence.
+    pub(crate) fn on_new_path(&mut self, fabric: &Fabric, key: &MemKey, now: Nanos) {
+        let flow = key.flow;
+        let topo = fabric.topology();
+        match self.construct(fabric, key) {
+            Ok(path) => {
+                let violations: Vec<&Invariant> = self
+                    .invariants
+                    .iter()
+                    .filter(|inv| inv.violated(topo, &flow, &path))
+                    .collect();
+                if !violations.is_empty() {
+                    // When an intent-derived invariant fired, attach the
+                    // nearest intended path after the observed one so
+                    // the alarm shows where the trajectory diverged.
+                    let nearest = violations.iter().find_map(|inv| {
+                        let im = inv.intent.as_ref()?;
+                        let (st, dt) = Invariant::endpoint_tors(topo, &flow)?;
+                        im.nearest_intended(st, dt, &path)
+                    });
+                    let mut paths = vec![path];
+                    if let Some(n) = nearest {
+                        if paths[0] != n {
+                            paths.push(n);
+                        }
+                    }
+                    self.alarms.push(Alarm {
+                        flow,
+                        reason: Reason::PcFail,
+                        paths,
+                        host: self.host,
+                        at: now,
+                    });
+                }
+            }
+            Err(_) => self.note_infeasible(flow, now),
+        }
+    }
+
+    /// True when at least one invariant is installed (first-sight records
+    /// only run trajectory construction in that case).
+    pub(crate) fn has_invariants(&self) -> bool {
+        !self.invariants.is_empty()
+    }
+
+    pub(crate) fn finalize_batch(
+        &mut self,
+        fabric: &Fabric,
+        batch: Vec<PendingRecord>,
+        now: Nanos,
+    ) {
         for rec in batch {
             self.finalize(fabric, rec, now);
         }
@@ -406,14 +432,31 @@ impl HostAgent {
         resp
     }
 
-    /// Builds a transient TIB view of the live trajectory memory.
+    /// Builds a transient TIB view of the live trajectory memory. Records
+    /// are inserted in the canonical eviction order so the view (and the
+    /// insertion-order-sensitive queries on it) is deterministic — the
+    /// sharded agent's merged live view lines up with this bit-for-bit.
     fn live_tib(&mut self, fabric: &Fabric) -> Tib {
-        let keys: Vec<MemKey> = self.memory.live_keys().cloned().collect();
+        let keys: Vec<(PendingRecord, MemKey)> = self
+            .memory
+            .live_keys()
+            .filter_map(|k| self.memory.snapshot(&k).map(|s| (s, k)))
+            .collect();
+        self.live_tib_from(fabric, keys)
+    }
+
+    /// Sorts live-record snapshots into canonical order and constructs a
+    /// transient TIB from them. The sharded agent feeds the union of its
+    /// shards' snapshots through the same path, so both live views insert
+    /// the same records in the same order.
+    pub(crate) fn live_tib_from(
+        &mut self,
+        fabric: &Fabric,
+        mut keys: Vec<(PendingRecord, MemKey)>,
+    ) -> Tib {
+        keys.sort_unstable_by(|a, b| pathdump_tib::canonical_order(&a.0, &b.0));
         let mut tib = Tib::new();
-        for key in keys {
-            let Some(snap) = self.memory.snapshot(&key) else {
-                continue;
-            };
+        for (snap, key) in keys {
             if let Ok(path) = self.construct(fabric, &key) {
                 tib.insert(TibRecord {
                     flow: snap.flow,

@@ -1,0 +1,270 @@
+//! Differential pin for the sharded ingest mode: a [`ShardedAgent`] with
+//! ANY worker count, fed the same packet stream in windows, must be
+//! bit-identical to a single [`HostAgent`] processing the packets one by
+//! one — TIB records (values AND insertion order), per-flow totals, live
+//! trajectory-memory contents, cache/memo statistics, alarms, and
+//! reconstruction-failure counts.
+//!
+//! The streams mix multipath spraying, FIN/RST evictions (including
+//! FIN-on-first-packet), corrupted tag stacks (infeasible paths), idle
+//! ticks between windows, and queries over TIB+live state.
+
+use pathdump_cherrypick::{FatTreeCherryPick, FatTreeReconstructor};
+use pathdump_core::{AgentConfig, Fabric, HostAgent, Invariant, Query, ShardedAgent};
+use pathdump_simnet::{Packet, TagPolicy, TcpFlags};
+use pathdump_tib::PendingRecord;
+use pathdump_topology::{
+    FatTree, FatTreeParams, FlowId, LinkPattern, Nanos, Path, PortNo, TimeRange, UpDownRouting,
+};
+use proptest::prelude::*;
+
+fn fabric() -> (FatTree, Fabric, FatTreeCherryPick) {
+    let ft = FatTree::build(FatTreeParams { k: 4 });
+    let f = Fabric::FatTree(FatTreeReconstructor::new(ft.clone()));
+    let p = FatTreeCherryPick::new(ft.clone());
+    (ft, f, p)
+}
+
+/// Builds the packet a given path would deliver (tag policy applied hop
+/// by hop, exactly like the dataplane).
+fn pkt_on_path(
+    ft: &FatTree,
+    policy: &FatTreeCherryPick,
+    flow: FlowId,
+    path: &Path,
+    bytes: u32,
+    flags: TcpFlags,
+) -> Packet {
+    let mut pkt = Packet::data(1, flow, 0, bytes, Nanos::ZERO);
+    pkt.flags = flags;
+    let topo = ft.topology();
+    for (i, &sw) in path.0.iter().enumerate() {
+        let in_port = if i == 0 {
+            topo.switch(sw)
+                .ports
+                .iter()
+                .position(|p| matches!(p, pathdump_topology::Peer::Host(_)))
+                .map(|p| PortNo(p as u8))
+        } else {
+            topo.switch(sw).port_towards(path.0[i - 1])
+        };
+        policy.on_forward(sw, in_port, PortNo(0), &mut pkt.headers);
+    }
+    pkt
+}
+
+/// One generated packet: source host selector, sport (flow identity),
+/// path selector, bytes, flag selector, and a corruption toggle.
+type PktSpec = (u8, u16, u8, u16, u8, bool);
+
+/// The generated scenario: packet windows with a tick after each.
+fn stream_strategy() -> impl Strategy<Value = Vec<Vec<PktSpec>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            (
+                0u8..16,    // src host selector
+                0u16..12,   // sport → flow identity
+                0u8..=255,  // path selector
+                64u16..900, // bytes
+                0u8..8,     // 0..=4 plain, 5 FIN, 6 RST, 7 FIN
+                any::<bool>(),
+            ),
+            1..24,
+        ),
+        1..4,
+    )
+}
+
+fn build_packet(
+    ft: &FatTree,
+    policy: &FatTreeCherryPick,
+    dst: pathdump_topology::HostId,
+    spec: &PktSpec,
+) -> Packet {
+    let (src_sel, sport, path_sel, bytes, flag_sel, corrupt) = *spec;
+    let topo = ft.topology();
+    // Source hosts spread over 4 pods x 2 tors x 2 hosts; the slot that
+    // would collide with `dst` maps elsewhere (no self-traffic).
+    let mut src = ft.host(
+        (src_sel / 4 % 4) as usize,
+        (src_sel / 2 % 2) as usize,
+        (src_sel % 2) as usize,
+    );
+    if src == dst {
+        src = ft.host(3, 1, 1);
+    }
+    let flow = FlowId::tcp(topo.host(src).ip, 1024 + sport, topo.host(dst).ip, 80);
+    let flags = match flag_sel {
+        5 | 7 => TcpFlags::FIN,
+        6 => TcpFlags::RST,
+        _ => TcpFlags(0),
+    };
+    if corrupt {
+        // A lying tag stack: class-A tag for the wrong position plus a
+        // class-B core tag — reconstructs to an infeasible trajectory.
+        let mut pkt = Packet::data(1, flow, 0, bytes as u32, Nanos::ZERO);
+        pkt.flags = flags;
+        pkt.headers.push_tag(3);
+        pkt.headers.push_tag(4);
+        return pkt;
+    }
+    let paths = ft.all_paths(src, dst);
+    let path = paths[path_sel as usize % paths.len()].clone();
+    pkt_on_path(ft, policy, flow, &path, bytes as u32, flags)
+}
+
+/// Live trajectory-memory contents as a canonical sorted snapshot list.
+fn live_snapshot_single(agent: &HostAgent) -> Vec<PendingRecord> {
+    let mut v: Vec<PendingRecord> = agent
+        .memory
+        .live_keys()
+        .filter_map(|k| agent.memory.snapshot(&k))
+        .collect();
+    v.sort_unstable_by(pathdump_tib::canonical_order);
+    v
+}
+
+fn run_differential(windows: &[Vec<PktSpec>], workers: usize, with_invariant: bool) {
+    let (ft, fab, policy) = fabric();
+    let dst = ft.host(1, 0, 0);
+
+    let mut single = HostAgent::new(dst, AgentConfig::default());
+    let mut sharded = ShardedAgent::new(dst, AgentConfig::default(), workers);
+    assert_eq!(sharded.workers(), workers.max(1));
+    if with_invariant {
+        let inv = Invariant {
+            forbidden: vec![ft.core(0)],
+            ..Invariant::default()
+        };
+        single.install_invariant(inv.clone());
+        sharded.install_invariant(inv);
+    }
+
+    let mut t = 0u64;
+    let mut single_alarms = Vec::new();
+    let mut sharded_alarms = Vec::new();
+    for window in windows {
+        let pkts: Vec<(Packet, Nanos)> = window
+            .iter()
+            .map(|spec| {
+                t += 1;
+                (build_packet(&ft, &policy, dst, spec), Nanos::from_millis(t))
+            })
+            .collect();
+        for (pkt, now) in &pkts {
+            single.on_packet(&fab, pkt, *now);
+        }
+        sharded.ingest(&fab, &pkts);
+
+        // Idle-tick both; advance far enough to evict some windows.
+        t += 4000;
+        single.tick(&fab, Nanos::from_millis(t));
+        sharded.tick(&fab, Nanos::from_millis(t));
+        single_alarms.extend(single.drain_alarms());
+        sharded_alarms.extend(sharded.drain_alarms());
+    }
+
+    // Mid-state: live records, queries over TIB + live view.
+    assert_eq!(live_snapshot_single(&single).len(), sharded.live_records());
+    let q = Query::TopK {
+        k: 8,
+        range: TimeRange::ANY,
+    };
+    assert_eq!(
+        single.execute(&fab, &q, true),
+        sharded.execute(&fab, &q, true),
+        "TopK over TIB+live diverged (workers={workers})"
+    );
+    let q = Query::GetFlows {
+        link: LinkPattern::ANY,
+        range: TimeRange::ANY,
+    };
+    assert_eq!(
+        single.execute(&fab, &q, true),
+        sharded.execute(&fab, &q, true),
+        "GetFlows over TIB+live diverged (workers={workers})"
+    );
+
+    // Drain everything and compare final state bit-for-bit.
+    t += 1;
+    single.flush(&fab, Nanos::from_millis(t));
+    sharded.flush(&fab, Nanos::from_millis(t));
+    single_alarms.extend(single.drain_alarms());
+    sharded_alarms.extend(sharded.drain_alarms());
+
+    assert_eq!(
+        single.tib.records(),
+        sharded.tib().records(),
+        "TIB records diverged (workers={workers})"
+    );
+    assert_eq!(single.packets_seen, sharded.packets_seen());
+    assert_eq!(single.recon_failures, sharded.recon_failures());
+    assert_eq!(single_alarms, sharded_alarms, "alarms diverged");
+    assert_eq!(
+        single.cache.stats(),
+        sharded.cache_stats(),
+        "trajectory-cache stats diverged (workers={workers})"
+    );
+    assert_eq!(
+        single.memo.stats(),
+        sharded.memo_stats(),
+        "decode-memo stats diverged (workers={workers})"
+    );
+    assert!(single.memory.is_empty());
+    assert_eq!(sharded.live_records(), 0);
+
+    // Per-flow totals through the query engine, post-flush.
+    let q = Query::TopK {
+        k: 64,
+        range: TimeRange::ANY,
+    };
+    assert_eq!(
+        single.execute(&fab, &q, false),
+        sharded.execute(&fab, &q, false)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary streams, every worker count, invariants off: storage and
+    /// query equivalence.
+    #[test]
+    fn sharded_matches_single_threaded(windows in stream_strategy()) {
+        for workers in [1usize, 2, 3, 4] {
+            run_differential(&windows, workers, false);
+        }
+    }
+
+    /// Same, with a path-conformance invariant installed: alarm streams
+    /// and construct-order-sensitive cache/memo stats must also line up.
+    #[test]
+    fn sharded_matches_single_threaded_with_invariants(windows in stream_strategy()) {
+        for workers in [1usize, 2, 4] {
+            run_differential(&windows, workers, true);
+        }
+    }
+}
+
+/// FIN on the very first packet of a flow: the first-sight event and the
+/// eviction event come from the same packet and must replay in that
+/// order.
+#[test]
+fn fin_on_first_packet_replays_in_order() {
+    let (ft, fab, policy) = fabric();
+    let dst = ft.host(1, 0, 0);
+    let src = ft.host(0, 0, 0);
+    let topo = ft.topology();
+    let flow = FlowId::tcp(topo.host(src).ip, 5000, topo.host(dst).ip, 80);
+    let path = ft.all_paths(src, dst).remove(0);
+    let pkt = pkt_on_path(&ft, &policy, flow, &path, 300, TcpFlags::FIN);
+
+    let mut single = HostAgent::new(dst, AgentConfig::default());
+    let mut sharded = ShardedAgent::new(dst, AgentConfig::default(), 3);
+    single.on_packet(&fab, &pkt, Nanos::from_millis(1));
+    sharded.ingest(&fab, &[(pkt, Nanos::from_millis(1))]);
+
+    assert_eq!(single.tib.records(), sharded.tib().records());
+    assert_eq!(single.tib.len(), 1);
+    assert_eq!(sharded.live_records(), 0);
+}

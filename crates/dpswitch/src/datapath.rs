@@ -16,10 +16,31 @@
 //! warm EMC) the whole per-frame pipeline performs **zero heap
 //! allocations** — pinned by the `zero_alloc_run_once` test and the
 //! differential `prop_strip_equivalence` suite.
+//!
+//! # The batch contract
+//!
+//! [`DataPath::process_batch`] drives a whole ring of frames through the
+//! same pipeline in two phases: a streaming parse/classify/strip pass
+//! (per-frame verdicts land in a caller-supplied buffer, trajectory
+//! updates are queued into a reusable slot vector), then one tight pass
+//! over the trajectory memory. Counters fold in once per batch instead of
+//! once per frame, and the queued memory updates replay in frame order,
+//! so verdicts, counters and memory state are **bit-identical** to
+//! calling [`DataPath::process`] per frame — the equivalence the
+//! `prop_strip_equivalence` suite pins. The single-tag specialization
+//! fires inside `parse_into` (one u64 EtherType window) and
+//! `TrajectoryMemory::update_wire` (no tag-reversal loop) for 0/1-tag
+//! frames, the overwhelmingly common shapes.
+//!
+//! [`FrameBatch::run_once`] layers the NIC-ring model on top: between
+//! passes it restores only the 12 relocated MAC bytes of each stripped
+//! frame (`moved != 0`) rather than recopying whole buffers, then calls
+//! `process_batch` once. After the first pass (which sizes the reusable
+//! slot/verdict buffers) the steady state allocates nothing.
 
-use crate::parse::{parse_into, strip_vlans_prefix, ParseError, Parsed};
+use crate::parse::{parse_into, strip_vlans_prefix, ParseError, Parsed, MAX_TAGS};
 use pathdump_tib::memory::FnvBuild;
-use pathdump_tib::{MemKey, TrajectoryMemory};
+use pathdump_tib::TrajectoryMemory;
 use pathdump_topology::{FlowId, Nanos};
 use std::collections::HashMap;
 
@@ -87,10 +108,24 @@ pub struct DataPath {
     /// Parse failures.
     pub errors: u64,
     clock: Nanos,
-    /// Reusable key so the per-packet hook does not allocate.
-    scratch: MemKey,
-    /// Reusable parse output, for the same reason.
+    /// Reusable parse output so the per-packet path does not allocate.
     parsed: Parsed,
+    /// Queued trajectory-memory updates of the current batch (phase two
+    /// of `process_batch`); capacity persists across batches.
+    mem_ops: Vec<MemOp>,
+}
+
+/// One queued trajectory-memory update: the parse products a PathDump
+/// frame contributes, staged so the batch pipeline can replay all map
+/// probes in one tight pass. Tags stay in parse (outermost-first) order;
+/// `TrajectoryMemory::update_wire` reverses them while building its probe.
+#[derive(Clone, Copy)]
+struct MemOp {
+    flow: FlowId,
+    dscp_sample: Option<u8>,
+    payload_len: u32,
+    tag_len: u8,
+    tags: [u16; MAX_TAGS],
 }
 
 impl DataPath {
@@ -105,17 +140,8 @@ impl DataPath {
             bytes: 0,
             errors: 0,
             clock: Nanos::ZERO,
-            scratch: MemKey {
-                flow: pathdump_topology::FlowId::tcp(
-                    pathdump_topology::Ip(0),
-                    0,
-                    pathdump_topology::Ip(0),
-                    0,
-                ),
-                dscp_sample: None,
-                tags: Vec::with_capacity(4),
-            },
             parsed: Parsed::scratch(),
+            mem_ops: Vec::new(),
         }
     }
 
@@ -154,10 +180,22 @@ impl DataPath {
         let dst_mac: [u8; 6] = frame[0..6].try_into().expect("length checked in parse");
         let mut offset = 0;
         if self.mode == Mode::PathDump {
-            Self::pathdump_hook(
-                &mut self.memory,
-                &mut self.scratch,
-                &self.parsed,
+            // The per-packet PathDump work (Figure 2's "create/update
+            // per-path flow record with link IDs"): DSCP bit 0 is the
+            // hop-parity bit, bits 1..6 hold the VL2 sample; the tag
+            // stack goes to the memory straight from the parse scratch
+            // (update_wire reverses it into push order in its probe).
+            let sample_bits = (self.parsed.dscp >> 1) & 0x1F;
+            let dscp_sample = if sample_bits == 0 {
+                None
+            } else {
+                Some(sample_bits - 1)
+            };
+            self.memory.update_wire(
+                &self.parsed.flow,
+                dscp_sample,
+                &self.parsed.tags,
+                self.parsed.payload_len as u32,
                 self.clock,
             );
             offset = strip_vlans_prefix(frame, self.parsed.tags.len());
@@ -187,30 +225,86 @@ impl DataPath {
         }
     }
 
-    /// The per-packet PathDump work: derive the per-path flow record key
-    /// and update the trajectory memory (Figure 2's "create/update
-    /// per-path flow record with link IDs"). An associated function over
-    /// disjoint fields so the reusable parse scratch can stay borrowed.
-    fn pathdump_hook(
-        memory: &mut TrajectoryMemory,
-        scratch: &mut MemKey,
-        parsed: &Parsed,
-        clock: Nanos,
-    ) {
-        // DSCP bit 0 is the hop-parity bit; bits 1..6 hold the VL2 sample.
-        let sample_bits = (parsed.dscp >> 1) & 0x1F;
-        let dscp_sample = if sample_bits == 0 {
-            None
-        } else {
-            Some(sample_bits - 1)
-        };
-        // Reuse the scratch key: zero allocations on the per-packet path.
-        scratch.flow = parsed.flow;
-        scratch.dscp_sample = dscp_sample;
-        scratch.tags.clear();
-        // Tags parse outermost-first; push order is innermost-first.
-        scratch.tags.extend(parsed.tags.iter().rev().copied());
-        memory.update_borrowed(scratch, parsed.payload_len as u32, clock);
+    /// Processes a whole batch of frames in place — the ring-polling fast
+    /// path (see the module docs' batch contract). `verdicts` is cleared
+    /// and refilled with one [`Verdict`] per frame, in order.
+    ///
+    /// Phase one streams over the frames: parse into the reusable scratch,
+    /// stage the trajectory update into a slot, strip the VLAN stack and
+    /// classify (EMC, then L2). Phase two replays the staged memory
+    /// updates in frame order, so the map probes run back-to-back instead
+    /// of interleaved with parsing. Counters fold in once per batch.
+    /// Observable state afterwards is bit-identical to calling
+    /// [`Self::process`] on each frame in order.
+    pub fn process_batch(&mut self, frames: &mut [Vec<u8>], verdicts: &mut Vec<Verdict>) {
+        verdicts.clear();
+        verdicts.reserve(frames.len());
+        self.mem_ops.clear();
+        self.mem_ops.reserve(frames.len());
+        let mut bytes = 0u64;
+        let mut errors = 0u64;
+        let pathdump = self.mode == Mode::PathDump;
+        for frame in frames.iter_mut() {
+            bytes += frame.len() as u64;
+            if let Err(e) = parse_into(frame, &mut self.parsed) {
+                errors += 1;
+                verdicts.push(Verdict {
+                    action: Action::Drop(e),
+                    offset: 0,
+                    len: frame.len(),
+                });
+                continue;
+            }
+            let dst_mac: [u8; 6] = frame[0..6].try_into().expect("length checked in parse");
+            let mut offset = 0;
+            if pathdump {
+                let sample_bits = (self.parsed.dscp >> 1) & 0x1F;
+                let mut op = MemOp {
+                    flow: self.parsed.flow,
+                    dscp_sample: if sample_bits == 0 {
+                        None
+                    } else {
+                        Some(sample_bits - 1)
+                    },
+                    payload_len: self.parsed.payload_len as u32,
+                    tag_len: self.parsed.tags.len() as u8,
+                    tags: [0; MAX_TAGS],
+                };
+                op.tags[..self.parsed.tags.len()].copy_from_slice(&self.parsed.tags);
+                self.mem_ops.push(op);
+                offset = strip_vlans_prefix(frame, self.parsed.tags.len());
+            }
+            let len = frame.len() - offset;
+            let flow = self.parsed.flow;
+            let action = if let Some(&port) = self.emc.get(&flow) {
+                Action::Forward(port)
+            } else {
+                match self.l2.get(&dst_mac) {
+                    Some(&port) => {
+                        self.emc.insert(flow, port);
+                        Action::Forward(port)
+                    }
+                    None => Action::Flood,
+                }
+            };
+            verdicts.push(Verdict {
+                action,
+                offset,
+                len,
+            });
+        }
+        for op in &self.mem_ops {
+            self.memory.update_wire(
+                &op.flow,
+                op.dscp_sample,
+                &op.tags[..op.tag_len as usize],
+                op.payload_len,
+                self.clock,
+            );
+        }
+        self.packets += frames.len() as u64;
+        self.bytes += bytes;
+        self.errors += errors;
     }
 }
 
@@ -223,6 +317,8 @@ pub struct FrameBatch {
     /// header to (0 = buffer still pristine). Restoring a frame only has
     /// to undo that 12-byte relocation, not recopy the whole frame.
     moved: Vec<usize>,
+    /// Reusable per-pass verdict buffer for the batched pipeline.
+    verdicts: Vec<Verdict>,
 }
 
 impl FrameBatch {
@@ -230,10 +326,12 @@ impl FrameBatch {
     pub fn new(frames: Vec<Vec<u8>>) -> Self {
         let scratch = frames.clone();
         let moved = vec![0; frames.len()];
+        let verdicts = Vec::with_capacity(frames.len());
         FrameBatch {
             originals: frames,
             scratch,
             moved,
+            verdicts,
         }
     }
 
@@ -253,24 +351,28 @@ impl FrameBatch {
     }
 
     /// Runs every frame through the datapath once (so tag-stripping runs
-    /// each time), allocation- and copy-free: the in-place strip only
-    /// relocates 12 bytes, so restoring a scratch buffer from its original
-    /// is a 12-byte copy rather than a full-frame round-trip. Returns the
-    /// number of successfully forwarded frames.
+    /// each time), allocation- and copy-free in the steady state: the
+    /// in-place strip only relocates 12 bytes, so restoring a scratch
+    /// buffer from its original is a 12-byte copy rather than a
+    /// full-frame round-trip, and the whole ring then goes through
+    /// [`DataPath::process_batch`] in one call. Returns the number of
+    /// successfully forwarded frames.
     pub fn run_once(&mut self, dp: &mut DataPath) -> usize {
-        let mut ok = 0;
         for ((orig, buf), moved) in self
             .originals
             .iter()
             .zip(self.scratch.iter_mut())
-            .zip(self.moved.iter_mut())
+            .zip(self.moved.iter())
         {
             // Undo the previous pass's MAC relocation: only bytes
             // [moved, moved+12) differ from the original.
             if *moved != 0 {
                 buf[*moved..*moved + 12].copy_from_slice(&orig[*moved..*moved + 12]);
             }
-            let verdict = dp.process(buf);
+        }
+        dp.process_batch(&mut self.scratch, &mut self.verdicts);
+        let mut ok = 0;
+        for (verdict, moved) in self.verdicts.iter().zip(self.moved.iter_mut()) {
             *moved = verdict.offset;
             if !verdict.is_drop() {
                 ok += 1;
@@ -278,12 +380,18 @@ impl FrameBatch {
         }
         ok
     }
+
+    /// Per-frame verdicts of the most recent [`Self::run_once`] pass.
+    pub fn verdicts(&self) -> &[Verdict] {
+        &self.verdicts
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::parse::build_frame;
+    use pathdump_tib::MemKey;
     use pathdump_topology::{FlowId, Ip};
 
     fn flow(sport: u16) -> FlowId {

@@ -20,6 +20,21 @@
 //! heap allocations per frame; `FrameBatch::run_once` preserves that by
 //! restoring only the 12 relocated bytes between passes.
 //!
+//! # Batch contract
+//!
+//! [`DataPath::process_batch`] drives a whole ring through the pipeline
+//! in two phases — streaming parse/strip/classify into a caller-supplied
+//! verdict buffer, then one tight replay of the staged trajectory-memory
+//! updates — with counters folded in once per batch. Verdicts, counters,
+//! and memory state stay **bit-identical** to per-frame
+//! [`DataPath::process`] calls (pinned by `prop_strip_equivalence`). The
+//! 0/1-tag specialization (one u64 EtherType window in [`parse_into`],
+//! no tag-reversal loop in the memory probe) fires on the overwhelmingly
+//! common frame shapes. [`FrameBatch::run_once`] adds the NIC-ring
+//! model: between passes it restores only the 12 relocated MAC bytes per
+//! stripped frame, so the steady state allocates and copies nothing
+//! beyond those 12 bytes. Full details: the `datapath` module docs.
+//!
 //! The paper measures ≤4% throughput loss for the PathDump pipeline over
 //! vanilla DPDK vSwitch at 64–1500 B packet sizes with ~4K live flow
 //! records; `pathdump-bench` regenerates that comparison.

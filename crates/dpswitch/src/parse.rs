@@ -82,8 +82,27 @@ pub fn parse_into(frame: &[u8], out: &mut Parsed) -> Result<(), ParseError> {
     if frame.len() < ETH_LEN {
         return Err(ParseError::Truncated);
     }
-    let mut off = 12; // skip MACs
     out.tags.clear();
+    // Fast classification of the dominant shapes: one big-endian u64 load
+    // over bytes 12..20 captures the outer EtherType and — when tagged —
+    // the TCI plus inner EtherType in a single bounds check, so the 0- and
+    // 1-tag frames resolve without the VLAN-stack walk. Everything else
+    // (deeper stacks, frames too short for the 8-byte window, non-IPv4)
+    // falls through to the generic walk with identical error semantics.
+    if frame.len() >= 20 {
+        let mut w8 = [0u8; 8];
+        w8.copy_from_slice(&frame[12..20]);
+        let w = u64::from_be_bytes(w8);
+        let et0 = (w >> 48) as u16;
+        if et0 == ETHERTYPE_IPV4 {
+            return parse_ip(frame, ETH_LEN, out);
+        }
+        if et0 == ETHERTYPE_VLAN && (w >> 16) as u16 == ETHERTYPE_IPV4 {
+            out.tags.push((w >> 32) as u16 & 0x0FFF);
+            return parse_ip(frame, ETH_LEN + VLAN_LEN, out);
+        }
+    }
+    let mut off = 12; // skip MACs
     let tags = &mut out.tags;
     let mut ethertype = u16::from_be_bytes([frame[off], frame[off + 1]]);
     off += 2;
@@ -102,6 +121,14 @@ pub fn parse_into(frame: &[u8], out: &mut Parsed) -> Result<(), ParseError> {
     if ethertype != ETHERTYPE_IPV4 {
         return Err(ParseError::NotIpv4);
     }
+    parse_ip(frame, off, out)
+}
+
+/// Parses the IPv4 + L4 headers starting at `off` into `out` (the tag
+/// stack must already be in `out.tags`). Shared tail of the u64 fast
+/// classification and the generic VLAN walk in [`parse_into`].
+#[inline]
+fn parse_ip(frame: &[u8], off: usize, out: &mut Parsed) -> Result<(), ParseError> {
     if frame.len() < off + IPV4_LEN {
         return Err(ParseError::Truncated);
     }

@@ -13,8 +13,15 @@
 //!   and stime/etime) and packet/byte/error counters.
 //!
 //! Inputs are kept small: the vendored proptest stub does not shrink.
+//!
+//! The same suite pins the batch contract: `DataPath::process_batch` and
+//! the ring-model `FrameBatch::run_once` must leave verdicts, post-strip
+//! bytes, counters, and trajectory-memory state bit-identical to calling
+//! `process` per frame, across the same malformed-input space.
 
-use pathdump_dpswitch::{build_frame, parse, strip_vlans, Action, DataPath, Mode, Verdict};
+use pathdump_dpswitch::{
+    build_frame, parse, strip_vlans, Action, DataPath, FrameBatch, Mode, Verdict,
+};
 use pathdump_tib::{MemKey, TrajectoryMemory};
 use pathdump_topology::{FlowId, Ip, Nanos, Protocol};
 use proptest::prelude::*;
@@ -144,8 +151,8 @@ fn assert_memories_equal(
     prop_assert_eq!(new.update_count(), reference.update_count());
     for key in reference.live_keys() {
         prop_assert_eq!(
-            new.snapshot(key),
-            reference.snapshot(key),
+            new.snapshot(&key),
+            reference.snapshot(&key),
             "record diverged for key {:?}",
             key
         );
@@ -205,5 +212,113 @@ proptest! {
         prop_assert_eq!(dp.bytes, rp.bytes);
         prop_assert_eq!(dp.errors, rp.errors);
         assert_memories_equal(&dp.memory, &rp.memory)?;
+    }
+
+    /// The two-phase batched pipeline (`process_batch`, staged memory
+    /// replay, once-per-batch counter fold) against the per-frame
+    /// `process` path, over arbitrary/truncated/malformed/multi-tag
+    /// frames split into batches of varying size with a moving clock.
+    #[test]
+    fn batched_datapath_matches_per_frame(
+        pathdump_mode in any::<bool>(),
+        learn in any::<bool>(),
+        batch_size in 1usize..6,
+        specs in proptest::collection::vec(
+            (
+                0u16..40,
+                0u8..=255,
+                proptest::collection::vec(0u16..4096, 0..=5),
+                0u8..=255,
+                0usize..48,
+                0u8..=255,
+                0u16..2048,
+            ),
+            1..12,
+        ),
+    ) {
+        let mode = if pathdump_mode { Mode::PathDump } else { Mode::Vanilla };
+        let mut single = DataPath::new(mode);
+        let mut batched = DataPath::new(mode);
+        if learn {
+            single.learn([0x02, 0, 0, 0, 0, 0x01], 9);
+            batched.learn([0x02, 0, 0, 0, 0, 0x01], 9);
+        }
+        let mut verdicts: Vec<Verdict> = Vec::new();
+        for (w, chunk) in specs.chunks(batch_size).enumerate() {
+            let now = Nanos(1 + w as u64);
+            single.set_clock(now);
+            batched.set_clock(now);
+            let frames: Vec<Vec<u8>> = chunk.iter().map(frame_of).collect();
+            let mut by_frame = frames.clone();
+            let mut by_batch = frames;
+            let single_verdicts: Vec<Verdict> =
+                by_frame.iter_mut().map(|f| single.process(f)).collect();
+            batched.process_batch(&mut by_batch, &mut verdicts);
+            prop_assert_eq!(&verdicts, &single_verdicts, "batch {}: verdicts", w);
+            for (i, (bf, sf)) in by_batch.iter().zip(by_frame.iter()).enumerate() {
+                prop_assert_eq!(
+                    verdicts[i].frame(bf),
+                    single_verdicts[i].frame(sf),
+                    "batch {} frame {}: post-strip bytes diverged",
+                    w,
+                    i
+                );
+                // The whole buffers match too: both pipelines do the same
+                // in-place MAC relocation.
+                prop_assert_eq!(bf, sf);
+            }
+        }
+        prop_assert_eq!(batched.packets, single.packets);
+        prop_assert_eq!(batched.bytes, single.bytes);
+        prop_assert_eq!(batched.errors, single.errors);
+        assert_memories_equal(&batched.memory, &single.memory)?;
+    }
+
+    /// The ring model: two `FrameBatch::run_once` passes (12-byte MAC
+    /// restore between passes) against per-frame processing of fresh
+    /// frame clones, including drops and tagless frames whose buffers
+    /// never move.
+    #[test]
+    fn frame_batch_ring_matches_fresh_per_frame(
+        pathdump_mode in any::<bool>(),
+        specs in proptest::collection::vec(
+            (
+                0u16..40,
+                0u8..=255,
+                proptest::collection::vec(0u16..4096, 0..=5),
+                0u8..=255,
+                0usize..48,
+                0u8..=255,
+                0u16..2048,
+            ),
+            1..10,
+        ),
+    ) {
+        let mode = if pathdump_mode { Mode::PathDump } else { Mode::Vanilla };
+        let mut ring_dp = DataPath::new(mode);
+        let mut ref_dp = DataPath::new(mode);
+        ring_dp.learn([0x02, 0, 0, 0, 0, 0x01], 9);
+        ref_dp.learn([0x02, 0, 0, 0, 0, 0x01], 9);
+        let frames: Vec<Vec<u8>> = specs.iter().map(frame_of).collect();
+        let mut batch = FrameBatch::new(frames.clone());
+        for pass in 0..2 {
+            let ok = batch.run_once(&mut ring_dp);
+            let mut ref_ok = 0usize;
+            let mut ref_verdicts = Vec::new();
+            for frame in &frames {
+                let mut buf = frame.clone();
+                let v = ref_dp.process(&mut buf);
+                if !v.is_drop() {
+                    ref_ok += 1;
+                }
+                ref_verdicts.push(v);
+            }
+            prop_assert_eq!(ok, ref_ok, "pass {}: forwarded counts", pass);
+            prop_assert_eq!(batch.verdicts(), &ref_verdicts[..], "pass {}", pass);
+        }
+        prop_assert_eq!(ring_dp.packets, ref_dp.packets);
+        prop_assert_eq!(ring_dp.bytes, ref_dp.bytes);
+        prop_assert_eq!(ring_dp.errors, ref_dp.errors);
+        assert_memories_equal(&ring_dp.memory, &ref_dp.memory)?;
     }
 }

@@ -16,7 +16,7 @@ pub mod record;
 pub mod snapshot;
 pub mod tib;
 
-pub use memory::{MemKey, TrajectoryMemory};
+pub use memory::{canonical_order, MemKey, TrajectoryMemory};
 pub use record::{PendingRecord, TibRecord};
 pub use snapshot::{load, save, save_into, snapshot_size, SNAPSHOT_MAGIC};
 pub use tib::{Tib, DEFAULT_BUCKET_WIDTH};

@@ -6,10 +6,37 @@
 //! certain time period (e.g., 5 seconds), the flow record is evicted from
 //! the trajectory memory and forwarded to the trajectory construction
 //! sub-module." (§3.2)
+//!
+//! # Internal representation
+//!
+//! The public key type, [`MemKey`], carries its tag stack in a `Vec<u16>`
+//! — convenient at the edges, but poison on the per-packet path: hashing
+//! and comparing a stored key then chases a heap pointer per probe (a
+//! cache miss that profiling shows dominates the whole PathDump datapath
+//! overhead). Internally the map therefore stores a `StoreKey` that
+//! inlines up to [`INLINE_TAGS`] tags into the entry itself and hashes by
+//! packing the entire key into a handful of `u64` words (one FNV mix per
+//! word instead of one per field). Keys with deeper stacks — beyond
+//! anything the bounded parser emits — spill the remainder to a boxed
+//! slice. A resident probe scratch makes `update`/`update_borrowed`
+//! allocation-free on the hit path; [`TrajectoryMemory::update_wire`]
+//! goes one step further and builds the probe straight from the parse
+//! products, with the 0/1-tag shapes specialized.
+//!
+//! # Eviction order
+//!
+//! `evict_flow`, `evict_idle` and `flush` emit pending records in the
+//! canonical `(stime, flow, dscp_sample, tags)` order ([`canonical_order`])
+//! rather than hash-map iteration order. That makes eviction output a pure
+//! function of the record *set*, so a flow-sharded memory (see
+//! `pathdump_core`'s sharded agent) merges to exactly the bytes a single
+//! map would have produced.
 
 use crate::record::PendingRecord;
-use pathdump_topology::{FlowId, Nanos, SECONDS};
+use pathdump_topology::{FlowId, Ip, Nanos, Protocol, SECONDS};
+use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 // The datapath-hot-path hasher now lives in `pathdump_topology::fnv`
 // (shared with the cherrypick decode memo); re-exported here so existing
@@ -27,6 +54,146 @@ pub struct MemKey {
     pub tags: Vec<u16>,
 }
 
+/// Tags stored inline in a [`StoreKey`] before spilling to the heap.
+/// Double the parser's `MAX_TAGS`, so wire-parsed keys never spill.
+const INLINE_TAGS: usize = 8;
+
+/// Internal storage key: a [`MemKey`] with the tag stack flattened into
+/// the entry. Invariants:
+///
+/// - inline slots at index `>= tag_len` are zero (so the derived `Eq`
+///   over the whole array agrees with logical tag equality);
+/// - `spill` is empty unless `tag_len > INLINE_TAGS`.
+#[derive(Clone, Debug)]
+struct StoreKey {
+    flow: FlowId,
+    dscp_sample: Option<u8>,
+    tag_len: u32,
+    tags: [u16; INLINE_TAGS],
+    spill: Box<[u16]>,
+}
+
+impl PartialEq for StoreKey {
+    /// Equality is written by hand so the per-packet probe compiles to
+    /// straight-line compares: the spill slice (a `bcmp` call in the
+    /// derived impl, a serializing stall in the middle of the hashbrown
+    /// probe loop) is only consulted for tag stacks deep enough to have
+    /// one. Unused inline slots are zero on both sides (invariant above),
+    /// so the whole-array compare is exact.
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.flow == other.flow
+            && self.dscp_sample == other.dscp_sample
+            && self.tag_len == other.tag_len
+            && self.tags == other.tags
+            && (self.tag_len as usize <= INLINE_TAGS || self.spill == other.spill)
+    }
+}
+
+impl Eq for StoreKey {}
+
+impl StoreKey {
+    fn empty() -> Self {
+        StoreKey {
+            flow: FlowId::tcp(Ip(0), 0, Ip(0), 0),
+            dscp_sample: None,
+            tag_len: 0,
+            tags: [0; INLINE_TAGS],
+            spill: Box::default(),
+        }
+    }
+
+    /// Loads `key` into this scratch without allocating (unless the tag
+    /// stack spills past the inline capacity).
+    fn assign(&mut self, key: &MemKey) {
+        self.flow = key.flow;
+        self.dscp_sample = key.dscp_sample;
+        self.set_tags(key.tags.iter().copied());
+    }
+
+    /// Fills the tag slots from an iterator already in push order.
+    fn set_tags(&mut self, tags: impl ExactSizeIterator<Item = u16>) {
+        let n = tags.len();
+        self.tag_len = n as u32;
+        self.tags = [0; INLINE_TAGS];
+        let mut it = tags;
+        for slot in self.tags.iter_mut().take(n) {
+            *slot = it.next().unwrap_or(0);
+        }
+        if n > INLINE_TAGS {
+            self.spill = it.collect();
+        } else if !self.spill.is_empty() {
+            self.spill = Box::default();
+        }
+    }
+
+    fn from_mem_key(key: &MemKey) -> Self {
+        let mut s = StoreKey::empty();
+        s.assign(key);
+        s
+    }
+
+    /// Reassembles the logical tag stack (push order).
+    fn tags_vec(&self) -> Vec<u16> {
+        let n = self.tag_len as usize;
+        let used = n.min(INLINE_TAGS);
+        let mut v = Vec::with_capacity(n);
+        v.extend_from_slice(&self.tags[..used]);
+        v.extend_from_slice(&self.spill);
+        v
+    }
+
+    fn to_mem_key(&self) -> MemKey {
+        MemKey {
+            flow: self.flow,
+            dscp_sample: self.dscp_sample,
+            tags: self.tags_vec(),
+        }
+    }
+}
+
+impl Hash for StoreKey {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        let f = &self.flow;
+        state.write_u64(((f.src_ip.0 as u64) << 32) | f.dst_ip.0 as u64);
+        // Pack ports, protocol (discriminant-tagged: `Tcp` and `Other(6)`
+        // are distinct keys), DSCP sample presence+value and the tag
+        // count into one word.
+        let proto = match f.proto {
+            Protocol::Tcp => 0u64,
+            Protocol::Udp => 1,
+            Protocol::Other(n) => 0x100 | n as u64,
+        };
+        let dscp = match self.dscp_sample {
+            None => 0x100u64,
+            Some(v) => v as u64,
+        };
+        state.write_u64(
+            ((f.src_port as u64) << 48)
+                | ((f.dst_port as u64) << 32)
+                | (proto << 20)
+                | (dscp << 8)
+                | (self.tag_len as u64 & 0xFF),
+        );
+        let used = (self.tag_len as usize).min(INLINE_TAGS);
+        for chunk in self.tags[..used].chunks(4) {
+            let mut w = 0u64;
+            for &t in chunk {
+                w = (w << 16) | t as u64;
+            }
+            state.write_u64(w);
+        }
+        for chunk in self.spill.chunks(4) {
+            let mut w = 0u64;
+            for &t in chunk {
+                w = (w << 16) | t as u64;
+            }
+            state.write_u64(w);
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 struct MemValue {
     stime: Nanos,
@@ -36,11 +203,11 @@ struct MemValue {
 }
 
 /// Builds the exported record for an evicted (key, value) pair.
-fn pending(k: &MemKey, v: &MemValue, closed: bool) -> PendingRecord {
+fn pending(k: &StoreKey, v: &MemValue, closed: bool) -> PendingRecord {
     PendingRecord {
         flow: k.flow,
         dscp_sample: k.dscp_sample,
-        tags: k.tags.clone(),
+        tags: k.tags_vec(),
         stime: v.stime,
         etime: v.etime,
         bytes: v.bytes,
@@ -49,12 +216,22 @@ fn pending(k: &MemKey, v: &MemValue, closed: bool) -> PendingRecord {
     }
 }
 
+/// Canonical deterministic order of eviction/flush output:
+/// `(stime, flow, dscp_sample, tags)`. Record keys are unique within one
+/// memory (and across flow-partitioned shards), so this is a total order
+/// — merging per-shard eviction batches under it reproduces exactly what
+/// one unsharded memory emits.
+pub fn canonical_order(a: &PendingRecord, b: &PendingRecord) -> Ordering {
+    (a.stime, a.flow, a.dscp_sample, &a.tags).cmp(&(b.stime, b.flow, b.dscp_sample, &b.tags))
+}
+
 /// The active per-path flow records of one edge device.
 #[derive(Clone, Debug)]
 pub struct TrajectoryMemory {
-    records: HashMap<MemKey, MemValue, FnvBuild>,
+    records: HashMap<StoreKey, MemValue, FnvBuild>,
+    /// Resident probe key, so lookups never build a key on the heap.
+    probe: StoreKey,
     idle_timeout: Nanos,
-    /// Flows marked closed (FIN/RST seen) pending eviction.
     updates: u64,
     lookups: u64,
 }
@@ -71,6 +248,7 @@ impl TrajectoryMemory {
     pub fn new(idle_timeout: Nanos) -> Self {
         TrajectoryMemory {
             records: HashMap::default(),
+            probe: StoreKey::empty(),
             idle_timeout,
             updates: 0,
             lookups: 0,
@@ -79,17 +257,8 @@ impl TrajectoryMemory {
 
     /// Records one packet: creates or updates the per-path flow record.
     pub fn update(&mut self, key: MemKey, bytes: u32, now: Nanos) {
-        self.updates += 1;
-        self.lookups += 1;
-        let v = self.records.entry(key).or_insert(MemValue {
-            stime: now,
-            etime: now,
-            bytes: 0,
-            pkts: 0,
-        });
-        v.etime = now;
-        v.bytes += bytes as u64;
-        v.pkts += 1;
+        self.probe.assign(&key);
+        self.touch_probe(bytes, now);
     }
 
     /// Allocation-free probe-and-update for the edge fast paths (datapath
@@ -100,16 +269,74 @@ impl TrajectoryMemory {
     /// pair — the signal the agent's real-time invariant checks key on.
     #[inline]
     pub fn update_borrowed(&mut self, key: &MemKey, bytes: u32, now: Nanos) -> bool {
+        self.probe.assign(key);
+        self.touch_probe(bytes, now)
+    }
+
+    /// Hot-path update taking the parse products directly: the tag stack
+    /// arrives **outermost-first** (exactly as `parse_into` leaves it) and
+    /// is reversed into push order while filling the probe, so the caller
+    /// needs no intermediate `MemKey`/`Vec` at all. The 0- and 1-tag
+    /// shapes — the overwhelmingly common ones — skip the reversal loop
+    /// entirely. Returns first-sight like [`Self::update_borrowed`].
+    #[inline]
+    pub fn update_wire(
+        &mut self,
+        flow: &FlowId,
+        dscp_sample: Option<u8>,
+        tags_outermost_first: &[u16],
+        bytes: u32,
+        now: Nanos,
+    ) -> bool {
+        self.probe.flow = *flow;
+        self.probe.dscp_sample = dscp_sample;
+        let n = tags_outermost_first.len();
+        if n <= INLINE_TAGS {
+            self.probe.tag_len = n as u32;
+            self.probe.tags = [0; INLINE_TAGS];
+            match tags_outermost_first {
+                [] => {}
+                [t] => self.probe.tags[0] = *t,
+                _ => {
+                    for (slot, &t) in self
+                        .probe
+                        .tags
+                        .iter_mut()
+                        .zip(tags_outermost_first.iter().rev())
+                    {
+                        *slot = t;
+                    }
+                }
+            }
+            if !self.probe.spill.is_empty() {
+                self.probe.spill = Box::default();
+            }
+        } else {
+            self.probe
+                .set_tags(tags_outermost_first.iter().rev().copied());
+        }
+        self.touch_probe(bytes, now)
+    }
+
+    /// Probes with the resident scratch key and creates/bumps the record.
+    ///
+    /// Force-inlined: when this lookup stays a standalone function the
+    /// out-of-order window can't overlap the table loads of consecutive
+    /// packets, and each update eats the full cache-miss latency (~10x
+    /// on the bench box). Flattened into the caller's per-packet loop the
+    /// misses pipeline.
+    #[inline(always)]
+    fn touch_probe(&mut self, bytes: u32, now: Nanos) -> bool {
         self.updates += 1;
         self.lookups += 1;
-        if let Some(v) = self.records.get_mut(key) {
+        if let Some(v) = self.records.get_mut(&self.probe) {
             v.etime = now;
             v.bytes += bytes as u64;
             v.pkts += 1;
             false
         } else {
             self.records.insert(
-                key.clone(),
+                self.probe.clone(),
                 MemValue {
                     stime: now,
                     etime: now,
@@ -121,10 +348,8 @@ impl TrajectoryMemory {
         }
     }
 
-    /// Evicts every record of `flow` (FIN or RST observed).
-    ///
-    /// Single `retain` pass: evicted keys move out without the collect-
-    /// then-re-hash round trip the flush path used to make.
+    /// Evicts every record of `flow` (FIN or RST observed), in
+    /// [`canonical_order`].
     pub fn evict_flow(&mut self, flow: &FlowId, _now: Nanos) -> Vec<PendingRecord> {
         let mut out = Vec::new();
         self.records.retain(|k, v| {
@@ -135,10 +360,11 @@ impl TrajectoryMemory {
                 true
             }
         });
+        out.sort_unstable_by(canonical_order);
         out
     }
 
-    /// Evicts records idle longer than the timeout.
+    /// Evicts records idle longer than the timeout, in [`canonical_order`].
     pub fn evict_idle(&mut self, now: Nanos) -> Vec<PendingRecord> {
         let cutoff = now.saturating_sub(self.idle_timeout);
         let mut out = Vec::new();
@@ -150,26 +376,20 @@ impl TrajectoryMemory {
                 true
             }
         });
+        out.sort_unstable_by(canonical_order);
         out
     }
 
-    /// Evicts everything (end of run / shutdown flush). Drains the map in
-    /// place, so keys (including their tag vectors) move into the pending
-    /// records instead of being cloned and re-hashed per entry.
+    /// Evicts everything (end of run / shutdown flush), in
+    /// [`canonical_order`].
     pub fn flush(&mut self, _now: Nanos) -> Vec<PendingRecord> {
-        self.records
+        let mut out: Vec<PendingRecord> = self
+            .records
             .drain()
-            .map(|(k, v)| PendingRecord {
-                flow: k.flow,
-                dscp_sample: k.dscp_sample,
-                tags: k.tags,
-                stime: v.stime,
-                etime: v.etime,
-                bytes: v.bytes,
-                pkts: v.pkts,
-                closed: false,
-            })
-            .collect()
+            .map(|(k, v)| pending(&k, &v, false))
+            .collect();
+        out.sort_unstable_by(canonical_order);
+        out
     }
 
     /// Live records.
@@ -187,40 +407,50 @@ impl TrajectoryMemory {
         self.updates
     }
 
-    /// Approximate resident bytes (§5.3 storage accounting).
+    /// Approximate resident bytes (§5.3 storage accounting), reported in
+    /// terms of the logical `MemKey` so the figure stays comparable
+    /// across internal representations.
     pub fn approx_bytes(&self) -> usize {
         self.records
             .keys()
             .map(|k| {
-                std::mem::size_of::<MemKey>() + k.tags.len() * 2 + std::mem::size_of::<MemValue>()
+                std::mem::size_of::<MemKey>()
+                    + k.tag_len as usize * 2
+                    + std::mem::size_of::<MemValue>()
             })
             .sum()
     }
 
     /// Peek at a live record's (bytes, pkts) for monitors.
     pub fn peek(&self, key: &MemKey) -> Option<(u64, u64)> {
-        self.records.get(key).map(|v| (v.bytes, v.pkts))
+        self.records
+            .get(&StoreKey::from_mem_key(key))
+            .map(|v| (v.bytes, v.pkts))
     }
 
     /// Iterates over live record keys (the agent uses this to answer
     /// queries whose window includes not-yet-exported data, §3.2 "the
-    /// server agent [can] look up the trajectory memory").
-    pub fn live_keys(&self) -> impl Iterator<Item = &MemKey> {
-        self.records.keys()
+    /// server agent [can] look up the trajectory memory"). Keys are
+    /// materialized from the inline storage form, so the iterator yields
+    /// them by value.
+    pub fn live_keys(&self) -> impl Iterator<Item = MemKey> + '_ {
+        self.records.keys().map(StoreKey::to_mem_key)
     }
 
     /// Snapshot of a live record as a pending record (not evicted).
     pub fn snapshot(&self, key: &MemKey) -> Option<PendingRecord> {
-        self.records.get(key).map(|v| PendingRecord {
-            flow: key.flow,
-            dscp_sample: key.dscp_sample,
-            tags: key.tags.clone(),
-            stime: v.stime,
-            etime: v.etime,
-            bytes: v.bytes,
-            pkts: v.pkts,
-            closed: false,
-        })
+        self.records
+            .get(&StoreKey::from_mem_key(key))
+            .map(|v| PendingRecord {
+                flow: key.flow,
+                dscp_sample: key.dscp_sample,
+                tags: key.tags.clone(),
+                stime: v.stime,
+                etime: v.etime,
+                bytes: v.bytes,
+                pkts: v.pkts,
+                closed: false,
+            })
     }
 }
 
@@ -323,5 +553,89 @@ mod tests {
         }
         assert_eq!(m.update_count(), 5);
         assert!(m.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn update_wire_matches_update_borrowed() {
+        // `update_wire` takes tags outermost-first; `MemKey.tags` is push
+        // order (innermost-first). The two must land on the same record.
+        for tags in [
+            vec![],
+            vec![7],
+            vec![3, 9],
+            vec![1, 2, 3, 4],
+            (0..11u16).collect::<Vec<_>>(), // spills past the inline slots
+        ] {
+            let mut a = TrajectoryMemory::default();
+            let mut b = TrajectoryMemory::default();
+            let push_order: Vec<u16> = tags.iter().rev().copied().collect();
+            let k = MemKey {
+                flow: flow(4),
+                dscp_sample: Some(3),
+                tags: push_order,
+            };
+            let first_a = a.update_borrowed(&k, 100, Nanos(1));
+            let first_b = b.update_wire(&flow(4), Some(3), &tags, 100, Nanos(1));
+            assert_eq!(first_a, first_b);
+            assert!(!b.update_wire(&flow(4), Some(3), &tags, 50, Nanos(2)));
+            assert_eq!(b.peek(&k), Some((150, 2)), "tags {tags:?}");
+            assert_eq!(
+                a.flush(Nanos(9)).first().map(|r| r.tags.clone()),
+                b.flush(Nanos(9)).first().map(|r| r.tags.clone())
+            );
+        }
+    }
+
+    #[test]
+    fn deep_tag_stacks_round_trip_through_spill() {
+        let mut m = TrajectoryMemory::default();
+        let deep: Vec<u16> = (100..100 + 2 * INLINE_TAGS as u16).collect();
+        let k = key(1, &deep);
+        assert!(m.update_borrowed(&k, 10, Nanos(1)));
+        assert!(!m.update_borrowed(&k, 10, Nanos(2)));
+        assert_eq!(m.peek(&k), Some((20, 2)));
+        let keys: Vec<MemKey> = m.live_keys().collect();
+        assert_eq!(keys, vec![k.clone()]);
+        let r = m.evict_flow(&flow(1), Nanos(3)).remove(0);
+        assert_eq!(r.tags, deep);
+    }
+
+    #[test]
+    fn inline_keys_distinguish_truncated_prefixes() {
+        // A stack of n tags must not collide with its own prefix padded
+        // by zeroed slots, nor with a zero-valued tag in the next slot.
+        let mut m = TrajectoryMemory::default();
+        m.update(key(1, &[5]), 1, Nanos(1));
+        m.update(key(1, &[5, 0]), 2, Nanos(1));
+        m.update(key(1, &[5, 0, 0]), 3, Nanos(1));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.peek(&key(1, &[5])), Some((1, 1)));
+        assert_eq!(m.peek(&key(1, &[5, 0])), Some((2, 1)));
+        assert_eq!(m.peek(&key(1, &[5, 0, 0])), Some((3, 1)));
+    }
+
+    #[test]
+    fn evictions_come_out_in_canonical_order() {
+        let mut m = TrajectoryMemory::default();
+        // Insert in scrambled order; eviction must sort by
+        // (stime, flow, dscp_sample, tags) regardless.
+        m.update(key(3, &[2]), 1, Nanos(30));
+        m.update(key(1, &[9, 1]), 1, Nanos(10));
+        m.update(key(2, &[]), 1, Nanos(10));
+        m.update(key(1, &[0]), 1, Nanos(10));
+        let out = m.flush(Nanos(99));
+        let order: Vec<(Nanos, u16, Vec<u16>)> = out
+            .iter()
+            .map(|r| (r.stime, r.flow.src_port, r.tags.clone()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (Nanos(10), 1, vec![0]),
+                (Nanos(10), 1, vec![9, 1]),
+                (Nanos(10), 2, vec![]),
+                (Nanos(30), 3, vec![2]),
+            ]
+        );
     }
 }

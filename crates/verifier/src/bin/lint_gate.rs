@@ -6,9 +6,11 @@
 //! `#[cfg(test)]`):
 //!
 //! - `unwrap()` / `expect(` are banned in the forwarding/query hot paths:
-//!   `crates/dpswitch/src/**`, `crates/simnet/src/driver.rs`,
-//!   `crates/simnet/src/pool.rs`, `crates/tib/src/tib.rs`. A panic there
-//!   takes down the datapath or a pool worker.
+//!   `crates/dpswitch/src/**` (the batched parser included),
+//!   `crates/simnet/src/driver.rs`, `crates/simnet/src/pool.rs`,
+//!   `crates/tib/src/tib.rs`, `crates/tib/src/memory.rs` (the per-packet
+//!   map), and `crates/core/src/sharded.rs` (the shard ingest workers).
+//!   A panic there takes down the datapath or a pool worker.
 //! - `println!` is banned in all library code (benches and bins own stdout;
 //!   libraries must not pollute it — `BENCH_tib.json` is parsed from files,
 //!   and dpswitch pipelines stdout).
@@ -31,6 +33,8 @@ const HOT_PATHS: &[&str] = &[
     "crates/simnet/src/driver.rs",
     "crates/simnet/src/pool.rs",
     "crates/tib/src/tib.rs",
+    "crates/tib/src/memory.rs",
+    "crates/core/src/sharded.rs",
 ];
 
 /// One banned-pattern hit.
