@@ -9,10 +9,13 @@
 //! parallel headroom honestly), an `ingest` section (the sharded
 //! host-agent per-worker-count scaling curve vs the single-threaded
 //! reference — see `ingest_scale`), `dpswitch`/`reconstruct`
-//! before-vs-after sections, and a `verifier` section (static-analysis
-//! wall time over k=16 fat-tree and VL2 — trend-watching only, gated
-//! separately by `verifier_gate`) — the recorded perf trajectory CI
-//! uploads as an artifact and the `bench_gate` job compares against.
+//! before-vs-after sections, a `standing` section (per-record overhead
+//! of the incremental standing-query engine at 0/4/16 registered
+//! watches — trend-watching only, see `standing_scale`), and a
+//! `verifier` section (static-analysis wall time over k=16 fat-tree
+//! and VL2 — trend-watching only, gated separately by `verifier_gate`)
+//! — the recorded perf trajectory CI uploads as an artifact and the
+//! `bench_gate` job compares against.
 //!
 //! Usage: `cargo run --release -p pathdump_bench --bin bench_trajectory
 //! [-- --out PATH]` (default `BENCH_tib.json` in the working directory).
@@ -23,6 +26,7 @@ use pathdump_bench::report::{
     DPSWITCH_BASELINE_NS, RECONSTRUCT_BASELINE_NS,
 };
 use pathdump_bench::simnet_scale::{run_scale_with, ScaleParams, ScaleResult};
+use pathdump_bench::standing_scale::{self, StandingParams, StandingResult};
 use pathdump_simnet::EngineKind;
 use pathdump_topology::{FatTree, FatTreeParams, RouteTables, UpDownRouting, Vl2, Vl2Params};
 use pathdump_verifier::{verify, IntentModel};
@@ -267,6 +271,48 @@ fn verifier_case(name: &str, routing: &dyn UpDownRouting) -> String {
     )
 }
 
+/// The `standing` section: TIB insert throughput with N registered
+/// standing watches mirroring every insert vs the plain store (see
+/// `standing_scale`) — the incremental engine's per-record overhead.
+/// Trend-watching only; not gated (same policy as `verifier`).
+fn standing_section(runs: usize) -> String {
+    let p = StandingParams::default_shape();
+    let recs = standing_scale::build_stream(p);
+    let median = |mut rs: Vec<StandingResult>| -> StandingResult {
+        rs.sort_by(|a, b| a.ns_per_record.total_cmp(&b.ns_per_record));
+        rs.swap_remove(rs.len() / 2)
+    };
+    let rows: Vec<String> = [0usize, 4, 16]
+        .iter()
+        .map(|&w| {
+            let runs: Vec<StandingResult> = (0..runs.max(1))
+                .map(|_| standing_scale::run_standing(&recs, w))
+                .collect();
+            for r in &runs {
+                assert_eq!(
+                    r.flip_events, runs[0].flip_events,
+                    "standing flips must be deterministic (watches={w})"
+                );
+            }
+            let r = median(runs);
+            eprintln!(
+                "standing {w} watch(es): {:.0} ns/record, {} flips",
+                r.ns_per_record, r.flip_events
+            );
+            format!(
+                "    {{\"watches\": {w}, \"ns_per_record\": {:.1}, \"flip_events\": {}}}",
+                r.ns_per_record, r.flip_events
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"records\": {},\n  \"flows\": {},\n  \"cases\": [\n{}\n    ]\n  }}",
+        p.records,
+        p.flows,
+        rows.join(",\n")
+    )
+}
+
 /// The `verifier` section: static-analysis wall time over the largest
 /// fabrics the test suite exercises.
 fn verifier_section() -> String {
@@ -315,6 +361,9 @@ fn main() {
     eprintln!("running static verifier timing (k=16 + VL2)...");
     let verifier = verifier_section();
 
+    eprintln!("running standing-engine overhead curve...");
+    let standing = standing_section(3);
+
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let sep = if i + 1 == entries.len() { "" } else { "," };
@@ -334,6 +383,8 @@ fn main() {
     json.push_str(&simnet);
     json.push_str(",\n  \"ingest\": ");
     json.push_str(&ingest);
+    json.push_str(",\n  \"standing\": ");
+    json.push_str(&standing);
     json.push_str(",\n  \"verifier\": ");
     json.push_str(&verifier);
     json.push_str("\n}\n");

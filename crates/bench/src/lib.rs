@@ -13,6 +13,7 @@ use rand::{Rng, SeedableRng};
 pub mod ingest_scale;
 pub mod report;
 pub mod simnet_scale;
+pub mod standing_scale;
 
 /// Minimal CLI flags shared by the reproduction binaries.
 #[derive(Clone, Debug)]

@@ -1,0 +1,139 @@
+//! Standing-query engine overhead benchmark: one deterministic TIB
+//! record stream inserted with N registered watches mirroring every
+//! insert, vs the plain store — the per-record cost of the incremental
+//! engine, recorded as the `standing` section of `BENCH_tib.json`
+//! (trend-watching only; not gated, same policy as `verifier`).
+//!
+//! The stream is materialized once and the measured loop is
+//! `Tib::insert` + `StandingQueryEngine::on_record` only. The watch mix
+//! covers all four predicate kinds; with 64 flows and `k = 8` the top-k
+//! membership watches sit near the displacement boundary, so the
+//! monotonicity skip rules are exercised on their expensive recompute
+//! path, not just the cheap early-outs. The flip-event count is recorded
+//! alongside the timing (and is identical across runs — determinism
+//! smoke; the bit-level pin is `crates/core/tests/standing_differential.rs`).
+
+use pathdump_core::standing::{StandingPredicate, StandingQuery, StandingQueryEngine};
+use pathdump_tib::{Tib, TibRecord};
+use pathdump_topology::{FlowId, HostId, Ip, LinkPattern, Nanos, Path, SwitchId};
+use std::time::Instant;
+
+/// Workload shape knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct StandingParams {
+    /// Records in the stream.
+    pub records: usize,
+    /// Distinct flows cycling through it.
+    pub flows: u16,
+}
+
+impl StandingParams {
+    /// The default comparison point recorded in `BENCH_tib.json`.
+    pub fn default_shape() -> Self {
+        StandingParams {
+            records: 20_000,
+            flows: 64,
+        }
+    }
+}
+
+/// Result of one run.
+#[derive(Clone, Debug)]
+pub struct StandingResult {
+    /// Registered watches (`0` = plain-store baseline).
+    pub watches: usize,
+    /// Records inserted.
+    pub records: usize,
+    /// Raise/clear flips emitted (identical across runs).
+    pub flip_events: usize,
+    /// Wall time per record over insert + engine step.
+    pub ns_per_record: f64,
+}
+
+fn flow(sport: u16) -> FlowId {
+    FlowId::tcp(Ip::new(10, 0, 0, 2), sport, Ip::new(10, 1, 0, 2), 80)
+}
+
+/// The deterministic record stream: flows round-robin, paths rotate (so
+/// path-change watches keep flipping), stime advances 50 ns per record
+/// (so rate windows slide on every insert).
+pub fn build_stream(p: StandingParams) -> Vec<TibRecord> {
+    let paths: Vec<Path> = [[0u16, 2, 4], [0, 3, 4], [1, 2, 5], [1, 3, 5]]
+        .iter()
+        .map(|ids| Path::new(ids.iter().map(|&i| SwitchId(i)).collect()))
+        .collect();
+    (0..p.records)
+        .map(|i| {
+            let t0 = (i as u64) * 50;
+            TibRecord {
+                flow: flow((i % p.flows as usize) as u16),
+                path: paths[(i / p.flows as usize + i) % paths.len()].clone(),
+                stime: Nanos(t0),
+                etime: Nanos(t0 + 40),
+                bytes: 200 + (i as u64 * 37) % 1400,
+                pkts: 1 + (i as u64) % 9,
+            }
+        })
+        .collect()
+}
+
+/// Inserts the stream into a fresh TIB with `watches` standing queries
+/// registered up front (an even mix of all four predicate kinds over the
+/// first flows), timing insert + engine step per record.
+pub fn run_standing(recs: &[TibRecord], watches: usize) -> StandingResult {
+    let mut tib = Tib::new();
+    let mut eng = StandingQueryEngine::new(HostId(0));
+    for i in 0..watches {
+        let f = flow((i % 64) as u16);
+        let pred = match i % 4 {
+            0 => StandingPredicate::TopKMember { flow: f, k: 8 },
+            1 => StandingPredicate::RateAbove {
+                flow: f,
+                window: Nanos(2_000),
+                min_bytes: 4_000,
+                min_pkts: 1,
+            },
+            2 => StandingPredicate::PathChanged { flow: f },
+            _ => StandingPredicate::LinkFlowsAbove {
+                link: LinkPattern::into(SwitchId(4)),
+                ceiling: 32,
+            },
+        };
+        eng.watch(&tib, StandingQuery::new(pred), Nanos::ZERO);
+    }
+    let t = Instant::now();
+    for r in recs {
+        tib.insert(r.clone());
+        if watches > 0 {
+            eng.on_record(&tib, r, r.etime);
+        }
+    }
+    let elapsed = t.elapsed();
+    StandingResult {
+        watches,
+        records: recs.len(),
+        flip_events: eng.drain_events().len(),
+        ns_per_record: elapsed.as_secs_f64() * 1e9 / recs.len().max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_is_deterministic_and_watches_flip() {
+        let p = StandingParams {
+            records: 2_000,
+            flows: 16,
+        };
+        let recs = build_stream(p);
+        assert_eq!(recs, build_stream(p));
+        let base = run_standing(&recs, 0);
+        assert_eq!(base.flip_events, 0, "no watches, no flips");
+        let a = run_standing(&recs, 8);
+        let b = run_standing(&recs, 8);
+        assert_eq!(a.flip_events, b.flip_events, "flips are deterministic");
+        assert!(a.flip_events > 0, "the mix must actually exercise flips");
+    }
+}

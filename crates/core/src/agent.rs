@@ -16,6 +16,7 @@
 
 use crate::alarm::{Alarm, Reason};
 use crate::query::{Query, Response};
+use crate::standing::{StandingEvent, StandingQuery, StandingQueryEngine, WatchId};
 use pathdump_cherrypick::{
     CacheKey, DecodeMemo, FatTreeReconstructor, ReconstructError, TrajectoryCache, Vl2Reconstructor,
 };
@@ -161,6 +162,13 @@ pub struct AgentConfig {
     pub cache_capacity: usize,
     /// Raise [`Reason::InfeasiblePath`] alarms on reconstruction failures.
     pub alarm_on_infeasible: bool,
+    /// Identical-alarm suppression epoch: a (flow, reason) pair that
+    /// already alarmed within this span is not re-raised (a flow that
+    /// keeps tripping the same invariant — e.g. re-seen after a FIN
+    /// eviction, or reconstruction failing again at finalize — would
+    /// otherwise spam an identical alarm every batch, breaking the
+    /// standing engine's once-per-transition contract end-to-end).
+    pub alarm_epoch: Nanos,
 }
 
 impl Default for AgentConfig {
@@ -169,6 +177,7 @@ impl Default for AgentConfig {
             idle_timeout: Nanos::from_secs(5),
             cache_capacity: 4096,
             alarm_on_infeasible: true,
+            alarm_epoch: Nanos::from_secs(5),
         }
     }
 }
@@ -190,6 +199,14 @@ pub struct HostAgent {
     pub tib: Tib,
     invariants: Vec<Invariant>,
     alarms: Vec<Alarm>,
+    /// Standing queries evaluated incrementally per finalized TIB record.
+    standing: StandingQueryEngine,
+    /// Raise/clear flips from the standing engine (raises also land on
+    /// the alarm bus; this keeps the clears for operators).
+    standing_events: Vec<StandingEvent>,
+    /// Last raise time per (flow, reason code): the identical-alarm
+    /// suppression epoch (see [`AgentConfig::alarm_epoch`]).
+    raised_epochs: std::collections::HashMap<(pathdump_topology::FlowId, u8), Nanos>,
     /// Reconstruction failures (infeasible trajectories seen).
     pub recon_failures: u64,
     /// Packets observed.
@@ -214,6 +231,9 @@ impl HostAgent {
             tib: Tib::new(),
             invariants: Vec::new(),
             alarms: Vec::new(),
+            standing: StandingQueryEngine::new(host),
+            standing_events: Vec::new(),
+            raised_epochs: std::collections::HashMap::new(),
             recon_failures: 0,
             packets_seen: 0,
             scratch: MemKey {
@@ -252,6 +272,60 @@ impl HostAgent {
     /// Drains raised alarms.
     pub fn drain_alarms(&mut self) -> Vec<Alarm> {
         std::mem::take(&mut self.alarms)
+    }
+
+    /// Registers a standing query evaluated incrementally as records are
+    /// finalized into the TIB. A predicate already true at registration
+    /// raises immediately; later flips raise once per transition (the
+    /// engine's hysteresis contract).
+    pub fn watch(&mut self, q: StandingQuery, now: Nanos) -> WatchId {
+        let id = self.standing.watch(&self.tib, q, now);
+        self.drain_standing_flips();
+        id
+    }
+
+    /// Removes a standing query. Returns false when the id is unknown.
+    pub fn unwatch(&mut self, id: WatchId) -> bool {
+        self.standing.unwatch(id)
+    }
+
+    /// The standing-query engine (watch states, event-time clock).
+    pub fn standing(&self) -> &StandingQueryEngine {
+        &self.standing
+    }
+
+    /// Drains standing raise/clear flip events (raises were also pushed
+    /// onto the alarm bus as they happened).
+    pub fn drain_standing_events(&mut self) -> Vec<StandingEvent> {
+        std::mem::take(&mut self.standing_events)
+    }
+
+    /// Moves fresh engine flips into the event log, forwarding raises to
+    /// the alarm bus. Standing raises bypass the (flow, reason) epoch —
+    /// the engine already dedups per transition.
+    fn drain_standing_flips(&mut self) {
+        for ev in self.standing.drain_events() {
+            if ev.raised {
+                self.alarms.push(ev.alarm.clone());
+            }
+            self.standing_events.push(ev);
+        }
+    }
+
+    /// Pushes an alarm unless an identical (flow, reason) alarm was
+    /// already raised within the suppression epoch. Purely a function of
+    /// the alarm stream, so the sharded agent's ordered replay dedups
+    /// bit-identically.
+    fn raise(&mut self, alarm: Alarm) {
+        let key = (alarm.flow, alarm.reason.code());
+        let now = alarm.at;
+        if let Some(&last) = self.raised_epochs.get(&key) {
+            if now.saturating_sub(last) < self.cfg.alarm_epoch {
+                return;
+            }
+        }
+        self.raised_epochs.insert(key, now);
+        self.alarms.push(alarm);
     }
 
     /// Processes one arriving packet (the OVS receive hook of Figure 2).
@@ -321,7 +395,7 @@ impl HostAgent {
                             paths.push(n);
                         }
                     }
-                    self.alarms.push(Alarm {
+                    self.raise(Alarm {
                         flow,
                         reason: Reason::PcFail,
                         paths,
@@ -368,6 +442,14 @@ impl HostAgent {
                     bytes: rec.bytes,
                     pkts: rec.pkts,
                 });
+                // Incremental standing-query step over the record that
+                // just landed (skipped entirely with no watches).
+                if !self.standing.is_empty() {
+                    if let Some(r) = self.tib.records().last() {
+                        self.standing.on_record(&self.tib, r, now);
+                    }
+                    self.drain_standing_flips();
+                }
             }
             Err(_) => self.note_infeasible(rec.flow, now),
         }
@@ -406,7 +488,7 @@ impl HostAgent {
     fn note_infeasible(&mut self, flow: pathdump_topology::FlowId, now: Nanos) {
         self.recon_failures += 1;
         if self.cfg.alarm_on_infeasible {
-            self.alarms.push(Alarm {
+            self.raise(Alarm {
                 flow,
                 reason: Reason::InfeasiblePath,
                 paths: Vec::new(),
@@ -788,6 +870,69 @@ mod tests {
             agent.execute(&fabric, &q, true),
             Response::Paths(vec![path])
         );
+    }
+
+    #[test]
+    fn alarm_epoch_dedup_suppresses_retriggered_invariant() {
+        let (ft, fabric, policy) = fabric();
+        let (src, dst) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        let mut agent = HostAgent::new(dst, AgentConfig::default());
+        let forbidden = ft.core(0);
+        agent.install_invariant(Invariant {
+            forbidden: vec![forbidden],
+            ..Invariant::default()
+        });
+        let flow = flow_of(&ft, src, dst, 5000);
+        let bad = ft
+            .all_paths(src, dst)
+            .into_iter()
+            .find(|p| p.contains(forbidden))
+            .unwrap();
+        // Each FIN packet is a fresh record (the previous one was evicted),
+        // so every arrival re-trips the invariant. Without the per-(flow,
+        // reason) epoch, every batch re-raises the same violation.
+        for t in [1u64, 2, 3] {
+            let pkt = pkt_on_path(&ft, &policy, flow, &bad, 300, true);
+            agent.on_packet(&fabric, &pkt, Nanos::from_millis(t));
+        }
+        let alarms = agent.drain_alarms();
+        assert_eq!(alarms.len(), 1, "re-trips within the epoch are deduped");
+        assert_eq!(alarms[0].reason, Reason::PcFail);
+        assert_eq!(alarms[0].at, Nanos::from_millis(1));
+        // Past the epoch (default 5 s) the same violation is news again.
+        let pkt = pkt_on_path(&ft, &policy, flow, &bad, 300, true);
+        agent.on_packet(&fabric, &pkt, Nanos::from_secs(6));
+        let alarms = agent.drain_alarms();
+        assert_eq!(alarms.len(), 1, "epoch expiry re-raises");
+        assert_eq!(alarms[0].at, Nanos::from_secs(6));
+        // Other flows are keyed independently, even inside the epoch.
+        let other = flow_of(&ft, src, dst, 5001);
+        let pkt = pkt_on_path(&ft, &policy, other, &bad, 300, true);
+        agent.on_packet(&fabric, &pkt, Nanos::from_secs(6));
+        let alarms = agent.drain_alarms();
+        assert_eq!(alarms.len(), 1, "distinct flow raises its own alarm");
+        assert_eq!(alarms[0].flow, other);
+    }
+
+    #[test]
+    fn alarm_epoch_dedup_is_per_reason() {
+        let (ft, fabric, _) = fabric();
+        let (src, dst) = (ft.host(0, 0, 0), ft.host(1, 0, 0));
+        let mut agent = HostAgent::new(dst, AgentConfig::default());
+        agent.install_invariant(Invariant::default());
+        let flow = flow_of(&ft, src, dst, 5002);
+        // Two corrupted-tag packets for the same flow, distinct tag sets so
+        // each creates a fresh memory record: one INFEASIBLE_PATH alarm.
+        for tags in [[3u16, 4], [3, 5]] {
+            let mut pkt = Packet::data(1, flow, 0, 100, Nanos::ZERO);
+            pkt.headers.push_tag(tags[0]);
+            pkt.headers.push_tag(tags[1]);
+            agent.on_packet(&fabric, &pkt, Nanos::from_millis(1));
+        }
+        assert_eq!(agent.recon_failures, 2, "both failures are counted");
+        let alarms = agent.drain_alarms();
+        assert_eq!(alarms.len(), 1, "same (flow, reason) within the epoch");
+        assert_eq!(alarms[0].reason, Reason::InfeasiblePath);
     }
 
     #[test]

@@ -416,6 +416,69 @@ mod tests {
     }
 
     #[test]
+    fn topk_ties_agree_across_mechanisms() {
+        // Deliberately tied flows: the same flow observed on several hosts
+        // with different byte totals (so merges see duplicates), plus
+        // distinct flows with equal byte totals (so the k-th slot is
+        // decided purely by tie-breaking). Direct and multi-level must
+        // produce the *exact* same entries, not just order-insensitively.
+        let flow = |s: u16| FlowId::tcp(Ip::new(10, 0, 0, 2), s, Ip::new(10, 99, 0, 2), 80);
+        let path = Path::new(vec![SwitchId(0), SwitchId(8), SwitchId(4)]);
+        let mut tibs: Vec<Tib> = (0..12).map(|_| Tib::new()).collect();
+        let mut put = |host: usize, sport: u16, bytes: u64| {
+            tibs[host].insert(TibRecord {
+                flow: flow(sport),
+                path: path.clone(),
+                stime: Nanos(1),
+                etime: Nanos(10),
+                bytes,
+                pkts: 1,
+            });
+        };
+        // Flow 2 on three hosts with three different totals (non-adjacent
+        // duplicates after a descending sort), flows 5/6 competing for the
+        // last slots, and a four-way byte tie at 500 across hosts.
+        put(0, 2, 9900);
+        put(3, 2, 9700);
+        put(7, 2, 9650);
+        put(1, 5, 9800);
+        put(2, 6, 9600);
+        for (host, sport) in [(4, 10), (5, 11), (6, 12), (8, 13)] {
+            put(host, sport, 500);
+        }
+        // Background flows so every host answers something.
+        for h in 0..12 {
+            put(h, 100 + h as u16, 10 + h as u64);
+        }
+        let c = Cluster::new(tibs, MgmtNet::default());
+        let hosts: Vec<usize> = (0..12).collect();
+        for k in [1u32, 2, 3, 4, 5, 6, 8] {
+            let q = Query::TopK {
+                k,
+                range: TimeRange::ANY,
+            };
+            let d = c.direct_query(&hosts, &q);
+            let m = c.multilevel_query(&hosts, &q, &[7, 4, 4]);
+            assert_eq!(d.response, m.response, "k={k}");
+            let m2 = c.multilevel_query(&hosts, &q, &[3, 2, 2]);
+            assert_eq!(d.response, m2.response, "k={k} deep tree");
+        }
+        // And the top of the merged answer keeps the per-flow max.
+        let q = Query::TopK {
+            k: 3,
+            range: TimeRange::ANY,
+        };
+        if let Response::TopK { entries, .. } = c.direct_query(&hosts, &q).response {
+            assert_eq!(
+                entries,
+                vec![(9900, flow(2)), (9800, flow(5)), (9600, flow(6))]
+            );
+        } else {
+            panic!("expected TopK response");
+        }
+    }
+
+    #[test]
     fn topk_tree_reduces_traffic() {
         // With a large k relative to per-host data, the tree discards
         // (n-1)k pairs per interior node; direct ships every host's full

@@ -9,6 +9,8 @@
 //!   bit-identical to the single-threaded path by ordered replay;
 //! - [`world`]: the full simulation world (agents + TCP + active monitor +
 //!   controller trap handler) used by every §4 experiment;
+//! - [`standing`]: the standing-query/alarm engine — registered
+//!   predicates evaluated incrementally per TIB record, raising on flips;
 //! - [`alarm`]: `Alarm(flowID, Reason, Paths)`.
 
 pub mod agent;
@@ -16,6 +18,7 @@ pub mod alarm;
 pub mod cluster;
 pub mod query;
 pub mod sharded;
+pub mod standing;
 pub mod world;
 
 pub use agent::{execute_on_tib, AgentConfig, Fabric, HostAgent, Invariant};
@@ -23,4 +26,5 @@ pub use alarm::{Alarm, Reason};
 pub use cluster::{build_tree, Cluster, MgmtNet, QueryOutcome, TreeNode};
 pub use query::{Query, Response};
 pub use sharded::{shard_of, ShardedAgent};
+pub use standing::{StandingEvent, StandingPredicate, StandingQuery, StandingQueryEngine, WatchId};
 pub use world::{InstalledResult, LoopDetection, PathDumpWorld, WorldConfig};

@@ -167,9 +167,21 @@ impl Response {
             }
             (Response::TopK { k, entries }, Response::TopK { k: k2, entries: e2 }) => {
                 debug_assert_eq!(*k, k2, "k must agree across hosts");
+                // Max-dedup top-k under the same total order as
+                // `Tib::top_k_flows` — `(bytes, flow)` descending, so
+                // equal-byte ties break by flow id. Sorting first means the
+                // first occurrence of a flow is its max entry; the dedup
+                // must be *global* (a set), not adjacent-only, or a flow
+                // reported with different byte counts by different hosts
+                // occupies two of the k slots and `multilevel_query` (which
+                // merges the duplicates while adjacent, deeper in the tree)
+                // disagrees with `direct_query` on the k-th entry. Keeping
+                // the per-flow max makes the merge associative, commutative
+                // and idempotent, so any merge tree yields the same top-k.
                 entries.extend(e2);
-                entries.sort_by(|a, b| b.cmp(a));
-                entries.dedup_by_key(|e| e.1);
+                entries.sort_unstable_by(|a, b| b.cmp(a));
+                let mut seen = std::collections::HashSet::with_capacity(entries.len());
+                entries.retain(|e| seen.insert(e.1));
                 entries.truncate(*k as usize);
             }
             (Response::Matrix(a), Response::Matrix(b)) => {
@@ -536,6 +548,102 @@ mod tests {
             Response::TopK {
                 k: 2,
                 entries: vec![(100, flow(1)), (75, flow(3))],
+            }
+        );
+    }
+
+    #[test]
+    fn merge_topk_dedups_nonadjacent_duplicates() {
+        // The same flow reported with different byte counts by different
+        // hosts must occupy one slot (its max), never two — even when the
+        // duplicates are not adjacent after the descending sort. Before the
+        // global dedup, `(99, f2), (98, f5), (97, f2)` survived intact and
+        // squeezed f6 out of a k=3 answer that a tree-shaped merge kept.
+        let mut t = Response::TopK {
+            k: 3,
+            entries: vec![(99, flow(2))],
+        };
+        t.merge(Response::TopK {
+            k: 3,
+            entries: vec![(97, flow(2))],
+        });
+        t.merge(Response::TopK {
+            k: 3,
+            entries: vec![(98, flow(5))],
+        });
+        t.merge(Response::TopK {
+            k: 3,
+            entries: vec![(96, flow(6))],
+        });
+        assert_eq!(
+            t,
+            Response::TopK {
+                k: 3,
+                entries: vec![(99, flow(2)), (98, flow(5)), (96, flow(6))],
+            }
+        );
+    }
+
+    #[test]
+    fn merge_topk_is_associative() {
+        // Max-dedup top-k under a total order is a semilattice: any merge
+        // tree over the same host responses yields the same entries. Drive
+        // every 2-partition of four host responses with ties (equal bytes
+        // across flows) and duplicates (one flow on several hosts).
+        let hosts: Vec<Vec<(u64, FlowId)>> = vec![
+            vec![(99, flow(2)), (50, flow(1))],
+            vec![(97, flow(2)), (50, flow(3))],
+            vec![(98, flow(5)), (50, flow(4))],
+            vec![(96, flow(6)), (50, flow(1))],
+        ];
+        let merge_all = |order: &[usize]| {
+            let mut acc = Response::TopK {
+                k: 3,
+                entries: Vec::new(),
+            };
+            for &i in order {
+                acc.merge(Response::TopK {
+                    k: 3,
+                    entries: hosts[i].clone(),
+                });
+            }
+            acc
+        };
+        // Flat merges in every rotation, plus a tree shape: (0+1) + (2+3).
+        let flat = merge_all(&[0, 1, 2, 3]);
+        for order in [[1, 2, 3, 0], [3, 2, 1, 0], [2, 0, 3, 1]] {
+            assert_eq!(merge_all(&order), flat, "order {order:?}");
+        }
+        let mut left = merge_all(&[0, 1]);
+        let right = merge_all(&[2, 3]);
+        left.merge(right);
+        assert_eq!(left, flat, "tree-shaped merge");
+    }
+
+    #[test]
+    fn merge_topk_breaks_byte_ties_by_flow_id() {
+        // Equal-byte entries must rank by flow id descending — the same
+        // order `Tib::top_k_flows` uses — so a host-level answer and a
+        // merged answer agree on the k-th entry.
+        let mut t = Response::TopK {
+            k: 2,
+            entries: vec![(50, flow(1))],
+        };
+        t.merge(Response::TopK {
+            k: 2,
+            entries: vec![(50, flow(3)), (50, flow(2))],
+        });
+        let want: Vec<(u64, FlowId)> = {
+            let mut v = vec![(50, flow(1)), (50, flow(2)), (50, flow(3))];
+            v.sort_unstable_by(|a, b| b.cmp(a));
+            v.truncate(2);
+            v
+        };
+        assert_eq!(
+            t,
+            Response::TopK {
+                k: 2,
+                entries: want
             }
         );
     }

@@ -115,6 +115,32 @@ impl ShardedAgent {
         self.inner.drain_alarms()
     }
 
+    /// Registers a standing query (see [`HostAgent::watch`]). The
+    /// ordered replay funnels every finalized record through the same
+    /// engine, so flips stay bit-identical to the single-threaded agent.
+    pub fn watch(
+        &mut self,
+        q: crate::standing::StandingQuery,
+        now: Nanos,
+    ) -> crate::standing::WatchId {
+        self.inner.watch(q, now)
+    }
+
+    /// Removes a standing query.
+    pub fn unwatch(&mut self, id: crate::standing::WatchId) -> bool {
+        self.inner.unwatch(id)
+    }
+
+    /// The standing-query engine.
+    pub fn standing(&self) -> &crate::standing::StandingQueryEngine {
+        self.inner.standing()
+    }
+
+    /// Drains standing raise/clear flip events.
+    pub fn drain_standing_events(&mut self) -> Vec<crate::standing::StandingEvent> {
+        self.inner.drain_standing_events()
+    }
+
     /// The queryable store.
     pub fn tib(&self) -> &Tib {
         &self.inner.tib

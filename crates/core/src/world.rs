@@ -162,6 +162,39 @@ impl PathDumpWorld {
         }
     }
 
+    /// Controller API `watch(List<HostID>, StandingQuery)`: registers a
+    /// standing predicate on each host's agent. Raises (including a
+    /// registration-time raise if the predicate already holds) surface on
+    /// the world alarm bus through the regular per-tick drain.
+    pub fn watch(
+        &mut self,
+        hosts: &[HostId],
+        q: crate::standing::StandingQuery,
+        now: Nanos,
+    ) -> Vec<(HostId, crate::standing::WatchId)> {
+        hosts
+            .iter()
+            .map(|h| (*h, self.agents[h.index()].watch(q.clone(), now)))
+            .collect()
+    }
+
+    /// Removes a standing query from one host. Returns whether it existed.
+    pub fn unwatch(&mut self, host: HostId, id: crate::standing::WatchId) -> bool {
+        self.agents[host.index()].unwatch(id)
+    }
+
+    /// Drains raise/clear flip events from every host's standing engine,
+    /// tagged with the emitting host.
+    pub fn drain_standing_events(&mut self) -> Vec<(HostId, crate::standing::StandingEvent)> {
+        let mut out = Vec::new();
+        for (i, a) in self.agents.iter_mut().enumerate() {
+            for ev in a.drain_standing_events() {
+                out.push((HostId(i as u32), ev));
+            }
+        }
+        out
+    }
+
     /// Controller API `install(List<HostID>, Query, Period)`: the query
     /// runs at every tick on each host; non-empty results are logged and,
     /// when `alarm_reason` is set, raised as alarms.

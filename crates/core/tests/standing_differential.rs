@@ -1,0 +1,309 @@
+//! Standing-engine equivalence: the incremental [`StandingQueryEngine`]
+//! must be bit-identical to a naive model that re-evaluates every
+//! registered predicate from the raw record list (and the derived
+//! event-time clock, max etime) after **every** insert — for arbitrary
+//! record streams, registration orders, and unwatch interleavings.
+//!
+//! Compared after each operation: the drained flip-event stream (ids,
+//! raise/clear direction, and full alarm payloads including evidence
+//! paths), every live watch's active flag, and the clock.
+//!
+//! Inputs are kept deliberately small: the vendored proptest stub does
+//! not shrink failures.
+
+use pathdump_core::standing::{
+    StandingEvent, StandingPredicate, StandingQuery, StandingQueryEngine, WatchId,
+};
+use pathdump_core::Alarm;
+use pathdump_tib::{Tib, TibRecord};
+use pathdump_topology::{FlowId, HostId, Ip, LinkPattern, Nanos, Path, SwitchId};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn flow(sport: u16) -> FlowId {
+    FlowId::tcp(Ip::new(10, 0, 0, 2), sport, Ip::new(10, 1, 0, 2), 80)
+}
+
+fn path_pool() -> Vec<Path> {
+    [
+        &[0u16, 2, 4][..],
+        &[0, 3, 4],
+        &[1, 2, 5],
+        &[1, 3, 5],
+        &[0, 2, 0, 2, 4], // loopy: repeats a link and two switches
+    ]
+    .iter()
+    .map(|ids| Path::new(ids.iter().map(|&i| SwitchId(i)).collect()))
+    .collect()
+}
+
+fn link_pool() -> Vec<LinkPattern> {
+    vec![
+        LinkPattern::ANY,
+        LinkPattern::exact(SwitchId(0), SwitchId(2)),
+        LinkPattern::exact(SwitchId(2), SwitchId(4)),
+        LinkPattern::into(SwitchId(4)),
+        LinkPattern::into(SwitchId(5)),
+        LinkPattern::out_of(SwitchId(1)),
+    ]
+}
+
+fn make_rec(sport: u16, pidx: usize, t0: u64, dur: u64, bytes: u64) -> TibRecord {
+    let pool = path_pool();
+    TibRecord {
+        flow: flow(1 + sport % 4),
+        path: pool[pidx % pool.len()].clone(),
+        stime: Nanos(t0 % 120),
+        etime: Nanos(t0 % 120 + dur % 50),
+        bytes: 1 + bytes % 1000,
+        pkts: 1 + bytes % 7,
+    }
+}
+
+/// Predicate from three small generator values; every kind reachable.
+fn make_query(a: u16, kind: usize, c: u64) -> StandingQuery {
+    let f = flow(1 + a % 4);
+    StandingQuery::new(match kind % 4 {
+        0 => StandingPredicate::TopKMember {
+            flow: f,
+            k: 1 + (c as usize) % 3,
+        },
+        1 => StandingPredicate::RateAbove {
+            flow: f,
+            window: Nanos(5 + c % 60),
+            min_bytes: 1 + (c * 37) % 1500,
+            min_pkts: c % 4,
+        },
+        2 => StandingPredicate::PathChanged { flow: f },
+        _ => {
+            let links = link_pool();
+            StandingPredicate::LinkFlowsAbove {
+                link: links[(c as usize) % links.len()],
+                ceiling: (c as usize) % 4,
+            }
+        }
+    })
+}
+
+fn matches_link(p: &Path, link: LinkPattern) -> bool {
+    link.is_any() || p.links().any(|l| link.matches(l))
+}
+
+struct NaiveWatch {
+    id: WatchId,
+    query: StandingQuery,
+    active: bool,
+}
+
+/// The reference model: no indexes, no per-watch state, no skip rules —
+/// every evaluation is a full scan of `records`.
+struct Naive {
+    host: HostId,
+    records: Vec<TibRecord>,
+    clock: Nanos,
+    next_id: u64,
+    watches: Vec<NaiveWatch>,
+}
+
+impl Naive {
+    fn new(host: HostId) -> Self {
+        Naive {
+            host,
+            records: Vec::new(),
+            clock: Nanos::ZERO,
+            next_id: 0,
+            watches: Vec::new(),
+        }
+    }
+
+    /// Distinct flows whose paths match `link`, first-observation order.
+    fn flows_on(&self, link: LinkPattern) -> Vec<FlowId> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for r in &self.records {
+            if matches_link(&r.path, link) && seen.insert(r.flow) {
+                out.push(r.flow);
+            }
+        }
+        out
+    }
+
+    /// The last two paths of `f`, insertion order: (prev, last).
+    fn last_two_paths(&self, f: FlowId) -> (Option<Path>, Option<Path>) {
+        let (mut prev, mut last) = (None, None);
+        for r in self.records.iter().filter(|r| r.flow == f) {
+            prev = last.take();
+            last = Some(r.path.clone());
+        }
+        (prev, last)
+    }
+
+    fn eval(&self, p: &StandingPredicate) -> bool {
+        match p {
+            StandingPredicate::TopKMember { flow, k } => {
+                let mut totals: HashMap<FlowId, u64> = HashMap::new();
+                for r in &self.records {
+                    *totals.entry(r.flow).or_default() += r.bytes;
+                }
+                let mut ranked: Vec<(u64, FlowId)> =
+                    totals.into_iter().map(|(f, b)| (b, f)).collect();
+                ranked.sort_unstable_by(|a, b| b.cmp(a));
+                ranked.truncate(*k);
+                ranked.iter().any(|&(_, f)| f == *flow)
+            }
+            StandingPredicate::RateAbove {
+                flow,
+                window,
+                min_bytes,
+                min_pkts,
+            } => {
+                let start = self.clock.saturating_sub(*window);
+                let (mut b, mut p) = (0u64, 0u64);
+                for r in self
+                    .records
+                    .iter()
+                    .filter(|r| r.flow == *flow && r.etime >= start && r.stime <= self.clock)
+                {
+                    b += r.bytes;
+                    p += r.pkts;
+                }
+                b >= *min_bytes && p >= *min_pkts
+            }
+            StandingPredicate::PathChanged { flow } => {
+                let (prev, last) = self.last_two_paths(*flow);
+                matches!((prev, last), (Some(a), Some(b)) if a != b)
+            }
+            StandingPredicate::LinkFlowsAbove { link, ceiling } => {
+                self.flows_on(*link).len() > *ceiling
+            }
+        }
+    }
+
+    fn alarm_of(&self, i: usize, trigger: Option<FlowId>, now: Nanos) -> Alarm {
+        let q = &self.watches[i].query;
+        let (flow, paths) = match &q.predicate {
+            StandingPredicate::TopKMember { flow, .. }
+            | StandingPredicate::RateAbove { flow, .. } => (*flow, Vec::new()),
+            StandingPredicate::PathChanged { flow } => {
+                let (prev, last) = self.last_two_paths(*flow);
+                (*flow, prev.into_iter().chain(last).collect())
+            }
+            StandingPredicate::LinkFlowsAbove { link, .. } => (
+                trigger
+                    .or_else(|| self.flows_on(*link).last().copied())
+                    .unwrap_or(FlowId::tcp(Ip(0), 0, Ip(0), 0)),
+                Vec::new(),
+            ),
+        };
+        Alarm {
+            flow,
+            reason: q.reason,
+            paths,
+            host: self.host,
+            at: now,
+        }
+    }
+
+    fn insert(&mut self, rec: TibRecord, now: Nanos) -> Vec<StandingEvent> {
+        self.records.push(rec.clone());
+        if rec.etime > self.clock {
+            self.clock = rec.etime;
+        }
+        let mut evs = Vec::new();
+        for i in 0..self.watches.len() {
+            let pred = self.watches[i].query.predicate.clone();
+            let active = self.eval(&pred);
+            if active != self.watches[i].active {
+                self.watches[i].active = active;
+                evs.push(StandingEvent {
+                    watch: self.watches[i].id,
+                    raised: active,
+                    alarm: self.alarm_of(i, Some(rec.flow), now),
+                });
+            }
+        }
+        evs
+    }
+
+    fn watch(&mut self, q: StandingQuery, now: Nanos) -> (WatchId, Vec<StandingEvent>) {
+        let id = WatchId(self.next_id);
+        self.next_id += 1;
+        let active = self.eval(&q.predicate);
+        self.watches.push(NaiveWatch {
+            id,
+            query: q,
+            active,
+        });
+        let mut evs = Vec::new();
+        if active {
+            let i = self.watches.len() - 1;
+            evs.push(StandingEvent {
+                watch: id,
+                raised: true,
+                alarm: self.alarm_of(i, None, now),
+            });
+        }
+        (id, evs)
+    }
+
+    fn unwatch(&mut self, id: WatchId) -> bool {
+        let before = self.watches.len();
+        self.watches.retain(|w| w.id != id);
+        self.watches.len() != before
+    }
+
+    fn active(&self, id: WatchId) -> Option<bool> {
+        self.watches.iter().find(|w| w.id == id).map(|w| w.active)
+    }
+}
+
+// One generated operation tuple (kind, a, b, c, d, e): `kind` < 6
+// inserts a record built from the remaining fields; 6..=8 registers a
+// watch (fields reinterpreted as the predicate selector); 9 unwatches a
+// live id.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_engine_matches_naive_recompute(
+        ops in proptest::collection::vec(
+            (0usize..10, 0u16..6, 0usize..6, 0u64..120, 0u64..50, 0u64..2000),
+            0..40),
+    ) {
+        let host = HostId(7);
+        let mut tib = Tib::new();
+        let mut eng = StandingQueryEngine::new(host);
+        let mut model = Naive::new(host);
+        let mut live: Vec<WatchId> = Vec::new();
+        for (i, &(kind, a, b, c, d, e)) in ops.iter().enumerate() {
+            let now = Nanos(10_000 + i as u64);
+            if kind < 6 {
+                let rec = make_rec(a, b, c, d, e);
+                tib.insert(rec.clone());
+                eng.on_record(&tib, &rec, now);
+                let expected = model.insert(rec, now);
+                prop_assert_eq!(
+                    eng.drain_events(), expected, "insert flips diverged at op {}", i);
+            } else if kind < 9 {
+                let q = make_query(a, b, c);
+                let id = eng.watch(&tib, q.clone(), now);
+                let (mid, expected) = model.watch(q, now);
+                prop_assert_eq!(id, mid, "watch ids diverged at op {}", i);
+                live.push(id);
+                prop_assert_eq!(
+                    eng.drain_events(), expected,
+                    "registration raise diverged at op {}", i);
+            } else if !live.is_empty() {
+                let id = live.remove(b % live.len());
+                prop_assert_eq!(eng.unwatch(id), model.unwatch(id));
+                prop_assert_eq!(eng.drain_events(), vec![], "unwatch never flips");
+            }
+            prop_assert_eq!(eng.clock(), model.clock, "clock diverged at op {}", i);
+            for &id in &live {
+                prop_assert_eq!(
+                    eng.active(id), model.active(id),
+                    "watch {:?} active flag diverged at op {}", id, i);
+            }
+        }
+    }
+}

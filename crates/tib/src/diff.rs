@@ -1,0 +1,224 @@
+//! Ranged TIB diffing: the time-travel primitive behind the operator
+//! question "what changed about flow F's path before vs after time T?"
+//! (the §4.1 path-change debugging workflow, made a first-class `Tib`
+//! operation instead of two ad-hoc queries glued together).
+//!
+//! A diff compares two *views* — each a `(Tib, TimeRange)` pair — by the
+//! distinct path set every flow took within the view's range. The two
+//! views may be the same store with two ranges (time travel within one
+//! TIB), or two different stores (e.g. two TIB2 snapshots loaded with
+//! [`crate::snapshot::load`], diffed via [`diff_snapshots`]).
+
+use crate::record::TibRecord;
+use crate::tib::Tib;
+use pathdump_topology::{FlowId, LinkPattern, Nanos, Path, TimeRange};
+use pathdump_wire::WireResult;
+use std::collections::HashSet;
+
+/// One flow whose distinct path set differs between the two views.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathDelta {
+    /// The flow.
+    pub flow: FlowId,
+    /// Distinct paths in the *before* view (insertion order).
+    pub before: Vec<Path>,
+    /// Distinct paths in the *after* view (insertion order).
+    pub after: Vec<Path>,
+}
+
+impl PathDelta {
+    /// Paths present after but not before (new routes).
+    pub fn added(&self) -> Vec<&Path> {
+        let seen: HashSet<&Path> = self.before.iter().collect();
+        self.after.iter().filter(|p| !seen.contains(*p)).collect()
+    }
+
+    /// Paths present before but not after (retired routes).
+    pub fn removed(&self) -> Vec<&Path> {
+        let seen: HashSet<&Path> = self.after.iter().collect();
+        self.before.iter().filter(|p| !seen.contains(*p)).collect()
+    }
+}
+
+/// The result of diffing two TIB views.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TibDiff {
+    /// Flows whose path sets differ, in first-observation order (before
+    /// view first, then flows only seen in the after view).
+    pub deltas: Vec<PathDelta>,
+    /// Records overlapping the before range.
+    pub before_records: usize,
+    /// Records overlapping the after range.
+    pub after_records: usize,
+}
+
+impl TibDiff {
+    /// True when no flow changed paths between the views.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// Diffs two views: per-flow distinct path sets within each range.
+    /// Flows whose path sets are identical in both views are omitted; a
+    /// flow present in only one view appears with the other side empty.
+    pub fn between(
+        before: &Tib,
+        before_range: TimeRange,
+        after: &Tib,
+        after_range: TimeRange,
+    ) -> TibDiff {
+        let mut flows = before.get_flows(LinkPattern::ANY, before_range);
+        let seen: HashSet<FlowId> = flows.iter().copied().collect();
+        flows.extend(
+            after
+                .get_flows(LinkPattern::ANY, after_range)
+                .into_iter()
+                .filter(|f| !seen.contains(f)),
+        );
+        let mut deltas = Vec::new();
+        for flow in flows {
+            let b = before.get_paths(flow, LinkPattern::ANY, before_range);
+            let a = after.get_paths(flow, LinkPattern::ANY, after_range);
+            if b != a {
+                deltas.push(PathDelta {
+                    flow,
+                    before: b,
+                    after: a,
+                });
+            }
+        }
+        let count = |tib: &Tib, range: &TimeRange| {
+            tib.records().iter().filter(|r| r.overlaps(range)).count()
+        };
+        TibDiff {
+            deltas,
+            before_records: count(before, &before_range),
+            after_records: count(after, &after_range),
+        }
+    }
+
+    /// The delta for one flow, if it changed.
+    pub fn for_flow(&self, flow: FlowId) -> Option<&PathDelta> {
+        self.deltas.iter().find(|d| d.flow == flow)
+    }
+}
+
+impl Tib {
+    /// Time-travel diff within one store: path sets of every flow up to
+    /// and including `t` vs from `t` onward. A record spanning `t` is
+    /// active in both eras and contributes to both sides (`TimeRange` is
+    /// closed on both ends — see the convention note in [`crate::tib`]).
+    pub fn diff_at(&self, t: Nanos) -> TibDiff {
+        TibDiff::between(self, TimeRange::until(t), self, TimeRange::since(t))
+    }
+}
+
+/// Diffs two TIB2 snapshots (whole stores, `TimeRange::ANY` on both
+/// sides) — "what changed between yesterday's snapshot and today's?".
+pub fn diff_snapshots(before: &[u8], after: &[u8]) -> WireResult<TibDiff> {
+    let b = crate::snapshot::load(before)?;
+    let a = crate::snapshot::load(after)?;
+    Ok(TibDiff::between(&b, TimeRange::ANY, &a, TimeRange::ANY))
+}
+
+/// Convenience used by tests and the CLI: records overlapping a range.
+pub fn records_in(tib: &Tib, range: TimeRange) -> Vec<&TibRecord> {
+    tib.records()
+        .iter()
+        .filter(|r| r.overlaps(&range))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::save;
+    use pathdump_topology::{Ip, SwitchId};
+
+    fn flow(sport: u16) -> FlowId {
+        FlowId::tcp(Ip::new(10, 0, 0, 2), sport, Ip::new(10, 1, 0, 2), 80)
+    }
+
+    fn path(ids: &[u16]) -> Path {
+        Path::new(ids.iter().map(|&i| SwitchId(i)).collect())
+    }
+
+    fn rec(sport: u16, p: &[u16], t0: u64, t1: u64) -> TibRecord {
+        TibRecord {
+            flow: flow(sport),
+            path: path(p),
+            stime: Nanos(t0),
+            etime: Nanos(t1),
+            bytes: 100,
+            pkts: 1,
+        }
+    }
+
+    #[test]
+    fn diff_at_catches_reroute() {
+        let mut t = Tib::new();
+        t.insert(rec(1, &[0, 8, 4], 0, 100)); // before: via 8
+        t.insert(rec(1, &[0, 9, 4], 200, 300)); // after: via 9
+        t.insert(rec(2, &[1, 8, 5], 0, 300)); // spans the split: no delta
+        let d = t.diff_at(Nanos(150));
+        assert_eq!(d.deltas.len(), 1);
+        let delta = d.for_flow(flow(1)).expect("flow 1 changed");
+        assert_eq!(delta.before, vec![path(&[0, 8, 4])]);
+        assert_eq!(delta.after, vec![path(&[0, 9, 4])]);
+        assert_eq!(delta.added(), vec![&path(&[0, 9, 4])]);
+        assert_eq!(delta.removed(), vec![&path(&[0, 8, 4])]);
+        assert!(d.for_flow(flow(2)).is_none(), "stable flow omitted");
+        assert_eq!(d.before_records, 2);
+        assert_eq!(d.after_records, 2);
+    }
+
+    #[test]
+    fn record_spanning_split_lands_on_both_sides() {
+        let mut t = Tib::new();
+        t.insert(rec(1, &[0, 8, 4], 0, 100));
+        // Diff exactly at the record's etime: closed ranges put it in
+        // both eras, so the path set is identical and the diff is empty.
+        let d = t.diff_at(Nanos(100));
+        assert!(d.is_empty());
+        assert_eq!(d.before_records, 1);
+        assert_eq!(d.after_records, 1);
+        // One past the etime: the record exists only before the split.
+        let d = t.diff_at(Nanos(101));
+        assert_eq!(d.deltas.len(), 1);
+        let delta = &d.deltas[0];
+        assert_eq!(delta.before, vec![path(&[0, 8, 4])]);
+        assert!(delta.after.is_empty());
+    }
+
+    #[test]
+    fn snapshot_diff_reports_new_and_lost_flows() {
+        let mut old = Tib::new();
+        old.insert(rec(1, &[0, 8, 4], 0, 100));
+        old.insert(rec(3, &[1, 9, 5], 0, 50));
+        let mut new = Tib::new();
+        new.insert(rec(1, &[0, 8, 4], 0, 100)); // unchanged
+        new.insert(rec(2, &[0, 9, 4], 200, 250)); // new flow
+        let d = diff_snapshots(&save(&old), &save(&new)).expect("valid snapshots");
+        assert_eq!(d.deltas.len(), 2);
+        assert!(d.for_flow(flow(1)).is_none());
+        let lost = d.for_flow(flow(3)).expect("flow 3 disappeared");
+        assert!(lost.after.is_empty());
+        let gained = d.for_flow(flow(2)).expect("flow 2 appeared");
+        assert!(gained.before.is_empty());
+        assert_eq!(gained.after, vec![path(&[0, 9, 4])]);
+    }
+
+    #[test]
+    fn snapshot_diff_rejects_garbage() {
+        assert!(diff_snapshots(&[1, 2, 3], &[4, 5, 6]).is_err());
+    }
+
+    #[test]
+    fn identical_views_diff_empty() {
+        let mut t = Tib::new();
+        t.insert(rec(1, &[0, 8, 4], 0, 100));
+        let d = TibDiff::between(&t, TimeRange::ANY, &t, TimeRange::ANY);
+        assert!(d.is_empty());
+        assert!(TibDiff::default().is_empty());
+    }
+}

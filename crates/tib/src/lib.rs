@@ -11,11 +11,13 @@
 //! The paper stores TIB records in MongoDB; this crate substitutes an
 //! in-memory indexed store with binary snapshots (DESIGN.md §3).
 
+pub mod diff;
 pub mod memory;
 pub mod record;
 pub mod snapshot;
 pub mod tib;
 
+pub use diff::{diff_snapshots, PathDelta, TibDiff};
 pub use memory::{canonical_order, MemKey, TrajectoryMemory};
 pub use record::{PendingRecord, TibRecord};
 pub use snapshot::{load, save, save_into, snapshot_size, SNAPSHOT_MAGIC};

@@ -25,6 +25,34 @@
 //!   aggregate sums whole buckets that lie inside the range and
 //!   clamp-scans only the boundary buckets.
 //!
+//! # Time-boundary convention
+//!
+//! Two interval conventions meet in this module and must not be mixed up:
+//!
+//! - A **`TimeRange` is closed on both ends**: a record matches when its
+//!   `[stime, etime]` span intersects `[start, end]` inclusively
+//!   (`etime >= start && stime <= end`). A record whose `etime` equals
+//!   `range.start`, or whose `stime` equals `range.end`, *is* a match —
+//!   and a zero-duration record (`stime == etime`) matches any range
+//!   containing that instant.
+//! - A **bucket's stime span is half-open**: bucket `k` owns stimes in
+//!   `[k·w, (k+1)·w)`, i.e. a record whose stime is an exact multiple of
+//!   the width starts the *next* bucket (`stime / width` rounds down).
+//!
+//! The translation happens in exactly two places: `bucket_contained`
+//! converts bucket `k`'s half-open span to its inclusive last stime
+//! (`k·w + w − 1`) before comparing against the closed range, and
+//! `range_ids` maps the inclusive range end to the *inclusive* last
+//! bucket index `end / w`. Everything else re-checks candidates with
+//! `rec.overlaps`, so bucket pruning only ever has to be a superset.
+//! `prop_equivalence`'s boundary-aligned case pins these edges (records
+//! and range endpoints exactly on width multiples) against the
+//! linear-scan reference.
+//!
+//! Records are assumed well-formed (`stime <= etime`); a record with
+//! `etime < stime` could be double-counted by whole-bucket aggregation
+//! while failing the closed-interval overlap check.
+//!
 //! # Query complexity (n records, f distinct flows, b buckets)
 //!
 //! | query                          | cost                                |

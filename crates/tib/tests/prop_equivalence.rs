@@ -143,6 +143,132 @@ fn ref_top_k(raw: &[TibRecord], k: usize, range: TimeRange) -> Vec<(u64, FlowId)
     v
 }
 
+/// Boundary-interesting offsets within a bucket of width `w`: the first
+/// stime of a bucket, one past it, the last stime of the bucket, and the
+/// middle. Deduplicated so `w = 1` collapses to `{0}`.
+fn boundary_offsets(w: u64) -> Vec<u64> {
+    let mut v = vec![0, 1 % w, w - 1, w / 2];
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Builds records whose stimes/etimes land exactly on bucket-width
+/// multiples (and one off either side): the inputs the uniform generator
+/// above almost never produces for widths > a few ns.
+fn build_aligned(
+    recs: &[(u16, usize, u64, usize, u64, usize, u64)],
+    width: u64,
+) -> (Tib, Vec<TibRecord>) {
+    let pool = path_pool();
+    let offs = boundary_offsets(width);
+    let mut tib = Tib::with_bucket_width(Nanos(width));
+    let mut raw = Vec::new();
+    for &(sport, pidx, sbucket, soff, dbuckets, doff, bytes) in recs {
+        let stime = sbucket * width + offs[soff % offs.len()];
+        // Durations of whole buckets plus a boundary offset, including
+        // zero-duration records (stime == etime).
+        let etime = stime + dbuckets * width + offs[doff % offs.len()];
+        let rec = TibRecord {
+            flow: flow(1 + sport % 4),
+            path: pool[pidx % pool.len()].clone(),
+            stime: Nanos(stime),
+            etime: Nanos(etime),
+            bytes: 1 + bytes % 1000,
+            pkts: 1 + bytes % 7,
+        };
+        tib.insert(rec.clone());
+        raw.push(rec);
+    }
+    (tib, raw)
+}
+
+/// Ranges whose endpoints sit exactly on bucket edges (and one off either
+/// side), plus ranges pinned to the exact stime/etime of a stored record —
+/// the `TimeRange`-endpoint cases called out by the half-open-bucket /
+/// closed-range convention documented in `tib.rs`.
+fn aligned_ranges(
+    (ab, ao): (u64, usize),
+    (bb, bo): (u64, usize),
+    width: u64,
+    raw: &[TibRecord],
+) -> Vec<TimeRange> {
+    let offs = boundary_offsets(width);
+    let x = ab * width + offs[ao % offs.len()];
+    let y = bb * width + offs[bo % offs.len()];
+    let (lo, hi) = (x.min(y), x.max(y));
+    let mut v = vec![
+        TimeRange::ANY,
+        TimeRange::since(Nanos(lo)),
+        TimeRange::until(Nanos(hi)),
+        TimeRange::between(Nanos(lo), Nanos(hi)),
+        TimeRange::between(Nanos(lo), Nanos(lo)),
+    ];
+    if let Some(rec) = raw.first() {
+        v.push(TimeRange::between(rec.stime, rec.etime));
+        v.push(TimeRange::between(rec.etime, rec.etime));
+        v.push(TimeRange::since(rec.etime));
+        if rec.stime > Nanos::ZERO {
+            // Ends exactly one below the record's start: must exclude it.
+            v.push(TimeRange::until(Nanos(rec.stime.0 - 1)));
+        }
+    }
+    v
+}
+
+fn assert_all_queries_match(
+    tib: &Tib,
+    raw: &[TibRecord],
+    range: TimeRange,
+    k: usize,
+    width: u64,
+) -> Result<(), TestCaseError> {
+    for link in patterns() {
+        prop_assert_eq!(
+            tib.get_flows(link, range),
+            ref_get_flows(raw, link, range),
+            "get_flows({:?}, {:?}) width={}",
+            link,
+            range,
+            width
+        );
+        prop_assert_eq!(
+            tib.link_flow_counts(link, range),
+            ref_counts(raw, link, range),
+            "link_flow_counts({:?}, {:?}) width={}",
+            link,
+            range,
+            width
+        );
+    }
+    for sport in 1..=4u16 {
+        let f = flow(sport);
+        prop_assert_eq!(
+            tib.get_count(f, None, range),
+            ref_get_count(raw, f, range),
+            "get_count({:?}) width={}",
+            range,
+            width
+        );
+        prop_assert_eq!(
+            tib.get_duration(f, None, range),
+            ref_get_duration(raw, f, range),
+            "get_duration({:?}) width={}",
+            range,
+            width
+        );
+    }
+    prop_assert_eq!(
+        tib.top_k_flows(k, range),
+        ref_top_k(raw, k, range),
+        "top_k({}, {:?}) width={}",
+        k,
+        range,
+        width
+    );
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -157,36 +283,30 @@ proptest! {
     ) {
         let (tib, raw) = build(&recs, width);
         for range in ranges(a, b) {
-            for link in patterns() {
-                prop_assert_eq!(
-                    tib.get_flows(link, range),
-                    ref_get_flows(&raw, link, range),
-                    "get_flows({:?}, {:?}) width={}", link, range, width
-                );
-                prop_assert_eq!(
-                    tib.link_flow_counts(link, range),
-                    ref_counts(&raw, link, range),
-                    "link_flow_counts({:?}, {:?}) width={}", link, range, width
-                );
-            }
-            for sport in 1..=4u16 {
-                let f = flow(sport);
-                prop_assert_eq!(
-                    tib.get_count(f, None, range),
-                    ref_get_count(&raw, f, range),
-                    "get_count({:?}) width={}", range, width
-                );
-                prop_assert_eq!(
-                    tib.get_duration(f, None, range),
-                    ref_get_duration(&raw, f, range),
-                    "get_duration({:?}) width={}", range, width
-                );
-            }
-            prop_assert_eq!(
-                tib.top_k_flows(k, range),
-                ref_top_k(&raw, k, range),
-                "top_k({}, {:?}) width={}", k, range, width
-            );
+            assert_all_queries_match(&tib, &raw, range, k, width)?;
+        }
+    }
+
+    /// The uniform generator above almost never lands a record or a range
+    /// endpoint exactly on a bucket-width multiple once widths grow past a
+    /// few ns. This case targets the boundary paths directly: records with
+    /// stime/etime at exact `k·width` multiples (± 1), ranges whose
+    /// endpoints sit on bucket edges or on a record's exact stime/etime,
+    /// and zero-duration records — pinning the half-open bucket span
+    /// `[k·w, (k+1)·w)` against the closed `TimeRange` convention.
+    #[test]
+    fn boundary_aligned_engine_matches_linear_scan(
+        recs in proptest::collection::vec(
+            (0u16..6, 0usize..5, 0u64..5, 0usize..4, 0u64..3, 0usize..4, 0u64..2000), 0..20),
+        width_sel in 0usize..5,
+        qa in (0u64..6, 0usize..4),
+        qb in (0u64..6, 0usize..4),
+        k in 0usize..8,
+    ) {
+        let width = [1u64, 2, 7, 32, 100][width_sel];
+        let (tib, raw) = build_aligned(&recs, width);
+        for range in aligned_ranges(qa, qb, width, &raw) {
+            assert_all_queries_match(&tib, &raw, range, k, width)?;
         }
     }
 }

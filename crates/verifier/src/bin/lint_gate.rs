@@ -35,6 +35,7 @@ const HOT_PATHS: &[&str] = &[
     "crates/tib/src/tib.rs",
     "crates/tib/src/memory.rs",
     "crates/core/src/sharded.rs",
+    "crates/core/src/standing.rs",
 ];
 
 /// One banned-pattern hit.

@@ -60,12 +60,12 @@ pub mod prelude {
     };
     pub use pathdump_core::{
         Alarm, Cluster, Fabric, Invariant, MgmtNet, PathDumpWorld, Query, Reason, Response,
-        WorldConfig,
+        StandingEvent, StandingPredicate, StandingQuery, StandingQueryEngine, WatchId, WorldConfig,
     };
     pub use pathdump_simnet::{
         FaultState, LoadBalance, Misconfig, Packet, Quirk, SimConfig, Simulator, TagPolicy, World,
     };
-    pub use pathdump_tib::{Tib, TibRecord};
+    pub use pathdump_tib::{diff_snapshots, PathDelta, Tib, TibDiff, TibRecord};
     pub use pathdump_topology::{
         FatTree, FatTreeParams, FlowId, HostId, Ip, LinkDir, LinkPattern, Nanos, Path, SwitchId,
         TimeRange, UpDownRouting, Vl2, Vl2Params,
