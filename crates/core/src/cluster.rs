@@ -155,6 +155,82 @@ pub fn build_tree(hosts: &[usize], fanouts: &[usize]) -> Vec<TreeNode> {
     (0..n_roots).map(|i| materialize(&arena, i)).collect()
 }
 
+// The rpc plane ships each recipient's subtree inside the request (source
+// routing for the aggregation tree), so `TreeNode` is wire-encodable. The
+// layout is a flat breadth-first `(host, parent+1)` list — iterative on
+// both sides, so a corrupt frame can drive the decoder into an error but
+// never into unbounded recursion, and sibling order survives exactly
+// (child lists are rebuilt in appearance order).
+impl pathdump_wire::Encode for TreeNode {
+    fn encode(&self, enc: &mut pathdump_wire::Encoder) {
+        enc.put_varint(self.size() as u64);
+        let mut queue: std::collections::VecDeque<(&TreeNode, u64)> =
+            std::collections::VecDeque::new();
+        queue.push_back((self, 0)); // 0 = root sentinel (parent+1)
+        let mut index = 0u64;
+        while let Some((node, parent_plus_one)) = queue.pop_front() {
+            enc.put_varint(node.host as u64);
+            enc.put_varint(parent_plus_one);
+            index += 1;
+            let my_slot = index; // this node's (index+1) for its children
+            for child in &node.children {
+                queue.push_back((child, my_slot));
+            }
+        }
+    }
+}
+
+impl pathdump_wire::Decode for TreeNode {
+    fn decode(dec: &mut pathdump_wire::Decoder<'_>) -> pathdump_wire::WireResult<Self> {
+        use pathdump_wire::WireError;
+        let n = dec.get_len()?;
+        if n == 0 {
+            return Err(WireError::InvalidTag(0));
+        }
+        let mut hosts: Vec<usize> = Vec::with_capacity(n.min(4096));
+        let mut child_ids: Vec<Vec<usize>> = Vec::with_capacity(n.min(4096));
+        for i in 0..n {
+            let host = dec.get_varint()?;
+            let host = usize::try_from(host).map_err(|_| WireError::VarintOverflow)?;
+            let parent_plus_one = dec.get_varint()? as usize;
+            if i == 0 {
+                if parent_plus_one != 0 {
+                    return Err(WireError::InvalidTag(parent_plus_one as u32));
+                }
+            } else {
+                // Parents must appear strictly earlier: acyclic by
+                // construction, and exactly one root.
+                if parent_plus_one == 0 || parent_plus_one > i {
+                    return Err(WireError::InvalidTag(parent_plus_one as u32));
+                }
+                child_ids[parent_plus_one - 1].push(i);
+            }
+            hosts.push(host);
+            child_ids.push(Vec::new());
+        }
+        // Children always have larger indices than their parent (BFS), so
+        // one reverse pass materializes every subtree iteratively.
+        let mut built: Vec<Option<TreeNode>> = (0..n).map(|_| None).collect();
+        for i in (0..n).rev() {
+            let mut children = Vec::with_capacity(child_ids[i].len());
+            for &c in &child_ids[i] {
+                match built[c].take() {
+                    Some(node) => children.push(node),
+                    None => return Err(WireError::InvalidTag(c as u32)),
+                }
+            }
+            built[i] = Some(TreeNode {
+                host: hosts[i],
+                children,
+            });
+        }
+        match built[0].take() {
+            Some(root) => Ok(root),
+            None => Err(WireError::InvalidTag(0)),
+        }
+    }
+}
+
 /// Internal: result of evaluating one subtree.
 struct SubtreeOutcome {
     finish: Nanos,
@@ -516,6 +592,58 @@ mod tests {
             "controller merge work must grow with host count"
         );
         assert!(d_large.wire_bytes > d_small.wire_bytes);
+    }
+
+    #[test]
+    fn tree_node_wire_roundtrip() {
+        let hosts: Vec<usize> = (0..23).collect();
+        for fanouts in [&[7usize, 4, 4][..], &[3, 2, 2], &[1], &[23]] {
+            for root in build_tree(&hosts, fanouts) {
+                let bytes = pathdump_wire::to_bytes(&root);
+                let back: TreeNode = pathdump_wire::from_bytes(&bytes).unwrap();
+                assert_eq!(back, root, "fanouts {fanouts:?}");
+            }
+        }
+        // Single leaf.
+        let leaf = TreeNode {
+            host: 5,
+            children: vec![],
+        };
+        let back: TreeNode = pathdump_wire::from_bytes(&pathdump_wire::to_bytes(&leaf)).unwrap();
+        assert_eq!(back, leaf);
+    }
+
+    #[test]
+    fn tree_node_decode_rejects_malformed() {
+        use pathdump_wire::{Encoder, WireError};
+        // Zero nodes.
+        let mut e = Encoder::new();
+        e.put_varint(0);
+        assert!(pathdump_wire::from_bytes::<TreeNode>(&e.into_bytes()).is_err());
+        // Forward parent reference (node 1 claims parent 2, not yet seen).
+        let mut e = Encoder::new();
+        e.put_varint(3);
+        e.put_varint(0); // host 0, root
+        e.put_varint(0);
+        e.put_varint(1); // host 1, parent+1 = 3 → forward
+        e.put_varint(3);
+        e.put_varint(2);
+        e.put_varint(1);
+        assert_eq!(
+            pathdump_wire::from_bytes::<TreeNode>(&e.into_bytes()),
+            Err(WireError::InvalidTag(3))
+        );
+        // Second root (parent+1 == 0 past index 0).
+        let mut e = Encoder::new();
+        e.put_varint(2);
+        e.put_varint(0);
+        e.put_varint(0);
+        e.put_varint(1);
+        e.put_varint(0);
+        assert_eq!(
+            pathdump_wire::from_bytes::<TreeNode>(&e.into_bytes()),
+            Err(WireError::InvalidTag(0))
+        );
     }
 
     #[test]

@@ -126,13 +126,23 @@ impl Response {
     /// Panics on mismatched variants (a protocol error).
     pub fn merge(&mut self, other: Response) {
         match (self, other) {
+            // Flows/Paths merge into *canonical sorted order* (sort +
+            // dedup), not first-occurrence order. Like the TopK max-dedup
+            // below, this makes the merge a semilattice — associative,
+            // commutative, idempotent — so an aggregation tree merging
+            // child responses in whatever order they arrive over a real
+            // transport is bit-identical to the in-process reference
+            // merging in modeled-arrival order (pinned by the rpc crate's
+            // tree-equivalence differential suite).
             (Response::Flows(a), Response::Flows(b)) => {
-                let seen: std::collections::HashSet<FlowId> = a.iter().copied().collect();
-                a.extend(b.into_iter().filter(|f| !seen.contains(f)));
+                a.extend(b);
+                a.sort_unstable();
+                a.dedup();
             }
             (Response::Paths(a), Response::Paths(b)) => {
-                let seen: std::collections::HashSet<Path> = a.iter().cloned().collect();
-                a.extend(b.into_iter().filter(|p| !seen.contains(p)));
+                a.extend(b);
+                a.sort_unstable();
+                a.dedup();
             }
             (
                 Response::Count { bytes, pkts },

@@ -1,0 +1,165 @@
+//! Per-host coverage accounting for degraded queries.
+
+use pathdump_wire::{Decode, Decoder, Encode, Encoder, WireError, WireResult};
+
+/// Which hosts contributed to a merged response, and what happened to the
+/// rest. The three classes are sorted, deduplicated and mutually disjoint;
+/// together they partition the queried host set (see the crate docs for
+/// the guarantees the plane maintains).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Coverage {
+    /// Hosts whose complete local answer is in the merged response.
+    pub answered: Vec<u32>,
+    /// Hosts written off after retry exhaustion (peer dead/unreachable).
+    pub missed: Vec<u32>,
+    /// Hosts still outstanding when a deadline fired.
+    pub timed_out: Vec<u32>,
+}
+
+impl Coverage {
+    /// Empty coverage.
+    pub fn new() -> Self {
+        Coverage::default()
+    }
+
+    /// Coverage for a single answered host.
+    pub fn answered_one(host: u32) -> Self {
+        Coverage {
+            answered: vec![host],
+            missed: Vec::new(),
+            timed_out: Vec::new(),
+        }
+    }
+
+    /// Total hosts accounted for.
+    pub fn total(&self) -> usize {
+        self.answered.len() + self.missed.len() + self.timed_out.len()
+    }
+
+    /// True when every accounted host answered.
+    pub fn is_complete(&self) -> bool {
+        self.missed.is_empty() && self.timed_out.is_empty()
+    }
+
+    /// Folds a child's coverage into this one.
+    pub fn absorb(&mut self, other: Coverage) {
+        self.answered.extend(other.answered);
+        self.missed.extend(other.missed);
+        self.timed_out.extend(other.timed_out);
+    }
+
+    /// Restores the sorted/deduplicated normal form after `absorb`s.
+    pub fn normalize(&mut self) {
+        self.answered.sort_unstable();
+        self.answered.dedup();
+        self.missed.sort_unstable();
+        self.missed.dedup();
+        self.timed_out.sort_unstable();
+        self.timed_out.dedup();
+    }
+
+    /// True when the classes are sorted, deduplicated, pairwise disjoint
+    /// and together equal exactly `hosts` (order-insensitive). The test
+    /// suites assert this on every outcome.
+    pub fn partitions(&self, hosts: &[u32]) -> bool {
+        let mut all: Vec<u32> = self
+            .answered
+            .iter()
+            .chain(&self.missed)
+            .chain(&self.timed_out)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        let mut want: Vec<u32> = hosts.to_vec();
+        want.sort_unstable();
+        let no_dups = all.windows(2).all(|w| w[0] != w[1]);
+        no_dups && all == want
+    }
+}
+
+impl Encode for Coverage {
+    fn encode(&self, enc: &mut Encoder) {
+        self.answered.encode(enc);
+        self.missed.encode(enc);
+        self.timed_out.encode(enc);
+    }
+}
+
+impl Decode for Coverage {
+    fn decode(dec: &mut Decoder<'_>) -> WireResult<Self> {
+        let cov = Coverage {
+            answered: Vec::<u32>::decode(dec)?,
+            missed: Vec::<u32>::decode(dec)?,
+            timed_out: Vec::<u32>::decode(dec)?,
+        };
+        // Reject wire forms that are not in normal form: a tampered frame
+        // must not smuggle a host into two classes.
+        let mut check = cov.clone();
+        check.normalize();
+        if check != cov {
+            return Err(WireError::InvalidTag(u32::MAX));
+        }
+        let mut all: Vec<u32> = cov
+            .answered
+            .iter()
+            .chain(&cov.missed)
+            .chain(&cov.timed_out)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        if all.windows(2).any(|w| w[0] == w[1]) {
+            return Err(WireError::InvalidTag(u32::MAX));
+        }
+        Ok(cov)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathdump_wire::{from_bytes, to_bytes};
+
+    #[test]
+    fn absorb_and_partition() {
+        let mut c = Coverage::answered_one(3);
+        c.absorb(Coverage {
+            answered: vec![1],
+            missed: vec![7, 5],
+            timed_out: vec![2],
+        });
+        c.normalize();
+        assert_eq!(c.answered, vec![1, 3]);
+        assert_eq!(c.missed, vec![5, 7]);
+        assert_eq!(c.timed_out, vec![2]);
+        assert_eq!(c.total(), 5);
+        assert!(!c.is_complete());
+        assert!(c.partitions(&[1, 2, 3, 5, 7]));
+        assert!(!c.partitions(&[1, 2, 3, 5]));
+        assert!(!c.partitions(&[1, 2, 3, 5, 7, 9]));
+    }
+
+    #[test]
+    fn wire_roundtrip_and_tamper_rejection() {
+        let c = Coverage {
+            answered: vec![0, 4, 9],
+            missed: vec![2],
+            timed_out: vec![3, 8],
+        };
+        let back: Coverage = from_bytes(&to_bytes(&c)).unwrap();
+        assert_eq!(back, c);
+        // A host in two classes decodes to an error, not a bogus coverage.
+        let twice = Coverage {
+            answered: vec![1],
+            missed: vec![1],
+            timed_out: vec![],
+        };
+        assert!(from_bytes::<Coverage>(&to_bytes(&twice)).is_err());
+        // Unsorted classes are rejected too.
+        let unsorted = Coverage {
+            answered: vec![4, 1],
+            missed: vec![],
+            timed_out: vec![],
+        };
+        assert!(from_bytes::<Coverage>(&to_bytes(&unsorted)).is_err());
+    }
+}

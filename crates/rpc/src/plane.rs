@@ -1,0 +1,1021 @@
+//! The poll-driven aggregation-tree query plane.
+//!
+//! [`TreePlane`] owns one [`AgentServer`](self) state machine per host plus
+//! the controller, all exchanging wire frames over one [`Channel`]. See the
+//! crate docs for the protocol semantics (timeouts, retries, hedging,
+//! deadlines, backpressure, coverage).
+
+use crate::channel::{Channel, Delivery, NodeId, CONTROLLER};
+use crate::coverage::Coverage;
+use crate::msg::{AckMsg, ReplyMsg, RequestMsg, FRAME_RPC_ACK, FRAME_RPC_REPLY, FRAME_RPC_REQUEST};
+use pathdump_core::{build_tree, execute_on_tib, Query, Response, TreeNode};
+use pathdump_tib::Tib;
+use pathdump_topology::Nanos;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Identifies one submitted query (also the on-wire `req_id` shared by
+/// every hop of that query).
+pub type QueryId = u64;
+
+/// Protocol knobs. All times are virtual.
+#[derive(Clone, Copy, Debug)]
+pub struct RpcConfig {
+    /// Per-hop retransmit timeout for the first attempt.
+    pub rto: Nanos,
+    /// Resends after the first attempt before a child is written off.
+    pub max_retries: u32,
+    /// Multiplier applied to `rto` per attempt (exponential backoff).
+    pub backoff_mult: u32,
+    /// If set, one extra request copy is sent this long after the first
+    /// unanswered send (straggler hedging).
+    pub hedge_after: Option<Nanos>,
+    /// End-to-end budget per query, measured from admission.
+    pub deadline: Nanos,
+    /// Per-level deadline shrink: a child must reply this much earlier
+    /// than its parent finalizes, leaving time for the reply to climb.
+    pub hop_slack: Nanos,
+    /// Outstanding child calls per aggregation (the rest queue).
+    pub max_children_inflight: usize,
+    /// Concurrently admitted queries at the controller (the rest queue).
+    pub max_queries_inflight: usize,
+    /// Per-agent cached replies kept for duplicate-request suppression.
+    pub reply_cache_cap: usize,
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        RpcConfig {
+            rto: Nanos::from_millis(2),
+            max_retries: 3,
+            backoff_mult: 2,
+            hedge_after: Some(Nanos::from_millis(1)),
+            deadline: Nanos::from_millis(200),
+            hop_slack: Nanos::from_millis(5),
+            max_children_inflight: 8,
+            max_queries_inflight: 4,
+            reply_cache_cap: 1024,
+        }
+    }
+}
+
+impl RpcConfig {
+    /// Clamps degenerate values that would break timer progress.
+    fn sanitized(mut self) -> Self {
+        self.rto = self.rto.max(Nanos(1));
+        self.deadline = self.deadline.max(Nanos(1));
+        self.backoff_mult = self.backoff_mult.max(1);
+        self.max_children_inflight = self.max_children_inflight.max(1);
+        self.max_queries_inflight = self.max_queries_inflight.max(1);
+        self.reply_cache_cap = self.reply_cache_cap.max(1);
+        self
+    }
+
+    fn retry_interval(&self, attempt: u32) -> Nanos {
+        let mult = (self.backoff_mult as u64).saturating_pow(attempt);
+        Nanos(self.rto.0.saturating_mul(mult))
+    }
+}
+
+/// Protocol-level counters (channel-level counts live on the channel).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PlaneStats {
+    /// Retransmits after an unanswered `rto`.
+    pub retries: u64,
+    /// Hedged duplicate requests.
+    pub hedges: u64,
+    /// Frames that failed CRC/decode and were dropped.
+    pub decode_failures: u64,
+    /// Well-formed frames that violated the protocol (unknown type,
+    /// mismatched response variant, request addressed to the controller).
+    pub protocol_errors: u64,
+    /// Duplicate requests answered from the reply cache.
+    pub cache_replies: u64,
+    /// Duplicate requests ignored because execution was still in flight.
+    pub duplicate_requests: u64,
+    /// Replies that arrived after their subtree was written off.
+    pub late_replies: u64,
+}
+
+/// The result of one query over the plane.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The merged (possibly partial) response.
+    pub response: Response,
+    /// Exact per-host accounting; see the crate docs for the guarantees.
+    pub coverage: Coverage,
+    /// The host set the query was submitted over (sorted).
+    pub hosts: Vec<u32>,
+    /// Admission → completion, in virtual time.
+    pub elapsed: Nanos,
+    /// Submission → admission wait under query backpressure.
+    pub queued_wait: Nanos,
+    /// Whether `elapsed` stayed within the configured deadline.
+    pub deadline_met: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum ChildState {
+    /// Waiting for an in-flight slot (backpressure).
+    Queued,
+    /// Request sent, reply pending. Once `acked`, the child is known
+    /// alive and retry/hedge timers park — only the deadline applies.
+    Inflight {
+        attempt: u32,
+        first_sent: Nanos,
+        retry_at: Nanos,
+        hedged: bool,
+        acked: bool,
+    },
+    /// Reply merged.
+    Done,
+    /// Retries exhausted; subtree counted missed.
+    Failed,
+}
+
+struct ChildCall {
+    subtree: TreeNode,
+    state: ChildState,
+}
+
+/// One in-progress aggregation at a node (agents run at most one per
+/// `req_id`; distinct queries pipeline freely).
+struct Agg {
+    /// Where the merged reply goes (`None` at the controller).
+    parent: Option<NodeId>,
+    query: Query,
+    finalize_at: Nanos,
+    acc: Response,
+    cov: Coverage,
+    children: Vec<ChildCall>,
+    queued: VecDeque<usize>,
+    inflight: usize,
+}
+
+impl Agg {
+    fn terminal(&self) -> bool {
+        self.inflight == 0 && self.queued.is_empty()
+    }
+}
+
+#[derive(Default)]
+struct Node {
+    aggs: BTreeMap<u64, Agg>,
+    reply_cache: BTreeMap<u64, Vec<u8>>,
+}
+
+struct PendingSubmit {
+    query: Query,
+    roots: Vec<TreeNode>,
+    hosts: Vec<u32>,
+    submitted_at: Nanos,
+}
+
+/// A timer event, in deterministic firing order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TimerKind {
+    Finalize,
+    Hedge(usize),
+    Retry(usize),
+}
+
+/// The fan-out/fan-in aggregation-tree driver: all agent state machines,
+/// the controller, and the virtual clock.
+pub struct TreePlane<C: Channel> {
+    cfg: RpcConfig,
+    channel: C,
+    tibs: Vec<Tib>,
+    agents: Vec<Node>,
+    controller: Node,
+    meta: BTreeMap<u64, PendingSubmit>,
+    admitted_at: BTreeMap<u64, Nanos>,
+    submit_queue: VecDeque<u64>,
+    outcomes: BTreeMap<u64, QueryOutcome>,
+    admitted: usize,
+    now: Nanos,
+    next_req: u64,
+    stats: PlaneStats,
+}
+
+fn subtree_hosts(node: &TreeNode, out: &mut Vec<u32>) {
+    let mut stack = vec![node];
+    while let Some(n) = stack.pop() {
+        out.push(n.host as u32);
+        for c in &n.children {
+            stack.push(c);
+        }
+    }
+}
+
+fn same_variant(a: &Response, b: &Response) -> bool {
+    std::mem::discriminant(a) == std::mem::discriminant(b)
+}
+
+impl<C: Channel> TreePlane<C> {
+    /// A plane over per-host TIBs (index = host = channel address).
+    pub fn new(channel: C, cfg: RpcConfig, tibs: Vec<Tib>) -> Self {
+        let agents = (0..tibs.len()).map(|_| Node::default()).collect();
+        TreePlane {
+            cfg: cfg.sanitized(),
+            channel,
+            tibs,
+            agents,
+            controller: Node::default(),
+            meta: BTreeMap::new(),
+            admitted_at: BTreeMap::new(),
+            submit_queue: VecDeque::new(),
+            outcomes: BTreeMap::new(),
+            admitted: 0,
+            now: Nanos::ZERO,
+            next_req: 1,
+            stats: PlaneStats::default(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> PlaneStats {
+        self.stats
+    }
+
+    /// The underlying channel (fault logs, traffic counters).
+    pub fn channel(&self) -> &C {
+        &self.channel
+    }
+
+    /// Effective (sanitized) configuration.
+    pub fn config(&self) -> RpcConfig {
+        self.cfg
+    }
+
+    /// Submits `query` over `hosts` with the given tree fan-outs. The
+    /// query is admitted immediately if an in-flight slot is free,
+    /// otherwise it queues (bounded pipelining). Invalid host indexes are
+    /// ignored.
+    pub fn submit(&mut self, query: &Query, hosts: &[usize], fanouts: &[usize]) -> QueryId {
+        let hosts: Vec<usize> = hosts
+            .iter()
+            .copied()
+            .filter(|&h| h < self.tibs.len())
+            .collect();
+        let roots = build_tree(&hosts, fanouts);
+        let mut host_ids: Vec<u32> = hosts.iter().map(|&h| h as u32).collect();
+        host_ids.sort_unstable();
+        host_ids.dedup();
+        let id = self.next_req;
+        self.next_req += 1;
+        self.meta.insert(
+            id,
+            PendingSubmit {
+                query: query.clone(),
+                roots,
+                hosts: host_ids,
+                submitted_at: self.now,
+            },
+        );
+        self.submit_queue.push_back(id);
+        self.try_admit();
+        id
+    }
+
+    /// The finished outcome for `id`, if completed.
+    pub fn outcome(&self, id: QueryId) -> Option<&QueryOutcome> {
+        self.outcomes.get(&id)
+    }
+
+    /// Removes and returns the finished outcome for `id`.
+    pub fn take_outcome(&mut self, id: QueryId) -> Option<QueryOutcome> {
+        self.outcomes.remove(&id)
+    }
+
+    /// Advances the virtual clock to the next event (channel delivery or
+    /// protocol timer) and runs everything due. Returns `false` when the
+    /// plane is idle.
+    pub fn step(&mut self) -> bool {
+        let mut next = self.channel.next_delivery_at();
+        if let Some(t) = self.next_timer() {
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
+        let Some(t) = next else {
+            return false;
+        };
+        if t > self.now {
+            self.now = t;
+        }
+        loop {
+            let mut progressed = false;
+            while let Some(d) = self.channel.recv_due(self.now) {
+                self.on_frame(d);
+                progressed = true;
+            }
+            if let Some((owner, req_id, kind)) = self.pop_due_timer() {
+                self.fire_timer(owner, req_id, kind);
+                progressed = true;
+            }
+            if !progressed {
+                return true;
+            }
+        }
+    }
+
+    /// Drives the plane until `id` completes; `None` only if the plane
+    /// goes idle first (a protocol bug — deadlines guarantee completion).
+    pub fn run(&mut self, id: QueryId) -> Option<QueryOutcome> {
+        loop {
+            if self.outcomes.contains_key(&id) {
+                return self.take_outcome(id);
+            }
+            if !self.step() {
+                return self.take_outcome(id);
+            }
+        }
+    }
+
+    /// Drives the plane until every event is drained.
+    pub fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    // --- admission -------------------------------------------------------
+
+    fn try_admit(&mut self) {
+        while self.admitted < self.cfg.max_queries_inflight {
+            let Some(id) = self.submit_queue.pop_front() else {
+                return;
+            };
+            let Some(pending) = self.meta.get(&id) else {
+                continue;
+            };
+            self.admitted_at.insert(id, self.now);
+            self.admitted += 1;
+            let finalize_at = self.now + self.cfg.deadline;
+            let children: Vec<ChildCall> = pending
+                .roots
+                .iter()
+                .map(|r| ChildCall {
+                    subtree: r.clone(),
+                    state: ChildState::Queued,
+                })
+                .collect();
+            let queued: VecDeque<usize> = (0..children.len()).collect();
+            let mut agg = Agg {
+                parent: None,
+                query: pending.query.clone(),
+                finalize_at,
+                acc: Response::empty_for(&pending.query),
+                cov: Coverage::new(),
+                children,
+                queued,
+                inflight: 0,
+            };
+            self.pump(CONTROLLER, id, &mut agg);
+            if agg.terminal() {
+                // Zero hosts: complete on the spot.
+                self.complete_controller(id, agg);
+            } else {
+                self.controller.aggs.insert(id, agg);
+            }
+        }
+    }
+
+    // --- sending ---------------------------------------------------------
+
+    fn send_request(&mut self, owner: NodeId, req_id: u64, agg: &Agg, child: &TreeNode) {
+        let child_deadline =
+            Nanos(agg.finalize_at.0.saturating_sub(self.cfg.hop_slack.0)).max(self.now);
+        let msg = RequestMsg {
+            req_id,
+            deadline: child_deadline,
+            query: agg.query.clone(),
+            subtree: child.clone(),
+        };
+        let frame = pathdump_wire::Frame::new(FRAME_RPC_REQUEST, pathdump_wire::to_bytes(&msg));
+        self.channel
+            .send(owner, child.host as NodeId, frame.to_wire(), self.now);
+    }
+
+    fn send_ack(&mut self, owner: NodeId, parent: NodeId, req_id: u64) {
+        let frame =
+            pathdump_wire::Frame::new(FRAME_RPC_ACK, pathdump_wire::to_bytes(&AckMsg { req_id }));
+        self.channel.send(owner, parent, frame.to_wire(), self.now);
+    }
+
+    /// Starts queued child calls while in-flight slots are free.
+    fn pump(&mut self, owner: NodeId, req_id: u64, agg: &mut Agg) {
+        while agg.inflight < self.cfg.max_children_inflight {
+            let Some(idx) = agg.queued.pop_front() else {
+                return;
+            };
+            let child_host = agg.children[idx].subtree.host;
+            if child_host >= self.tibs.len() {
+                // Unroutable child (cannot happen with a well-formed tree):
+                // count its subtree missed without burning retries.
+                let mut hosts = Vec::new();
+                subtree_hosts(&agg.children[idx].subtree, &mut hosts);
+                agg.cov.missed.extend(hosts);
+                agg.children[idx].state = ChildState::Failed;
+                continue;
+            }
+            let subtree = agg.children[idx].subtree.clone();
+            self.send_request(owner, req_id, agg, &subtree);
+            agg.children[idx].state = ChildState::Inflight {
+                attempt: 0,
+                first_sent: self.now,
+                retry_at: self.now + self.cfg.retry_interval(0),
+                hedged: self.cfg.hedge_after.is_none(),
+                acked: false,
+            };
+            agg.inflight += 1;
+        }
+    }
+
+    // --- receiving -------------------------------------------------------
+
+    fn on_frame(&mut self, d: Delivery) {
+        let parsed = pathdump_wire::Frame::from_wire(&d.bytes);
+        let Ok((frame, used)) = parsed else {
+            self.stats.decode_failures += 1;
+            return;
+        };
+        if used != d.bytes.len() {
+            self.stats.decode_failures += 1;
+            return;
+        }
+        match frame.typ {
+            FRAME_RPC_REQUEST => {
+                let Ok(msg) = pathdump_wire::from_bytes::<RequestMsg>(&frame.payload) else {
+                    self.stats.decode_failures += 1;
+                    return;
+                };
+                if d.to == CONTROLLER || (d.to as usize) >= self.agents.len() {
+                    self.stats.protocol_errors += 1;
+                    return;
+                }
+                self.on_request(d.to, d.from, msg);
+            }
+            FRAME_RPC_REPLY => {
+                let Ok(msg) = pathdump_wire::from_bytes::<ReplyMsg>(&frame.payload) else {
+                    self.stats.decode_failures += 1;
+                    return;
+                };
+                self.on_reply(d.to, d.from, msg);
+            }
+            FRAME_RPC_ACK => {
+                let Ok(msg) = pathdump_wire::from_bytes::<AckMsg>(&frame.payload) else {
+                    self.stats.decode_failures += 1;
+                    return;
+                };
+                self.on_ack(d.to, d.from, msg);
+            }
+            _ => self.stats.protocol_errors += 1,
+        }
+    }
+
+    fn on_request(&mut self, to: NodeId, from: NodeId, msg: RequestMsg) {
+        let me = to as usize;
+        if msg.subtree.host != me {
+            self.stats.protocol_errors += 1;
+            return;
+        }
+        if let Some(cached) = self.agents[me].reply_cache.get(&msg.req_id) {
+            // At-least-once delivery, at-most-once execution: duplicate
+            // requests re-send the cached reply frame.
+            let bytes = cached.clone();
+            self.stats.cache_replies += 1;
+            self.channel.send(to, from, bytes, self.now);
+            return;
+        }
+        if self.agents[me].aggs.contains_key(&msg.req_id) {
+            // Still aggregating: re-ack (the first ack may have been lost)
+            // so the parent keeps waiting instead of retrying.
+            self.stats.duplicate_requests += 1;
+            self.send_ack(to, from, msg.req_id);
+            return;
+        }
+        if !msg.subtree.children.is_empty() {
+            // Non-leaf work can legitimately outlast many RTOs (e.g. its
+            // own dead grandchildren burn retries first); the ack parks
+            // the parent's retry clock. A leaf replies immediately below,
+            // so its reply doubles as the ack.
+            self.send_ack(to, from, msg.req_id);
+        }
+        let local = execute_on_tib(&self.tibs[me], &msg.query);
+        let children: Vec<ChildCall> = msg
+            .subtree
+            .children
+            .into_iter()
+            .map(|subtree| ChildCall {
+                subtree,
+                state: ChildState::Queued,
+            })
+            .collect();
+        let queued: VecDeque<usize> = (0..children.len()).collect();
+        let mut agg = Agg {
+            parent: Some(from),
+            query: msg.query,
+            finalize_at: msg.deadline,
+            acc: local,
+            cov: Coverage::answered_one(me as u32),
+            children,
+            queued,
+            inflight: 0,
+        };
+        self.pump(to, msg.req_id, &mut agg);
+        if agg.terminal() {
+            self.reply_up(to, msg.req_id, agg);
+        } else {
+            self.agents[me].aggs.insert(msg.req_id, agg);
+        }
+    }
+
+    fn on_reply(&mut self, to: NodeId, from: NodeId, msg: ReplyMsg) {
+        let node = if to == CONTROLLER {
+            &mut self.controller
+        } else if (to as usize) < self.agents.len() {
+            &mut self.agents[to as usize]
+        } else {
+            self.stats.protocol_errors += 1;
+            return;
+        };
+        let Some(agg) = node.aggs.get_mut(&msg.req_id) else {
+            // The aggregation already finalized (or never existed here):
+            // a duplicate or post-deadline straggler.
+            self.stats.late_replies += 1;
+            return;
+        };
+        let Some(idx) = agg
+            .children
+            .iter()
+            .position(|c| c.subtree.host == from as usize)
+        else {
+            self.stats.protocol_errors += 1;
+            return;
+        };
+        if !matches!(agg.children[idx].state, ChildState::Inflight { .. }) {
+            // Duplicate reply (hedge or channel dup) or post-write-off.
+            self.stats.late_replies += 1;
+            return;
+        }
+        if !same_variant(&agg.acc, &msg.response) {
+            self.stats.protocol_errors += 1;
+            return;
+        }
+        agg.acc.merge(msg.response);
+        agg.cov.absorb(msg.coverage);
+        agg.children[idx].state = ChildState::Done;
+        agg.inflight -= 1;
+        let Some(mut agg) = node.aggs.remove(&msg.req_id) else {
+            return;
+        };
+        self.pump(to, msg.req_id, &mut agg);
+        if agg.terminal() {
+            self.finalize(to, msg.req_id, agg);
+        } else {
+            let node = if to == CONTROLLER {
+                &mut self.controller
+            } else {
+                &mut self.agents[to as usize]
+            };
+            node.aggs.insert(msg.req_id, agg);
+        }
+    }
+
+    fn on_ack(&mut self, to: NodeId, from: NodeId, msg: AckMsg) {
+        let node = if to == CONTROLLER {
+            &mut self.controller
+        } else if (to as usize) < self.agents.len() {
+            &mut self.agents[to as usize]
+        } else {
+            self.stats.protocol_errors += 1;
+            return;
+        };
+        let Some(agg) = node.aggs.get_mut(&msg.req_id) else {
+            return; // Ack after finalize: nothing to park.
+        };
+        let Some(idx) = agg
+            .children
+            .iter()
+            .position(|c| c.subtree.host == from as usize)
+        else {
+            self.stats.protocol_errors += 1;
+            return;
+        };
+        if let ChildState::Inflight { acked, .. } = &mut agg.children[idx].state {
+            *acked = true;
+        }
+    }
+
+    // --- timers ----------------------------------------------------------
+
+    fn agg_timer(cfg: &RpcConfig, agg: &Agg) -> Option<Nanos> {
+        let mut t = Some(agg.finalize_at);
+        for c in &agg.children {
+            if let ChildState::Inflight {
+                first_sent,
+                retry_at,
+                hedged,
+                acked,
+                ..
+            } = c.state
+            {
+                if acked {
+                    continue; // parked: only the finalize deadline applies
+                }
+                let mut cand = retry_at;
+                if !hedged {
+                    if let Some(h) = cfg.hedge_after {
+                        cand = cand.min(first_sent + h);
+                    }
+                }
+                t = Some(t.map_or(cand, |x| x.min(cand)));
+            }
+        }
+        t
+    }
+
+    fn next_timer(&self) -> Option<Nanos> {
+        let mut t: Option<Nanos> = None;
+        let fold = |t: Option<Nanos>, cand: Nanos| Some(t.map_or(cand, |x| x.min(cand)));
+        for agg in self.controller.aggs.values() {
+            if let Some(cand) = Self::agg_timer(&self.cfg, agg) {
+                t = fold(t, cand);
+            }
+        }
+        for node in &self.agents {
+            for agg in node.aggs.values() {
+                if let Some(cand) = Self::agg_timer(&self.cfg, agg) {
+                    t = fold(t, cand);
+                }
+            }
+        }
+        t
+    }
+
+    /// The first timer due at or before `now`, in deterministic order:
+    /// controller before agents, agents by index, aggregations by id;
+    /// within one aggregation, finalize > hedge > retry, children in
+    /// order.
+    fn pop_due_timer(&self) -> Option<(NodeId, u64, TimerKind)> {
+        let now = self.now;
+        let cfg = self.cfg;
+        let scan = |owner: NodeId, aggs: &BTreeMap<u64, Agg>| -> Option<(NodeId, u64, TimerKind)> {
+            for (&req_id, agg) in aggs {
+                if agg.finalize_at <= now {
+                    return Some((owner, req_id, TimerKind::Finalize));
+                }
+                for (idx, c) in agg.children.iter().enumerate() {
+                    if let ChildState::Inflight {
+                        first_sent,
+                        retry_at,
+                        hedged,
+                        acked,
+                        ..
+                    } = c.state
+                    {
+                        if acked {
+                            continue;
+                        }
+                        if !hedged {
+                            if let Some(h) = cfg.hedge_after {
+                                if first_sent + h <= now {
+                                    return Some((owner, req_id, TimerKind::Hedge(idx)));
+                                }
+                            }
+                        }
+                        if retry_at <= now {
+                            return Some((owner, req_id, TimerKind::Retry(idx)));
+                        }
+                    }
+                }
+            }
+            None
+        };
+        if let Some(ev) = scan(CONTROLLER, &self.controller.aggs) {
+            return Some(ev);
+        }
+        for (i, node) in self.agents.iter().enumerate() {
+            if let Some(ev) = scan(i as NodeId, &node.aggs) {
+                return Some(ev);
+            }
+        }
+        None
+    }
+
+    fn fire_timer(&mut self, owner: NodeId, req_id: u64, kind: TimerKind) {
+        let node = if owner == CONTROLLER {
+            &mut self.controller
+        } else {
+            &mut self.agents[owner as usize]
+        };
+        match kind {
+            TimerKind::Finalize => {
+                if let Some(agg) = node.aggs.remove(&req_id) {
+                    self.finalize(owner, req_id, agg);
+                }
+            }
+            TimerKind::Hedge(idx) => {
+                let Some(agg) = node.aggs.get_mut(&req_id) else {
+                    return;
+                };
+                if let ChildState::Inflight { hedged, .. } = &mut agg.children[idx].state {
+                    *hedged = true;
+                }
+                let Some(mut agg) = node.aggs.remove(&req_id) else {
+                    return;
+                };
+                let subtree = agg.children[idx].subtree.clone();
+                self.stats.hedges += 1;
+                self.send_request(owner, req_id, &agg, &subtree);
+                self.reinsert(owner, req_id, &mut agg);
+            }
+            TimerKind::Retry(idx) => {
+                let Some(mut agg) = node.aggs.remove(&req_id) else {
+                    return;
+                };
+                let exhausted =
+                    if let ChildState::Inflight { attempt, .. } = agg.children[idx].state {
+                        attempt >= self.cfg.max_retries
+                    } else {
+                        true
+                    };
+                if exhausted {
+                    // Peer presumed dead: its whole subtree is missed.
+                    let mut hosts = Vec::new();
+                    subtree_hosts(&agg.children[idx].subtree, &mut hosts);
+                    agg.cov.missed.extend(hosts);
+                    agg.children[idx].state = ChildState::Failed;
+                    agg.inflight -= 1;
+                    self.pump(owner, req_id, &mut agg);
+                    if agg.terminal() {
+                        self.finalize(owner, req_id, agg);
+                        return;
+                    }
+                } else if let ChildState::Inflight {
+                    attempt, retry_at, ..
+                } = &mut agg.children[idx].state
+                {
+                    *attempt += 1;
+                    let next = self.now + self.cfg.retry_interval(*attempt);
+                    *retry_at = next;
+                    let subtree = agg.children[idx].subtree.clone();
+                    self.stats.retries += 1;
+                    self.send_request(owner, req_id, &agg, &subtree);
+                }
+                self.reinsert(owner, req_id, &mut agg);
+            }
+        }
+    }
+
+    /// Puts an aggregation back unless it was consumed by a finalize.
+    fn reinsert(&mut self, owner: NodeId, req_id: u64, agg: &mut Agg) {
+        let node = if owner == CONTROLLER {
+            &mut self.controller
+        } else {
+            &mut self.agents[owner as usize]
+        };
+        let placeholder = Agg {
+            parent: None,
+            query: agg.query.clone(),
+            finalize_at: Nanos::ZERO,
+            acc: Response::Count { bytes: 0, pkts: 0 },
+            cov: Coverage::new(),
+            children: Vec::new(),
+            queued: VecDeque::new(),
+            inflight: 0,
+        };
+        node.aggs
+            .insert(req_id, std::mem::replace(agg, placeholder));
+    }
+
+    // --- completion ------------------------------------------------------
+
+    /// Writes off outstanding subtrees as timed-out, normalizes coverage,
+    /// and routes the result up (agents) or out (controller).
+    fn finalize(&mut self, owner: NodeId, req_id: u64, mut agg: Agg) {
+        for c in &agg.children {
+            if matches!(c.state, ChildState::Queued | ChildState::Inflight { .. }) {
+                let mut hosts = Vec::new();
+                subtree_hosts(&c.subtree, &mut hosts);
+                agg.cov.timed_out.extend(hosts);
+            }
+        }
+        agg.queued.clear();
+        agg.inflight = 0;
+        if owner == CONTROLLER {
+            self.complete_controller(req_id, agg);
+        } else {
+            self.reply_up(owner, req_id, agg);
+        }
+    }
+
+    fn reply_up(&mut self, owner: NodeId, req_id: u64, mut agg: Agg) {
+        agg.cov.normalize();
+        let Some(parent) = agg.parent else {
+            return;
+        };
+        let msg = ReplyMsg {
+            req_id,
+            response: agg.acc,
+            coverage: agg.cov,
+        };
+        let frame = pathdump_wire::Frame::new(FRAME_RPC_REPLY, pathdump_wire::to_bytes(&msg));
+        let wire = frame.to_wire();
+        let me = owner as usize;
+        let cache = &mut self.agents[me].reply_cache;
+        if cache.len() >= self.cfg.reply_cache_cap {
+            cache.pop_first();
+        }
+        cache.insert(req_id, wire.clone());
+        self.channel.send(owner, parent, wire, self.now);
+    }
+
+    fn complete_controller(&mut self, req_id: u64, mut agg: Agg) {
+        agg.cov.normalize();
+        let (hosts, submitted_at) = match self.meta.remove(&req_id) {
+            Some(p) => (p.hosts, p.submitted_at),
+            None => (Vec::new(), self.now),
+        };
+        let admitted = self.admitted_at.remove(&req_id).unwrap_or(self.now);
+        let elapsed = self.now - admitted;
+        self.outcomes.insert(
+            req_id,
+            QueryOutcome {
+                response: agg.acc,
+                coverage: agg.cov,
+                hosts,
+                elapsed,
+                queued_wait: admitted - submitted_at,
+                deadline_met: elapsed <= self.cfg.deadline,
+            },
+        );
+        self.admitted = self.admitted.saturating_sub(1);
+        self.try_admit();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::Loopback;
+    use pathdump_core::{Cluster, MgmtNet};
+    use pathdump_tib::TibRecord;
+    use pathdump_topology::{FlowId, Ip, Path, SwitchId, TimeRange};
+
+    fn tib_with(host: usize, n: usize) -> Tib {
+        let mut t = Tib::new();
+        for i in 0..n {
+            t.insert(TibRecord {
+                flow: FlowId::tcp(
+                    Ip::new(10, host as u8, 0, 2),
+                    1000 + i as u16,
+                    Ip::new(10, 99, 0, 2),
+                    80,
+                ),
+                path: Path::new(vec![SwitchId(0), SwitchId(8), SwitchId(4)]),
+                stime: Nanos(i as u64),
+                etime: Nanos(i as u64 + 10),
+                bytes: (host * 1000 + i * 17) as u64,
+                pkts: 1,
+            });
+        }
+        t
+    }
+
+    fn tibs(n_hosts: usize, records: usize) -> Vec<Tib> {
+        (0..n_hosts).map(|h| tib_with(h, records)).collect()
+    }
+
+    #[test]
+    fn lossless_tree_matches_multilevel_oracle() {
+        let data = tibs(30, 40);
+        let cluster = Cluster::new(data.clone(), MgmtNet::default());
+        let hosts: Vec<usize> = (0..30).collect();
+        let q = Query::TopK {
+            k: 25,
+            range: TimeRange::ANY,
+        };
+        let oracle = cluster.multilevel_query(&hosts, &q, &[7, 4, 4]);
+
+        let mut plane = TreePlane::new(Loopback::default(), RpcConfig::default(), data);
+        let id = plane.submit(&q, &hosts, &[7, 4, 4]);
+        let out = plane.run(id).expect("completes");
+        assert_eq!(out.response, oracle.response);
+        assert!(out.coverage.is_complete());
+        assert_eq!(out.coverage.answered.len(), 30);
+        assert!(out.coverage.partitions(&(0..30u32).collect::<Vec<_>>()));
+        assert!(out.deadline_met);
+        assert_eq!(plane.stats().retries, 0);
+        assert_eq!(plane.stats().decode_failures, 0);
+    }
+
+    #[test]
+    fn pipelined_queries_all_complete() {
+        let data = tibs(12, 20);
+        let cluster = Cluster::new(data.clone(), MgmtNet::default());
+        let hosts: Vec<usize> = (0..12).collect();
+        let cfg = RpcConfig {
+            max_queries_inflight: 2, // force queueing
+            ..RpcConfig::default()
+        };
+        let mut plane = TreePlane::new(Loopback::default(), cfg, data);
+        let queries = [
+            Query::TopK {
+                k: 5,
+                range: TimeRange::ANY,
+            },
+            Query::TrafficMatrix {
+                range: TimeRange::ANY,
+            },
+            Query::GetFlows {
+                link: pathdump_topology::LinkPattern::ANY,
+                range: TimeRange::ANY,
+            },
+            Query::HeavyHitters {
+                min_bytes: 5_000,
+                range: TimeRange::ANY,
+            },
+            Query::FlowSizeDist {
+                link: pathdump_topology::LinkPattern::ANY,
+                range: TimeRange::ANY,
+                bin_bytes: 1000,
+            },
+        ];
+        let ids: Vec<QueryId> = queries
+            .iter()
+            .map(|q| plane.submit(q, &hosts, &[3, 2, 2]))
+            .collect();
+        plane.run_until_idle();
+        for (q, id) in queries.iter().zip(ids) {
+            let out = plane.take_outcome(id).expect("completed");
+            let oracle = cluster.multilevel_query(&hosts, q, &[3, 2, 2]);
+            assert_eq!(out.response, oracle.response, "query {q:?}");
+            assert!(out.coverage.is_complete());
+            assert!(out.deadline_met);
+        }
+    }
+
+    #[test]
+    fn empty_host_set_completes_immediately() {
+        let mut plane = TreePlane::new(Loopback::default(), RpcConfig::default(), tibs(4, 5));
+        let id = plane.submit(
+            &Query::TopK {
+                k: 3,
+                range: TimeRange::ANY,
+            },
+            &[],
+            &[7, 4, 4],
+        );
+        let out = plane.run(id).expect("completes");
+        assert_eq!(
+            out.response,
+            Response::TopK {
+                k: 3,
+                entries: vec![]
+            }
+        );
+        assert_eq!(out.coverage.total(), 0);
+        assert!(out.deadline_met);
+    }
+
+    #[test]
+    fn single_host_tree() {
+        let data = tibs(1, 10);
+        let cluster = Cluster::new(data.clone(), MgmtNet::default());
+        let q = Query::TrafficMatrix {
+            range: TimeRange::ANY,
+        };
+        let oracle = cluster.multilevel_query(&[0], &q, &[7, 4, 4]);
+        let mut plane = TreePlane::new(Loopback::default(), RpcConfig::default(), data);
+        let id = plane.submit(&q, &[0], &[7, 4, 4]);
+        let out = plane.run(id).expect("completes");
+        assert_eq!(out.response, oracle.response);
+        assert_eq!(out.coverage.answered, vec![0]);
+    }
+
+    #[test]
+    fn backpressure_bounds_child_inflight() {
+        // A flat 1-level tree over 20 hosts with max_children_inflight=2:
+        // the controller may never have more than 2 outstanding calls, yet
+        // everything completes and matches the oracle.
+        let data = tibs(20, 10);
+        let cluster = Cluster::new(data.clone(), MgmtNet::default());
+        let hosts: Vec<usize> = (0..20).collect();
+        let q = Query::TopK {
+            k: 10,
+            range: TimeRange::ANY,
+        };
+        let oracle = cluster.multilevel_query(&hosts, &q, &[20]);
+        let cfg = RpcConfig {
+            max_children_inflight: 2,
+            ..RpcConfig::default()
+        };
+        let mut plane = TreePlane::new(Loopback::default(), cfg, data);
+        let id = plane.submit(&q, &hosts, &[20]);
+        let out = plane.run(id).expect("completes");
+        assert_eq!(out.response, oracle.response);
+        assert!(out.coverage.is_complete());
+    }
+}

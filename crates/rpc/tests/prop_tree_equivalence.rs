@@ -1,0 +1,242 @@
+//! Differential pin for the rpc plane: a [`TreePlane`] over the lossless
+//! [`Loopback`] channel must be **bit-identical** to the in-process
+//! [`Cluster::multilevel_query`] oracle — same merged `Response`, complete
+//! coverage, deadline met — across arbitrary queries (all nine variants),
+//! fan-out shapes, host subsets, and TIB contents.
+//!
+//! This is the suite that lets every chaos/degradation test trust the
+//! plane's merge logic: once the lossless plane is pinned to the oracle,
+//! a fault test only has to reason about *which hosts* contributed.
+//!
+//! Inputs are kept deliberately small: the vendored proptest stub does not
+//! shrink failures.
+
+use pathdump_core::{Cluster, MgmtNet, Query};
+use pathdump_rpc::{Loopback, RpcConfig, TreePlane};
+use pathdump_tib::{Tib, TibRecord};
+use pathdump_topology::{FlowId, Ip, LinkPattern, Nanos, Path, SwitchId, TimeRange};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The switch pool TIB paths draw from (shared with query link patterns so
+/// link-scoped queries actually match records).
+const SWITCHES: [u16; 5] = [0, 4, 8, 12, 16];
+
+fn mk_tibs(seed: u64, n_hosts: usize) -> Vec<Tib> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n_hosts)
+        .map(|h| {
+            let mut t = Tib::new();
+            for _ in 0..rng.gen_range(0..25usize) {
+                let src = rng.gen_range(0..6u8);
+                let dst = rng.gen_range(0..6u8);
+                let sport = 1000 + rng.gen_range(0..8u16);
+                let a = SWITCHES[rng.gen_range(0..SWITCHES.len())];
+                let b = SWITCHES[rng.gen_range(0..SWITCHES.len())];
+                let c = SWITCHES[rng.gen_range(0..SWITCHES.len())];
+                let stime = Nanos(rng.gen_range(0..5000u64));
+                t.insert(TibRecord {
+                    flow: FlowId::tcp(Ip::new(10, src, 0, 2), sport, Ip::new(10, dst, 1, 2), 80),
+                    path: Path::new(vec![SwitchId(a), SwitchId(b), SwitchId(c)]),
+                    stime,
+                    etime: stime + Nanos(rng.gen_range(1..500u64)),
+                    bytes: rng.gen_range(1..100_000u64),
+                    pkts: rng.gen_range(1..10u64),
+                });
+            }
+            let _ = h;
+            t
+        })
+        .collect()
+}
+
+/// Query spec: variant selector plus raw parameter material.
+type QuerySpec = (u8, u8, u8, u8, u64);
+
+fn mk_query(spec: QuerySpec) -> Query {
+    let (sel, a, b, c, x) = spec;
+    let flow = FlowId::tcp(
+        Ip::new(10, a % 6, 0, 2),
+        1000 + (b % 8) as u16,
+        Ip::new(10, c % 6, 1, 2),
+        80,
+    );
+    let link = match a % 3 {
+        0 => LinkPattern::ANY,
+        1 => LinkPattern {
+            from: Some(SwitchId(SWITCHES[b as usize % SWITCHES.len()])),
+            to: None,
+        },
+        _ => LinkPattern {
+            from: Some(SwitchId(SWITCHES[b as usize % SWITCHES.len()])),
+            to: Some(SwitchId(SWITCHES[c as usize % SWITCHES.len()])),
+        },
+    };
+    let range = match b % 3 {
+        0 => TimeRange::ANY,
+        1 => TimeRange {
+            start: Some(Nanos(x % 3000)),
+            end: None,
+        },
+        _ => {
+            let s = x % 3000;
+            TimeRange::between(Nanos(s), Nanos(s + 1500))
+        }
+    };
+    match sel % 9 {
+        0 => Query::GetFlows { link, range },
+        1 => Query::GetPaths { flow, link, range },
+        2 => Query::GetCount {
+            flow,
+            path: None,
+            range,
+        },
+        3 => Query::GetDuration {
+            flow,
+            path: None,
+            range,
+        },
+        4 => Query::GetPoorTcp {
+            threshold: (c % 4) as u32,
+        },
+        5 => Query::FlowSizeDist {
+            link,
+            range,
+            bin_bytes: 1000 * (1 + (c % 10) as u64),
+        },
+        6 => Query::TopK {
+            k: 1 + (c % 20) as u32,
+            range,
+        },
+        7 => Query::TrafficMatrix { range },
+        _ => Query::HeavyHitters {
+            min_bytes: x % 50_000,
+            range,
+        },
+    }
+}
+
+const FANOUT_MENU: [&[usize]; 6] = [&[7, 4, 4], &[3, 2, 2], &[2, 2, 2, 2], &[1], &[40], &[4, 4]];
+
+/// First-occurrence dedup preserving order — both sides must see the same
+/// host sequence, and a host appearing twice in one tree would alias two
+/// tree positions onto one agent.
+fn host_subset(selectors: &[u8], n_hosts: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    for &s in selectors {
+        let h = s as usize % n_hosts;
+        if !out.contains(&h) {
+            out.push(h);
+        }
+    }
+    out
+}
+
+fn check_equivalence(
+    tib_seed: u64,
+    n_hosts: usize,
+    selectors: &[u8],
+    fanout_sel: u8,
+    spec: QuerySpec,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let hosts = host_subset(selectors, n_hosts);
+    let fanouts = FANOUT_MENU[fanout_sel as usize % FANOUT_MENU.len()];
+    let q = mk_query(spec);
+    let tibs = mk_tibs(tib_seed, n_hosts);
+
+    let cluster = Cluster::new(tibs.clone(), MgmtNet::default());
+    let oracle = cluster.multilevel_query(&hosts, &q, fanouts);
+
+    let mut plane = TreePlane::new(Loopback::default(), RpcConfig::default(), tibs);
+    let id = plane.submit(&q, &hosts, fanouts);
+    let Some(out) = plane.run(id) else {
+        return Err(proptest::test_runner::TestCaseError::fail(format!(
+            "plane went idle without completing {q:?} over {hosts:?}"
+        )));
+    };
+
+    prop_assert_eq!(
+        &out.response,
+        &oracle.response,
+        "plane vs oracle diverged: q={:?} hosts={:?} fanouts={:?}",
+        q,
+        hosts,
+        fanouts
+    );
+    prop_assert!(out.coverage.is_complete(), "lossless run must cover all");
+    let want: Vec<u32> = {
+        let mut w: Vec<u32> = hosts.iter().map(|&h| h as u32).collect();
+        w.sort_unstable();
+        w
+    };
+    prop_assert!(
+        out.coverage.partitions(&want),
+        "coverage {:?} must partition {:?}",
+        out.coverage,
+        want
+    );
+    prop_assert!(out.deadline_met);
+    prop_assert_eq!(plane.stats().retries, 0);
+    prop_assert_eq!(plane.stats().decode_failures, 0);
+    prop_assert_eq!(plane.stats().protocol_errors, 0);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All nine query variants over arbitrary host subsets and fan-outs.
+    #[test]
+    fn loopback_plane_matches_multilevel_oracle(
+        tib_seed in any::<u64>(),
+        n_hosts in 1usize..40,
+        selectors in proptest::collection::vec(any::<u8>(), 1..32),
+        fanout_sel in any::<u8>(),
+        spec in (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>(), any::<u64>()),
+    ) {
+        check_equivalence(tib_seed, n_hosts, &selectors, fanout_sel, spec)?;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Pipelined: several queries in flight (bounded admission) must each
+    /// still match the oracle exactly.
+    #[test]
+    fn pipelined_queries_match_oracle(
+        tib_seed in any::<u64>(),
+        n_hosts in 2usize..24,
+        fanout_sel in any::<u8>(),
+        specs in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>(), any::<u64>()),
+            2..7,
+        ),
+        inflight in 1usize..4,
+    ) {
+        let hosts: Vec<usize> = (0..n_hosts).collect();
+        let fanouts = FANOUT_MENU[fanout_sel as usize % FANOUT_MENU.len()];
+        let tibs = mk_tibs(tib_seed, n_hosts);
+        let cluster = Cluster::new(tibs.clone(), MgmtNet::default());
+        let cfg = RpcConfig {
+            max_queries_inflight: inflight,
+            ..RpcConfig::default()
+        };
+        let mut plane = TreePlane::new(Loopback::default(), cfg, tibs);
+        let queries: Vec<Query> = specs.iter().map(|&s| mk_query(s)).collect();
+        let ids: Vec<_> = queries.iter().map(|q| plane.submit(q, &hosts, fanouts)).collect();
+        plane.run_until_idle();
+        for (q, id) in queries.iter().zip(ids) {
+            let Some(out) = plane.take_outcome(id) else {
+                return Err(proptest::test_runner::TestCaseError::fail(format!(
+                    "query {q:?} never completed"
+                )));
+            };
+            let oracle = cluster.multilevel_query(&hosts, q, fanouts);
+            prop_assert_eq!(&out.response, &oracle.response, "q={:?}", q);
+            prop_assert!(out.coverage.is_complete());
+            prop_assert!(out.deadline_met);
+        }
+    }
+}

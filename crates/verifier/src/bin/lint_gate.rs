@@ -9,8 +9,10 @@
 //!   `crates/dpswitch/src/**` (the batched parser included),
 //!   `crates/simnet/src/driver.rs`, `crates/simnet/src/pool.rs`,
 //!   `crates/tib/src/tib.rs`, `crates/tib/src/memory.rs` (the per-packet
-//!   map), and `crates/core/src/sharded.rs` (the shard ingest workers).
-//!   A panic there takes down the datapath or a pool worker.
+//!   map), `crates/core/src/sharded.rs` (the shard ingest workers), and
+//!   the `crates/rpc` plane/channel/fault/codec modules (a panic there
+//!   kills every in-flight query on the node). A panic in any of these
+//!   takes down the datapath, a pool worker, or the query plane.
 //! - `println!` is banned in all library code (benches and bins own stdout;
 //!   libraries must not pollute it — `BENCH_tib.json` is parsed from files,
 //!   and dpswitch pipelines stdout).
@@ -36,6 +38,13 @@ const HOT_PATHS: &[&str] = &[
     "crates/tib/src/memory.rs",
     "crates/core/src/sharded.rs",
     "crates/core/src/standing.rs",
+    // The rpc plane: a panic in a state machine, channel or fault hook
+    // kills every in-flight query on the node.
+    "crates/rpc/src/plane.rs",
+    "crates/rpc/src/channel.rs",
+    "crates/rpc/src/fault.rs",
+    "crates/rpc/src/msg.rs",
+    "crates/rpc/src/coverage.rs",
 ];
 
 /// One banned-pattern hit.

@@ -54,4 +54,49 @@ proptest! {
             prop_assert_eq!(decoded, f, "corruption accepted silently");
         }
     }
+
+    /// Every proper prefix of a valid frame fails to parse cleanly: a
+    /// truncated frame is never accepted (full or re-framed) and never
+    /// panics — the length prefix promises bytes the input doesn't have.
+    #[test]
+    fn truncation_never_accepted(
+        typ in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        cut_sel in any::<usize>(),
+    ) {
+        let wire = Frame::new(typ, payload).to_wire();
+        let cut = cut_sel % wire.len(); // strictly shorter than the frame
+        prop_assert!(Frame::from_wire(&wire[..cut]).is_err(),
+            "a {}-byte prefix of a {}-byte frame parsed", cut, wire.len());
+        // (An empty stream is legitimately zero frames, not an error.)
+        if cut > 0 {
+            prop_assert!(pathdump_wire::frame::split_stream(&wire[..cut]).is_err());
+        }
+    }
+
+    /// Corrupting specifically the length prefix (which the CRC does NOT
+    /// cover) must still never mis-accept: a shrunk length re-frames the
+    /// bytes and the CRC over the new extent fails; a grown length runs
+    /// past the input and fails as truncation; and no length value causes
+    /// a panic or an oversized allocation.
+    #[test]
+    fn length_field_corruption_never_misaccepts(
+        typ in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        new_len in any::<u32>(),
+    ) {
+        let f = Frame::new(typ, payload);
+        let mut wire = f.to_wire();
+        wire[0..4].copy_from_slice(&new_len.to_le_bytes());
+        if let Ok((decoded, used)) = Frame::from_wire(&wire) {
+            // Only the original length can satisfy the CRC.
+            prop_assert_eq!(&decoded, &f, "re-framed bytes accepted");
+            prop_assert_eq!(used, wire.len());
+        }
+        // Trailing garbage after a corrupted length must not break the
+        // stream splitter either.
+        let mut stream = wire.clone();
+        stream.extend_from_slice(&f.to_wire());
+        let _ = pathdump_wire::frame::split_stream(&stream);
+    }
 }

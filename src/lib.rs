@@ -13,6 +13,10 @@
 //! - [`tib`]: trajectory memory + the indexed, queryable store;
 //! - [`core`]: host agents, alarms, the controller, direct & multi-level
 //!   distributed queries;
+//! - [`rpc`]: the distributed query plane — agent servers answering
+//!   queries over a pluggable channel through a fan-out/fan-in
+//!   aggregation tree, with timeouts, retries, hedging and exact per-host
+//!   coverage for degraded queries;
 //! - [`apps`]: the §4 debugging applications;
 //! - [`verifier`]: static dataplane verification (loops, blackholes,
 //!   reachability) and intent models for runtime conformance;
@@ -45,6 +49,7 @@ pub use pathdump_apps as apps;
 pub use pathdump_cherrypick as cherrypick;
 pub use pathdump_core as core;
 pub use pathdump_dpswitch as dpswitch;
+pub use pathdump_rpc as rpc;
 pub use pathdump_simnet as simnet;
 pub use pathdump_tib as tib;
 pub use pathdump_topology as topology;
@@ -61,6 +66,9 @@ pub mod prelude {
     pub use pathdump_core::{
         Alarm, Cluster, Fabric, Invariant, MgmtNet, PathDumpWorld, Query, Reason, Response,
         StandingEvent, StandingPredicate, StandingQuery, StandingQueryEngine, WatchId, WorldConfig,
+    };
+    pub use pathdump_rpc::{
+        Channel, Coverage, FaultPlan, FaultyChannel, Loopback, QueryOutcome, RpcConfig, TreePlane,
     };
     pub use pathdump_simnet::{
         FaultState, LoadBalance, Misconfig, Packet, Quirk, SimConfig, Simulator, TagPolicy, World,

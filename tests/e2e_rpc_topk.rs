@@ -1,0 +1,126 @@
+//! End-to-end: a distributed top-k over the **rpc plane**, against
+//! per-host TIBs produced by a real k=4 simnet run (CherryPick tagging,
+//! TCP web traffic, trajectory flush) — not synthetic records.
+//!
+//! Pins three things at once:
+//! - the rpc plane agrees bit-for-bit with the in-process
+//!   `Cluster::multilevel_query` oracle on real TIB contents;
+//! - the whole pipeline (simnet → agents → TIBs → rpc plane) is
+//!   bit-identical whether the fabric ran on the sequential or the
+//!   pooled-sharded engine;
+//! - a degraded query over the same TIBs (one dead agent) still returns
+//!   within deadline, accounts the dead host exactly, and its partial
+//!   answer equals the oracle over the covered hosts.
+
+use pathdump::prelude::*;
+use pathdump::simnet::EngineKind;
+
+fn harvest_tibs(engine: EngineKind) -> Vec<Tib> {
+    let mut cfg = SimConfig::for_tests().with_engine(engine);
+    if engine == EngineKind::Sharded {
+        cfg.shard_workers = 2;
+    }
+    let mut tb = Testbed::fattree(4, cfg, WorldConfig::default());
+    assert_eq!(
+        tb.sim.effective_engine(),
+        engine,
+        "engine must not fall back"
+    );
+    let specs = tb.add_web_traffic(0.25, Nanos::from_secs(2), 4242);
+    assert!(!specs.is_empty());
+    tb.run_and_flush(Nanos::from_secs(6));
+    let tibs: Vec<Tib> = tb.sim.world.agents.iter().map(|a| a.tib.clone()).collect();
+    assert_eq!(tibs.len(), 16, "k=4 fat-tree has 16 hosts");
+    assert!(
+        tibs.iter().map(|t| t.len()).sum::<usize>() >= specs.len(),
+        "web traffic must leave TIB records"
+    );
+    tibs
+}
+
+fn plane_over(tibs: &[Tib], q: &Query, fanouts: &[usize]) -> QueryOutcome {
+    let hosts: Vec<usize> = (0..tibs.len()).collect();
+    let mut plane = TreePlane::new(Loopback::default(), RpcConfig::default(), tibs.to_vec());
+    let id = plane.submit(q, &hosts, fanouts);
+    let out = plane.run(id).expect("lossless plane completes");
+    assert_eq!(plane.stats().decode_failures, 0);
+    assert_eq!(plane.stats().protocol_errors, 0);
+    out
+}
+
+#[test]
+fn distributed_topk_over_rpc_plane_matches_oracle_across_engines() {
+    let seq_tibs = harvest_tibs(EngineKind::Sequential);
+    let sha_tibs = harvest_tibs(EngineKind::Sharded);
+
+    let hosts: Vec<usize> = (0..16).collect();
+    let fanouts = [4usize, 2, 2];
+    let queries = [
+        Query::TopK {
+            k: 50,
+            range: TimeRange::ANY,
+        },
+        Query::TrafficMatrix {
+            range: TimeRange::ANY,
+        },
+        Query::HeavyHitters {
+            min_bytes: 10_000,
+            range: TimeRange::ANY,
+        },
+    ];
+
+    for q in &queries {
+        let seq_out = plane_over(&seq_tibs, q, &fanouts);
+        let sha_out = plane_over(&sha_tibs, q, &fanouts);
+
+        // Plane == in-process oracle, on real TIBs.
+        let oracle = Cluster::new(seq_tibs.clone(), MgmtNet::default())
+            .multilevel_query(&hosts, q, &fanouts);
+        assert_eq!(seq_out.response, oracle.response, "plane vs oracle: {q:?}");
+        assert!(seq_out.coverage.is_complete());
+        assert!(seq_out.deadline_met);
+
+        // Sequential fabric == sharded fabric, all the way through the
+        // rpc plane (the TIBs themselves are pinned identical by the
+        // sharded_equivalence suite; this extends the pin end-to-end).
+        assert_eq!(
+            seq_out.response, sha_out.response,
+            "engine divergence surfaced through the rpc plane: {q:?}"
+        );
+        assert_eq!(seq_out.coverage, sha_out.coverage);
+    }
+}
+
+#[test]
+fn degraded_topk_over_real_tibs_accounts_exactly() {
+    let tibs = harvest_tibs(EngineKind::Sequential);
+    let hosts: Vec<usize> = (0..16).collect();
+    let fanouts = [4usize, 2, 2];
+    let q = Query::TopK {
+        k: 25,
+        range: TimeRange::ANY,
+    };
+
+    // Kill one leaf agent (host 15 is a leaf under [4,2,2] over 16 hosts).
+    let dead_host: u32 = 15;
+    let mut plan = FaultPlan::none(1);
+    plan.dead = vec![dead_host];
+    let mut plane = TreePlane::new(
+        FaultyChannel::new(MgmtNet::default(), plan),
+        RpcConfig::default(),
+        tibs.clone(),
+    );
+    let id = plane.submit(&q, &hosts, &fanouts);
+    let out = plane.run(id).expect("deadline guarantees completion");
+
+    assert!(out.elapsed <= plane.config().deadline);
+    assert!(out.coverage.missed.contains(&dead_host));
+    assert!(!out.coverage.answered.contains(&dead_host));
+    let all: Vec<u32> = (0..16).collect();
+    assert!(out.coverage.partitions(&all));
+
+    // The partial answer equals the oracle over exactly the covered hosts.
+    let covered: Vec<usize> = out.coverage.answered.iter().map(|&h| h as usize).collect();
+    let oracle = Cluster::new(tibs, MgmtNet::default()).multilevel_query(&covered, &q, &fanouts);
+    assert_eq!(out.response, oracle.response);
+}
