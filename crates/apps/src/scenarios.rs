@@ -114,6 +114,7 @@ impl Testbed {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pathdump_core::TibRead;
     use pathdump_topology::{LinkPattern, TimeRange};
 
     #[test]
@@ -133,7 +134,7 @@ mod tests {
         assert_eq!(failures, 0);
         // Paths recorded are valid shortest paths.
         for agent in &tb.sim.world.agents {
-            for rec in agent.tib.records() {
+            for rec in agent.tib.records_vec() {
                 assert!(!rec.path.is_empty());
             }
         }

@@ -2,7 +2,7 @@
 //! traffic matrix, congested-link diagnosis, per-link utilization, DDoS
 //! source diagnosis — all thin compositions over the Host/Controller API.
 
-use pathdump_core::{PathDumpWorld, Query, Response};
+use pathdump_core::{PathDumpWorld, Query, Response, TibRead};
 use pathdump_topology::{FlowId, HostId, Ip, LinkDir, LinkPattern, TimeRange};
 use std::collections::HashMap;
 
@@ -51,14 +51,14 @@ pub fn traffic_matrix(
 pub fn link_utilization(world: &PathDumpWorld, range: TimeRange) -> HashMap<LinkDir, u64> {
     let mut out: HashMap<LinkDir, u64> = HashMap::new();
     for agent in &world.agents {
-        for rec in agent.tib.records() {
+        agent.tib.for_each_record(&mut |rec| {
             if !rec.overlaps(&range) {
-                continue;
+                return;
             }
             for link in rec.path.links() {
                 *out.entry(link).or_insert(0) += rec.bytes;
             }
-        }
+        });
     }
     out
 }

@@ -26,6 +26,12 @@
 //!   absolute [`GAP_512_CEILING`], which survives baseline re-basing.
 //! * `get_flows_wildcard_into_tor` — the TIB wildcard-query median from a
 //!   fresh `tib_queries` bench run (lower better).
+//! * `tib_scale_ingest_per_sec` / `tib_scale_recovery_ms` — the tiered
+//!   storage engine at the 1M-record trajectory shape: ingest rate with
+//!   sealing + cold eviction (higher better) and the crash-recovery
+//!   replay wall (lower better). Both absolute timings, so they run in
+//!   the widened [`DRIFT_SCALE`] band; the blocking 10M-record budget
+//!   check is the separate `tib_scale` bin.
 //! * `ingest_events_per_sec` — the sharded host-agent ingest rate at the
 //!   recorded multi-worker point (higher better). **Skipped when the
 //!   runner has one CPU**: without parallelism the curve only reflects
@@ -54,9 +60,11 @@
 use pathdump_bench::ingest_scale::{build_stream, run_ingest, IngestParams};
 use pathdump_bench::report::{
     failing_checks, json_number, recorded_events_per_sec, recorded_ingest_events_per_sec,
-    recorded_median_ns, run_cargo_bench, strip_path_min_speedup, Direction, GateCheck,
+    recorded_median_ns, recorded_tib_scale_number, run_cargo_bench, strip_path_min_speedup,
+    Direction, GateCheck,
 };
 use pathdump_bench::simnet_scale::{run_scale_with, ScaleParams};
+use pathdump_bench::tib_scale::{run_tib_scale, TibScaleParams, TibScaleResult};
 use pathdump_simnet::EngineKind;
 
 /// Hard ceiling on the PathDump-vs-vanilla 512 B gap — the PR-7
@@ -180,6 +188,14 @@ fn main() {
     } else {
         f64::NAN
     };
+    let base_tib_ingest = need(
+        recorded_tib_scale_number(&doc, "ingest_events_per_sec"),
+        "tib_scale ingest_events_per_sec",
+    );
+    let base_tib_recovery = need(
+        recorded_tib_scale_number(&doc, "recovery_wall_ms"),
+        "tib_scale recovery_wall_ms",
+    );
     if !missing.is_empty() {
         eprintln!("FAIL: baseline {} lacks: {missing:?}", args.baseline);
         std::process::exit(1);
@@ -271,6 +287,30 @@ fn main() {
             tolerance_scale: DRIFT_SCALE,
         },
     ];
+
+    eprintln!("bench_gate: measuring tiered-store scale workload (1M records, 3 runs)...");
+    let dir = std::env::temp_dir().join(format!("pathdump-gate-tib-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create eviction dir");
+    let mut tib_runs: Vec<TibScaleResult> = (0..3)
+        .map(|_| run_tib_scale(TibScaleParams::trajectory_shape(), &dir))
+        .collect();
+    std::fs::remove_dir_all(&dir).ok();
+    tib_runs.sort_by(|a, b| a.ingest_wall_secs.total_cmp(&b.ingest_wall_secs));
+    let tib_median = &tib_runs[tib_runs.len() / 2];
+    checks.push(GateCheck {
+        metric: "tib_scale_ingest_per_sec",
+        baseline: base_tib_ingest,
+        current: tib_median.ingest_events_per_sec / args.handicap,
+        direction: Direction::HigherIsBetter,
+        tolerance_scale: DRIFT_SCALE,
+    });
+    checks.push(GateCheck {
+        metric: "tib_scale_recovery_ms",
+        baseline: base_tib_recovery,
+        current: tib_median.recovery_wall_ms * args.handicap,
+        direction: Direction::LowerIsBetter,
+        tolerance_scale: DRIFT_SCALE,
+    });
 
     if cpus > 1 {
         eprintln!(

@@ -11,7 +11,11 @@
 //! reference — see `ingest_scale`), `dpswitch`/`reconstruct`
 //! before-vs-after sections, a `standing` section (per-record overhead
 //! of the incremental standing-query engine at 0/4/16 registered
-//! watches — trend-watching only, see `standing_scale`), and a
+//! watches — trend-watching only, see `standing_scale`), a `tib_scale`
+//! section (the tiered storage engine at 1M records: sealed-segment
+//! ingest rate, cold-segment ranged-query latency, crash-recovery wall
+//! — the ingest rate and recovery wall are drift-banded by
+//! `bench_gate`; the blocking 10M gate is the `tib_scale` bin), and a
 //! `verifier` section (static-analysis wall time over k=16 fat-tree
 //! and VL2 — trend-watching only, gated separately by `verifier_gate`)
 //! — the recorded perf trajectory CI uploads as an artifact and the
@@ -27,6 +31,7 @@ use pathdump_bench::report::{
 };
 use pathdump_bench::simnet_scale::{run_scale_with, ScaleParams, ScaleResult};
 use pathdump_bench::standing_scale::{self, StandingParams, StandingResult};
+use pathdump_bench::tib_scale::{run_tib_scale, TibScaleParams, TibScaleResult};
 use pathdump_simnet::EngineKind;
 use pathdump_topology::{FatTree, FatTreeParams, RouteTables, UpDownRouting, Vl2, Vl2Params};
 use pathdump_verifier::{verify, IntentModel};
@@ -313,6 +318,45 @@ fn standing_section(runs: usize) -> String {
     )
 }
 
+/// The `tib_scale` section: the tiered storage engine at the 1M-record
+/// trajectory shape — ingest rate with sealing + cold eviction, the
+/// sealed-segment ranged-query latency (cold reloads included), and the
+/// crash-recovery replay wall. `bench_gate` drift-bands the ingest rate
+/// and the recovery wall; the 10M-record blocking gate is the separate
+/// `tib_scale` bin.
+fn tib_scale_section(runs: usize) -> String {
+    let p = TibScaleParams::trajectory_shape();
+    let dir = std::env::temp_dir().join(format!("pathdump-trajectory-tib-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create eviction dir");
+    let mut rs: Vec<TibScaleResult> = (0..runs.max(1)).map(|_| run_tib_scale(p, &dir)).collect();
+    std::fs::remove_dir_all(&dir).ok();
+    rs.sort_by(|a, b| a.ingest_wall_secs.total_cmp(&b.ingest_wall_secs));
+    let r = rs.swap_remove(rs.len() / 2);
+    eprintln!(
+        "tib_scale: {:.2}M records/s ingest ({} sealed / {} cold), query {:.2} ms, recovery {:.0} ms",
+        r.ingest_events_per_sec / 1e6,
+        r.sealed_segments,
+        r.cold_segments,
+        r.query_mean_ms,
+        r.recovery_wall_ms
+    );
+    format!(
+        "{{\n  \"records\": {},\n  \"seal_every\": {},\n  \"keep_hot\": {},\n  \"wal_tail\": {},\n  \"sealed_segments\": {},\n  \"cold_segments\": {},\n  \"cold_reloads\": {},\n  \"snapshot_bytes\": {},\n  \"ingest_events_per_sec\": {:.0},\n  \"checkpoint_wall_ms\": {:.3},\n  \"query_mean_ms\": {:.3},\n  \"recovery_wall_ms\": {:.3}\n  }}",
+        r.records,
+        p.seal_every,
+        p.keep_hot,
+        p.wal_tail,
+        r.sealed_segments,
+        r.cold_segments,
+        r.cold_reloads,
+        r.snapshot_bytes,
+        r.ingest_events_per_sec,
+        r.checkpoint_wall_ms,
+        r.query_mean_ms,
+        r.recovery_wall_ms
+    )
+}
+
 /// The `verifier` section: static-analysis wall time over the largest
 /// fabrics the test suite exercises.
 fn verifier_section() -> String {
@@ -364,6 +408,9 @@ fn main() {
     eprintln!("running standing-engine overhead curve...");
     let standing = standing_section(3);
 
+    eprintln!("running tiered-store scale workload (1M records)...");
+    let tib_scale = tib_scale_section(3);
+
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let sep = if i + 1 == entries.len() { "" } else { "," };
@@ -385,6 +432,8 @@ fn main() {
     json.push_str(&ingest);
     json.push_str(",\n  \"standing\": ");
     json.push_str(&standing);
+    json.push_str(",\n  \"tib_scale\": ");
+    json.push_str(&tib_scale);
     json.push_str(",\n  \"verifier\": ");
     json.push_str(&verifier);
     json.push_str("\n}\n");

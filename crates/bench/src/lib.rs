@@ -14,6 +14,7 @@ pub mod ingest_scale;
 pub mod report;
 pub mod simnet_scale;
 pub mod standing_scale;
+pub mod tib_scale;
 
 /// Minimal CLI flags shared by the reproduction binaries.
 #[derive(Clone, Debug)]

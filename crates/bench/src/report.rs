@@ -170,6 +170,13 @@ pub fn recorded_ingest_events_per_sec(doc: &str, workers: usize) -> Option<f64> 
     number_after(doc, "events_per_sec", at).map(|(v, _)| v)
 }
 
+/// A number recorded in the `tib_scale` section (anchored past the
+/// `"tib_scale":` key so same-named fields elsewhere cannot match).
+pub fn recorded_tib_scale_number(doc: &str, key: &str) -> Option<f64> {
+    let section = doc.find("\"tib_scale\":")?;
+    number_after(doc, key, section).map(|(v, _)| v)
+}
+
 // ---------------------------------------------------------------------------
 // The gate comparison (pure, unit-tested; the bench_gate bin feeds it).
 // ---------------------------------------------------------------------------

@@ -21,7 +21,7 @@ use pathdump_cherrypick::{
     CacheKey, DecodeMemo, FatTreeReconstructor, ReconstructError, TrajectoryCache, Vl2Reconstructor,
 };
 use pathdump_simnet::{Packet, TcpFlags};
-use pathdump_tib::{MemKey, PendingRecord, Tib, TibRecord, TrajectoryMemory};
+use pathdump_tib::{MemKey, PendingRecord, Tib, TibRead, TibRecord, TieredTib, TrajectoryMemory};
 use pathdump_topology::{HostId, LinkPattern, Nanos, Path, SwitchId, Topology};
 use pathdump_verifier::IntentModel;
 use std::sync::Arc;
@@ -195,8 +195,9 @@ pub struct HostAgent {
     /// → precomputed walk, so cache misses from different source hosts in
     /// one rack still decode once.
     pub memo: DecodeMemo,
-    /// The queryable store.
-    pub tib: Tib,
+    /// The queryable store: tiered (head + sealed segments, optional WAL
+    /// and auto-seal threshold — configure via this field directly).
+    pub tib: TieredTib,
     invariants: Vec<Invariant>,
     alarms: Vec<Alarm>,
     /// Standing queries evaluated incrementally per finalized TIB record.
@@ -228,7 +229,7 @@ impl HostAgent {
             memory: TrajectoryMemory::new(cfg.idle_timeout),
             cache: TrajectoryCache::new(cfg.cache_capacity),
             memo: DecodeMemo::default(),
-            tib: Tib::new(),
+            tib: TieredTib::new(),
             invariants: Vec::new(),
             alarms: Vec::new(),
             standing: StandingQueryEngine::new(host),
@@ -434,20 +435,25 @@ impl HostAgent {
         };
         match self.construct(fabric, &key) {
             Ok(path) => {
-                self.tib.insert(TibRecord {
+                let record = TibRecord {
                     flow: rec.flow,
                     path,
                     stime: rec.stime,
                     etime: rec.etime,
                     bytes: rec.bytes,
                     pkts: rec.pkts,
-                });
+                };
                 // Incremental standing-query step over the record that
-                // just landed (skipped entirely with no watches).
-                if !self.standing.is_empty() {
-                    if let Some(r) = self.tib.records().last() {
-                        self.standing.on_record(&self.tib, r, now);
-                    }
+                // just landed (skipped entirely with no watches). The
+                // record is cloned *before* insert: the tiered store may
+                // seal on insert, so "last record of the head" is not a
+                // stable way to re-find it — this guarantees the engine
+                // observes every record exactly once across seal
+                // boundaries.
+                let feed = (!self.standing.is_empty()).then(|| record.clone());
+                self.tib.insert(record);
+                if let Some(r) = feed {
+                    self.standing.on_record(&self.tib, &r, now);
                     self.drain_standing_flips();
                 }
             }
@@ -562,7 +568,7 @@ impl HostAgent {
 /// unrestricted time range are served from the running per-flow totals,
 /// and range-restricted variants from the bucketed time index — no
 /// full record scans on this path.
-pub fn execute_on_tib(tib: &Tib, q: &Query) -> Response {
+pub fn execute_on_tib<T: TibRead + ?Sized>(tib: &T, q: &Query) -> Response {
     match q {
         Query::GetFlows { link, range } => Response::Flows(tib.get_flows(*link, *range)),
         Query::GetPaths { flow, link, range } => {
@@ -687,7 +693,7 @@ mod tests {
             agent.on_packet(&fabric, &pkt, Nanos::from_millis(1));
         }
         assert_eq!(agent.tib.len(), 1, "FIN evicts straight to the TIB");
-        let rec = &agent.tib.records()[0];
+        let rec = &agent.tib.records_vec()[0];
         assert_eq!(rec.path, path);
         assert_eq!(rec.pkts, 3);
         assert!(agent.memory.is_empty());
@@ -959,7 +965,7 @@ mod tests {
             agent.on_packet(&fabric, &pkt, Nanos::from_millis(i as u64));
         }
         assert_eq!(agent.tib.len(), 2, "both punted flows reconstructed");
-        assert!(agent.tib.records().iter().all(|r| r.path.0 == walk));
+        assert!(agent.tib.records_vec().iter().all(|r| r.path.0 == walk));
         assert_eq!(agent.cache.stats(), (0, 2), "per-srcIP cache misses");
         assert_eq!(agent.memo.stats(), (1, 1), "one search, one memo hit");
     }

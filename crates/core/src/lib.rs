@@ -22,8 +22,10 @@ pub mod standing;
 pub mod world;
 
 pub use agent::{execute_on_tib, AgentConfig, Fabric, HostAgent, Invariant};
+// The storage engine types downstream crates need to talk to `HostAgent::tib`.
 pub use alarm::{Alarm, Reason};
 pub use cluster::{build_tree, Cluster, MgmtNet, QueryOutcome, TreeNode};
+pub use pathdump_tib::{TibRead, TieredTib};
 pub use query::{Query, Response};
 pub use sharded::{shard_of, ShardedAgent};
 pub use standing::{StandingEvent, StandingPredicate, StandingQuery, StandingQueryEngine, WatchId};

@@ -34,7 +34,7 @@ use crate::agent::{execute_on_tib, AgentConfig, Fabric, HostAgent, Invariant};
 use crate::alarm::Alarm;
 use crate::query::{Query, Response};
 use pathdump_simnet::{Packet, TcpFlags};
-use pathdump_tib::{MemKey, PendingRecord, Tib, TrajectoryMemory};
+use pathdump_tib::{MemKey, PendingRecord, TieredTib, TrajectoryMemory};
 use pathdump_topology::{FlowId, FnvBuild, HostId, Nanos};
 use std::hash::BuildHasher;
 
@@ -142,8 +142,14 @@ impl ShardedAgent {
     }
 
     /// The queryable store.
-    pub fn tib(&self) -> &Tib {
+    pub fn tib(&self) -> &TieredTib {
         &self.inner.tib
+    }
+
+    /// Mutable store access, for configuring the storage tier (seal
+    /// threshold, WAL, eviction) — mirrors `HostAgent`'s public field.
+    pub fn tib_mut(&mut self) -> &mut TieredTib {
+        &mut self.inner.tib
     }
 
     /// Trajectory-cache (hits, misses).

@@ -31,7 +31,7 @@
 //! condition is surfaced, not hidden).
 
 use crate::alarm::{Alarm, Reason};
-use pathdump_tib::{Tib, TibRecord};
+use pathdump_tib::{TibRead, TibRecord};
 use pathdump_topology::{FlowId, HostId, Ip, LinkPattern, Nanos, Path, TimeRange};
 use std::collections::HashSet;
 
@@ -201,12 +201,19 @@ impl StandingQueryEngine {
     /// clock) from already-stored records — the one place the engine may
     /// scan the arena — and evaluates the predicate immediately: a watch
     /// whose condition already holds raises right away.
-    pub fn watch(&mut self, tib: &Tib, query: StandingQuery, now: Nanos) -> WatchId {
-        for r in tib.records() {
-            if r.etime > self.clock {
-                self.clock = r.etime;
+    pub fn watch<T: TibRead + ?Sized>(
+        &mut self,
+        tib: &T,
+        query: StandingQuery,
+        now: Nanos,
+    ) -> WatchId {
+        let mut clock = self.clock;
+        tib.for_each_record(&mut |r| {
+            if r.etime > clock {
+                clock = r.etime;
             }
-        }
+        });
+        self.clock = clock;
         let state = match &query.predicate {
             StandingPredicate::TopKMember { .. } | StandingPredicate::RateAbove { .. } => {
                 WatchState::Stateless
@@ -214,10 +221,12 @@ impl StandingQueryEngine {
             StandingPredicate::PathChanged { flow } => {
                 let mut prev = None;
                 let mut last = None;
-                for r in tib.records().iter().filter(|r| r.flow == *flow) {
-                    prev = last.take();
-                    last = Some(r.path.clone());
-                }
+                tib.for_each_record(&mut |r| {
+                    if r.flow == *flow {
+                        prev = last.take();
+                        last = Some(r.path.clone());
+                    }
+                });
                 WatchState::PathChange { prev, last }
             }
             StandingPredicate::LinkFlowsAbove { link, .. } => {
@@ -262,7 +271,7 @@ impl StandingQueryEngine {
     /// flipped, and re-derives it from the TIB's aggregates only then.
     /// Flips append [`StandingEvent`]s (drain with
     /// [`drain_events`](Self::drain_events)).
-    pub fn on_record(&mut self, tib: &Tib, rec: &TibRecord, now: Nanos) {
+    pub fn on_record<T: TibRead + ?Sized>(&mut self, tib: &T, rec: &TibRecord, now: Nanos) {
         let clock_advanced = rec.etime > self.clock;
         if clock_advanced {
             self.clock = rec.etime;
@@ -287,7 +296,13 @@ impl StandingQueryEngine {
     }
 
     /// One watch's incremental evaluation for one inserted record.
-    fn step(w: &mut Watch, tib: &Tib, rec: &TibRecord, clock: Nanos, clock_advanced: bool) -> bool {
+    fn step<T: TibRead + ?Sized>(
+        w: &mut Watch,
+        tib: &T,
+        rec: &TibRecord,
+        clock: Nanos,
+        clock_advanced: bool,
+    ) -> bool {
         match (&w.query.predicate, &mut w.state) {
             (StandingPredicate::TopKMember { flow, k }, _) => {
                 let (flow, k) = (*flow, *k);
@@ -360,7 +375,7 @@ impl StandingQueryEngine {
     /// Full evaluation of a watch's predicate from current state + store
     /// (used at registration; the differential proptest independently
     /// re-derives the same semantics from the raw record list).
-    fn eval(w: &Watch, tib: &Tib, clock: Nanos) -> bool {
+    fn eval<T: TibRead + ?Sized>(w: &Watch, tib: &T, clock: Nanos) -> bool {
         match (&w.query.predicate, &w.state) {
             (StandingPredicate::TopKMember { flow, k }, _) => Self::topk_member(tib, *flow, *k),
             (
@@ -383,14 +398,14 @@ impl StandingQueryEngine {
         }
     }
 
-    fn topk_member(tib: &Tib, flow: FlowId, k: usize) -> bool {
+    fn topk_member<T: TibRead + ?Sized>(tib: &T, flow: FlowId, k: usize) -> bool {
         tib.top_k_flows(k, TimeRange::ANY)
             .iter()
             .any(|&(_, f)| f == flow)
     }
 
-    fn rate_above(
-        tib: &Tib,
+    fn rate_above<T: TibRead + ?Sized>(
+        tib: &T,
         flow: FlowId,
         window: Nanos,
         min_bytes: u64,
@@ -447,6 +462,7 @@ impl StandingQueryEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pathdump_tib::Tib;
 
     fn flow(sport: u16) -> FlowId {
         FlowId::tcp(Ip::new(10, 0, 0, 2), sport, Ip::new(10, 1, 0, 2), 80)

@@ -425,6 +425,7 @@ mod tests {
     use super::*;
     use pathdump_cherrypick::{FatTreeCherryPick, FatTreeReconstructor};
     use pathdump_simnet::{Quirk, SimConfig, Simulator};
+    use pathdump_tib::TibRead;
     use pathdump_topology::{FatTree, FatTreeParams, LinkPattern, TimeRange, UpDownRouting};
     use pathdump_transport::FlowSpec;
 

@@ -12,7 +12,7 @@
 use pathdump_cherrypick::{FatTreeCherryPick, FatTreeReconstructor};
 use pathdump_core::{AgentConfig, Fabric, HostAgent, Invariant, Query, ShardedAgent};
 use pathdump_simnet::{Packet, TagPolicy, TcpFlags};
-use pathdump_tib::PendingRecord;
+use pathdump_tib::{PendingRecord, TibRead};
 use pathdump_topology::{
     FatTree, FatTreeParams, FlowId, LinkPattern, Nanos, Path, PortNo, TimeRange, UpDownRouting,
 };
@@ -193,8 +193,8 @@ fn run_differential(windows: &[Vec<PktSpec>], workers: usize, with_invariant: bo
     sharded_alarms.extend(sharded.drain_alarms());
 
     assert_eq!(
-        single.tib.records(),
-        sharded.tib().records(),
+        single.tib.records_vec(),
+        sharded.tib().records_vec(),
         "TIB records diverged (workers={workers})"
     );
     assert_eq!(single.packets_seen, sharded.packets_seen());
@@ -264,7 +264,7 @@ fn fin_on_first_packet_replays_in_order() {
     single.on_packet(&fab, &pkt, Nanos::from_millis(1));
     sharded.ingest(&fab, &[(pkt, Nanos::from_millis(1))]);
 
-    assert_eq!(single.tib.records(), sharded.tib().records());
+    assert_eq!(single.tib.records_vec(), sharded.tib().records_vec());
     assert_eq!(single.tib.len(), 1);
     assert_eq!(sharded.live_records(), 0);
 }

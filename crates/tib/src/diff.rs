@@ -10,7 +10,8 @@
 //! [`crate::snapshot::load`], diffed via [`diff_snapshots`]).
 
 use crate::record::TibRecord;
-use crate::tib::Tib;
+use crate::segment::TieredTib;
+use crate::tib::{Tib, TibRead};
 use pathdump_topology::{FlowId, LinkPattern, Nanos, Path, TimeRange};
 use pathdump_wire::WireResult;
 use std::collections::HashSet;
@@ -61,10 +62,10 @@ impl TibDiff {
     /// Diffs two views: per-flow distinct path sets within each range.
     /// Flows whose path sets are identical in both views are omitted; a
     /// flow present in only one view appears with the other side empty.
-    pub fn between(
-        before: &Tib,
+    pub fn between<B: TibRead + ?Sized, A: TibRead + ?Sized>(
+        before: &B,
         before_range: TimeRange,
-        after: &Tib,
+        after: &A,
         after_range: TimeRange,
     ) -> TibDiff {
         let mut flows = before.get_flows(LinkPattern::ANY, before_range);
@@ -87,9 +88,15 @@ impl TibDiff {
                 });
             }
         }
-        let count = |tib: &Tib, range: &TimeRange| {
-            tib.records().iter().filter(|r| r.overlaps(range)).count()
-        };
+        fn count<T: TibRead + ?Sized>(tib: &T, range: &TimeRange) -> usize {
+            let mut n = 0;
+            tib.for_each_record(&mut |r| {
+                if r.overlaps(range) {
+                    n += 1;
+                }
+            });
+            n
+        }
         TibDiff {
             deltas,
             before_records: count(before, &before_range),
@@ -108,6 +115,13 @@ impl Tib {
     /// and including `t` vs from `t` onward. A record spanning `t` is
     /// active in both eras and contributes to both sides (`TimeRange` is
     /// closed on both ends — see the convention note in [`crate::tib`]).
+    pub fn diff_at(&self, t: Nanos) -> TibDiff {
+        TibDiff::between(self, TimeRange::until(t), self, TimeRange::since(t))
+    }
+}
+
+impl TieredTib {
+    /// Time-travel diff within one tiered store; see [`Tib::diff_at`].
     pub fn diff_at(&self, t: Nanos) -> TibDiff {
         TibDiff::between(self, TimeRange::until(t), self, TimeRange::since(t))
     }

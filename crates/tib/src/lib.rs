@@ -6,7 +6,19 @@
 //! idle timeout evicts records; trajectory construction (in
 //! `pathdump-cherrypick`) turns link IDs into full paths; the finished
 //! `<flowID, path, stime, etime, #bytes, #pkts>` records land in the
-//! indexed [`Tib`], which answers the Host API queries of Table 1.
+//! indexed store, which answers the Host API queries of Table 1.
+//!
+//! Storage is tiered ([`TieredTib`], `segment.rs`): a mutable head
+//! [`Tib`] arena seals into immutable time-partitioned segments, cold
+//! segments evict to disk with lazy reload, a per-host WAL (`wal.rs`)
+//! bounds crash loss to the unflushed tail, and readers query published
+//! sealed prefixes concurrently with ingest ([`TibReader`]). Everything
+//! answers the same eight queries through the [`TibRead`] trait, pinned
+//! bit-identical across engines by `tests/prop_equivalence.rs`.
+//!
+//! Persistence is the TIB2/TIB3 snapshot envelope (`snapshot.rs`): TIB2
+//! is the flat whole-store format, TIB3 adds a versioned segment
+//! directory for delta checkpoints; TIB2 files still load everywhere.
 //!
 //! The paper stores TIB records in MongoDB; this crate substitutes an
 //! in-memory indexed store with binary snapshots (DESIGN.md §3).
@@ -14,11 +26,20 @@
 pub mod diff;
 pub mod memory;
 pub mod record;
+pub mod segment;
 pub mod snapshot;
 pub mod tib;
+pub mod wal;
 
 pub use diff::{diff_snapshots, PathDelta, TibDiff};
 pub use memory::{canonical_order, MemKey, TrajectoryMemory};
 pub use record::{PendingRecord, TibRecord};
-pub use snapshot::{load, save, save_into, snapshot_size, SNAPSHOT_MAGIC};
-pub use tib::{Tib, DEFAULT_BUCKET_WIDTH};
+pub use segment::{
+    RecoveryReport, SealedSegment, SealedView, StoreError, StoreResult, TibReader, TieredTib,
+};
+pub use snapshot::{
+    load, load_tiered, save, save_into, save_tiered, save_tiered_into, snapshot_size,
+    SNAPSHOT_MAGIC, SNAPSHOT_MAGIC_V3,
+};
+pub use tib::{Tib, TibRead, DEFAULT_BUCKET_WIDTH};
+pub use wal::{FileWal, VecWal, WalReplay, WalStore, WAL_FRAME_RECORD};

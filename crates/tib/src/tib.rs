@@ -84,23 +84,41 @@ pub const DEFAULT_BUCKET_WIDTH: Nanos = Nanos(8 * pathdump_topology::SECONDS);
 
 /// An insertion-ordered set of flow ids: the `order` vec is the query
 /// answer (a memcpy away), the `seen` set enforces dedup on insert.
+/// Crate-visible so the tiered engine ([`crate::segment`]) can maintain
+/// the same global first-appearance order across sealed segments.
 #[derive(Clone, Debug, Default)]
-struct FlowSet {
-    order: Vec<FlowId>,
+pub(crate) struct FlowSet {
+    pub(crate) order: Vec<FlowId>,
     seen: HashSet<FlowId>,
 }
 
 impl FlowSet {
-    fn insert(&mut self, flow: FlowId) {
+    pub(crate) fn insert(&mut self, flow: FlowId) {
         if self.seen.insert(flow) {
             self.order.push(flow);
         }
     }
 
-    fn approx_bytes(&self) -> usize {
+    pub(crate) fn approx_bytes(&self) -> usize {
         // Vec entry + hash-set entry (pointer-ish overhead included).
         self.order.len() * (std::mem::size_of::<FlowId>() * 2 + 16)
     }
+}
+
+/// Keeps the top `k` entries of `v` by `(bytes, flow)` descending — the
+/// documented [`Tib::top_k_flows`] tie-break — using O(f) selection, then
+/// sorts only those `k`. Shared by the single-arena and tiered engines so
+/// both produce bit-identical rankings.
+pub(crate) fn select_top_k(mut v: Vec<(u64, FlowId)>, k: usize) -> Vec<(u64, FlowId)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    if v.len() > k {
+        v.select_nth_unstable_by(k - 1, |a, b| b.cmp(a));
+        v.truncate(k);
+    }
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    v
 }
 
 /// Per-switch secondary index: every record whose path enters (or
@@ -445,8 +463,24 @@ impl Tib {
     /// `getDuration(Flow, timeRange)`: active span of a flow within the
     /// range (max etime − min stime over matching records, clamped).
     pub fn get_duration(&self, flow: FlowId, path: Option<&Path>, range: TimeRange) -> Nanos {
-        let mut lo = Nanos::MAX;
-        let mut hi = Nanos::ZERO;
+        match self.duration_bounds(flow, path, range) {
+            Some((lo, hi)) if lo < hi => hi - lo,
+            _ => Nanos::ZERO,
+        }
+    }
+
+    /// The clamped `(min stime, max etime)` bounds behind
+    /// [`get_duration`](Self::get_duration), or `None` when no record of
+    /// the flow matches. Exposed because — unlike the duration itself —
+    /// the bounds merge across stores: the tiered engine min/maxes them
+    /// over every segment before taking the difference.
+    pub fn duration_bounds(
+        &self,
+        flow: FlowId,
+        path: Option<&Path>,
+        range: TimeRange,
+    ) -> Option<(Nanos, Nanos)> {
+        let mut bounds: Option<(Nanos, Nanos)> = None;
         if let Some(ids) = self.by_flow.get(&flow) {
             for &id in ids {
                 let rec = &self.records[id as usize];
@@ -459,15 +493,29 @@ impl Tib {
                     }
                 }
                 let (s, e) = range.clamp(rec.stime, rec.etime).expect("overlap checked");
-                lo = lo.min(s);
-                hi = hi.max(e);
+                bounds = Some(match bounds {
+                    Some((lo, hi)) => (lo.min(s), hi.max(e)),
+                    None => (s, e),
+                });
             }
         }
-        if lo >= hi {
-            Nanos::ZERO
-        } else {
-            hi - lo
+        bounds
+    }
+
+    /// The hull `(min stime, max etime)` over every stored record, or
+    /// `None` when empty. A record can only overlap a `TimeRange` that
+    /// overlaps this hull, so the tiered engine prunes whole sealed
+    /// segments (avoiding cold reloads) with one comparison.
+    pub fn span(&self) -> Option<(Nanos, Nanos)> {
+        let mut it = self.records.iter();
+        let first = it.next()?;
+        let mut lo = first.stime;
+        let mut hi = first.etime;
+        for rec in it {
+            lo = lo.min(rec.stime);
+            hi = hi.max(rec.etime);
         }
+        Some((lo, hi))
     }
 
     /// True when the stime span `[k·w, (k+1)·w)` of bucket `k` lies fully
@@ -548,7 +596,7 @@ impl Tib {
     /// Ties are broken by flow id (descending), making the result
     /// deterministic regardless of construction order.
     pub fn top_k_flows(&self, k: usize, range: TimeRange) -> Vec<(u64, FlowId)> {
-        let mut v: Vec<(u64, FlowId)> = if range == TimeRange::ANY {
+        let v: Vec<(u64, FlowId)> = if range == TimeRange::ANY {
             // Served from the live aggregate: no per-record work at all.
             self.flow_totals
                 .iter()
@@ -560,16 +608,7 @@ impl Tib {
                 .map(|(flow, (bytes, _))| (bytes, flow))
                 .collect()
         };
-        if k == 0 {
-            return Vec::new();
-        }
-        if v.len() > k {
-            // O(f) selection of the top k, then sort only those k.
-            v.select_nth_unstable_by(k - 1, |a, b| b.cmp(a));
-            v.truncate(k);
-        }
-        v.sort_unstable_by(|a, b| b.cmp(a));
-        v
+        select_top_k(v, k)
     }
 
     /// Approximate resident bytes of records + indexes (§5.3).
@@ -605,6 +644,93 @@ impl Tib {
             })
             .sum();
         recs + flows + links + switches + aggregates + buckets
+    }
+}
+
+/// The read side of the Host API (Table 1), abstracted over storage
+/// engines: the single-arena [`Tib`], the tiered
+/// [`TieredTib`](crate::segment::TieredTib), and the lock-free
+/// [`SealedView`](crate::segment::SealedView) reader snapshot all
+/// implement it, so query evaluators (`execute_on_tib`, the standing
+/// engine, the rpc plane) are written once against this trait.
+///
+/// Semantics are exactly the documented [`Tib`] method semantics —
+/// insertion-order outputs, closed `TimeRange`s, `(bytes, flow)`
+/// descending top-k tie-break. `prop_equivalence` pins every
+/// implementation to the same linear-scan reference.
+pub trait TibRead {
+    /// Number of records visible to this view.
+    fn num_records(&self) -> usize;
+
+    /// Visits every visible record in insertion order. The tiered engine
+    /// may lazily reload cold segments to honor this — callers on hot
+    /// paths should prefer the aggregate queries below.
+    fn for_each_record(&self, f: &mut dyn FnMut(&TibRecord));
+
+    /// See [`Tib::get_flows`].
+    fn get_flows(&self, link: LinkPattern, range: TimeRange) -> Vec<FlowId>;
+
+    /// See [`Tib::get_paths`].
+    fn get_paths(&self, flow: FlowId, link: LinkPattern, range: TimeRange) -> Vec<Path>;
+
+    /// See [`Tib::get_count`].
+    fn get_count(&self, flow: FlowId, path: Option<&Path>, range: TimeRange) -> (u64, u64);
+
+    /// See [`Tib::get_duration`].
+    fn get_duration(&self, flow: FlowId, path: Option<&Path>, range: TimeRange) -> Nanos;
+
+    /// See [`Tib::link_flow_counts`].
+    fn link_flow_counts(&self, link: LinkPattern, range: TimeRange) -> HashMap<FlowId, (u64, u64)>;
+
+    /// See [`Tib::top_k_flows`].
+    fn top_k_flows(&self, k: usize, range: TimeRange) -> Vec<(u64, FlowId)>;
+
+    /// Every visible record, cloned, in insertion order (snapshots,
+    /// replays, diffs — not a hot-path call).
+    fn records_vec(&self) -> Vec<TibRecord> {
+        let mut out = Vec::with_capacity(self.num_records());
+        self.for_each_record(&mut |r| out.push(r.clone()));
+        out
+    }
+}
+
+impl TibRead for Tib {
+    fn num_records(&self) -> usize {
+        self.len()
+    }
+
+    fn for_each_record(&self, f: &mut dyn FnMut(&TibRecord)) {
+        for rec in &self.records {
+            f(rec);
+        }
+    }
+
+    fn get_flows(&self, link: LinkPattern, range: TimeRange) -> Vec<FlowId> {
+        Tib::get_flows(self, link, range)
+    }
+
+    fn get_paths(&self, flow: FlowId, link: LinkPattern, range: TimeRange) -> Vec<Path> {
+        Tib::get_paths(self, flow, link, range)
+    }
+
+    fn get_count(&self, flow: FlowId, path: Option<&Path>, range: TimeRange) -> (u64, u64) {
+        Tib::get_count(self, flow, path, range)
+    }
+
+    fn get_duration(&self, flow: FlowId, path: Option<&Path>, range: TimeRange) -> Nanos {
+        Tib::get_duration(self, flow, path, range)
+    }
+
+    fn link_flow_counts(&self, link: LinkPattern, range: TimeRange) -> HashMap<FlowId, (u64, u64)> {
+        Tib::link_flow_counts(self, link, range)
+    }
+
+    fn top_k_flows(&self, k: usize, range: TimeRange) -> Vec<(u64, FlowId)> {
+        Tib::top_k_flows(self, k, range)
+    }
+
+    fn records_vec(&self) -> Vec<TibRecord> {
+        self.records.clone()
     }
 }
 

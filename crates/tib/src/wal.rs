@@ -1,0 +1,308 @@
+//! Per-host write-ahead log for the tiered TIB.
+//!
+//! Every [`TieredTib::insert`](crate::segment::TieredTib::insert) with a
+//! WAL attached appends one frame *before* the record becomes queryable,
+//! so a crash loses at most the unflushed tail: recovery loads the last
+//! snapshot and replays the WAL over it
+//! ([`TieredTib::recover`](crate::segment::TieredTib::recover)). After a
+//! successful snapshot ([`checkpoint`](crate::segment::TieredTib::checkpoint))
+//! the log is reset — it only ever holds the records inserted since.
+//!
+//! # Framing
+//!
+//! Frames reuse the wire codec's [`Frame`] layout verbatim
+//! (`len:u32 | typ:u16 | payload | crc:u32`, CRC over `typ + payload`)
+//! with `typ` = [`WAL_FRAME_RECORD`] and the payload a wire-encoded
+//! [`TibRecord`] — the exact bytes the rpc plane ships, so the codec
+//! robustness suite's truncation/corruption guarantees carry over.
+//!
+//! # Torn-tail tolerance (and what is NOT tolerated)
+//!
+//! A crash mid-append leaves a *prefix* of a valid frame at the end of
+//! the log. [`replay`] stops at the first [`WireError::UnexpectedEof`]
+//! and reports the dropped byte count — that is the explicitly-tolerated
+//! truncation. Everything else is corruption and fails the replay hard:
+//! a CRC mismatch ([`WireError::BadChecksum`]), an unknown frame type, a
+//! payload that does not decode, or trailing payload bytes. Snapshot
+//! loading ([`crate::snapshot`]) tolerates no truncation at all; the
+//! crash-recovery suite pins the distinction.
+
+use crate::record::TibRecord;
+use pathdump_wire::{from_bytes, to_bytes, Frame, WireError, WireResult};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Frame type tag of a WAL record append.
+pub const WAL_FRAME_RECORD: u16 = 0x0A17;
+
+/// Encodes one record as a WAL frame (the bytes an append writes).
+pub fn frame_record(rec: &TibRecord) -> Vec<u8> {
+    Frame::new(WAL_FRAME_RECORD, to_bytes(rec)).to_wire()
+}
+
+/// The outcome of a successful WAL replay.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WalReplay {
+    /// Fully-framed records, in append order.
+    pub records: Vec<TibRecord>,
+    /// Bytes of torn tail dropped after the last complete frame (0 for a
+    /// cleanly-closed log).
+    pub dropped_tail: usize,
+}
+
+/// Replays a WAL byte stream. A torn tail (the stream ending mid-frame)
+/// is tolerated and reported via [`WalReplay::dropped_tail`]; any other
+/// malformation — bad CRC, unknown frame type, undecodable payload — is
+/// an error (see the module docs for why the two are different).
+pub fn replay(bytes: &[u8]) -> WireResult<WalReplay> {
+    let mut rest = bytes;
+    let mut records = Vec::new();
+    while !rest.is_empty() {
+        match Frame::from_wire(rest) {
+            Ok((frame, used)) => {
+                if frame.typ != WAL_FRAME_RECORD {
+                    return Err(WireError::InvalidTag(u32::from(frame.typ)));
+                }
+                records.push(from_bytes::<TibRecord>(&frame.payload)?);
+                rest = &rest[used..];
+            }
+            // The torn tail: a crash cut the final append short. The CRC
+            // was checked on every complete frame before this point.
+            Err(WireError::UnexpectedEof) => {
+                return Ok(WalReplay {
+                    records,
+                    dropped_tail: rest.len(),
+                })
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(WalReplay {
+        records,
+        dropped_tail: 0,
+    })
+}
+
+/// Where WAL frames durably land. Implementations must make `bytes`
+/// return exactly the appended-and-not-reset frame stream; beyond that
+/// the engine is storage-agnostic ([`VecWal`] for tests and crash
+/// simulation, [`FileWal`] for real per-host logs).
+pub trait WalStore: std::fmt::Debug + Send {
+    /// Appends pre-framed bytes (one whole frame per call).
+    fn append(&mut self, frame: &[u8]) -> std::io::Result<()>;
+
+    /// Discards the log contents (called after a successful snapshot —
+    /// every logged record is now durable in the snapshot).
+    fn reset(&mut self) -> std::io::Result<()>;
+
+    /// The current log contents.
+    fn bytes(&self) -> std::io::Result<Vec<u8>>;
+
+    /// Current log length in bytes.
+    fn len(&self) -> u64;
+
+    /// True when the log holds no frames.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An in-memory WAL: the crash-recovery suite truncates its buffer at
+/// arbitrary offsets to simulate kills mid-append.
+#[derive(Clone, Debug, Default)]
+pub struct VecWal {
+    buf: Vec<u8>,
+}
+
+impl VecWal {
+    /// Creates an empty in-memory log.
+    pub fn new() -> Self {
+        VecWal::default()
+    }
+}
+
+impl WalStore for VecWal {
+    fn append(&mut self, frame: &[u8]) -> std::io::Result<()> {
+        self.buf.extend_from_slice(frame);
+        Ok(())
+    }
+
+    fn reset(&mut self) -> std::io::Result<()> {
+        self.buf.clear();
+        Ok(())
+    }
+
+    fn bytes(&self) -> std::io::Result<Vec<u8>> {
+        Ok(self.buf.clone())
+    }
+
+    fn len(&self) -> u64 {
+        self.buf.len() as u64
+    }
+}
+
+/// A file-backed WAL. Appends are written and flushed immediately; reset
+/// truncates in place. The file is created (or truncated) on open — pass
+/// its prior contents through [`replay`] *before* reopening when
+/// recovering.
+#[derive(Debug)]
+pub struct FileWal {
+    path: PathBuf,
+    file: std::fs::File,
+    written: u64,
+}
+
+impl FileWal {
+    /// Creates (truncating any previous log) a WAL at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FileWal {
+            path: path.to_path_buf(),
+            file,
+            written: 0,
+        })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl WalStore for FileWal {
+    fn append(&mut self, frame: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(frame)?;
+        self.file.flush()?;
+        self.written += frame.len() as u64;
+        Ok(())
+    }
+
+    fn reset(&mut self) -> std::io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.written = 0;
+        Ok(())
+    }
+
+    fn bytes(&self) -> std::io::Result<Vec<u8>> {
+        std::fs::read(&self.path)
+    }
+
+    fn len(&self) -> u64 {
+        self.written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pathdump_topology::{FlowId, Ip, Nanos, Path as TPath, SwitchId};
+
+    fn rec(sport: u16, t0: u64) -> TibRecord {
+        TibRecord {
+            flow: FlowId::tcp(Ip::new(10, 0, 0, 2), sport, Ip::new(10, 1, 0, 2), 80),
+            path: TPath::new(vec![SwitchId(0), SwitchId(8), SwitchId(4)]),
+            stime: Nanos(t0),
+            etime: Nanos(t0 + 50),
+            bytes: 1000 + u64::from(sport),
+            pkts: 3,
+        }
+    }
+
+    fn log_of(recs: &[TibRecord]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in recs {
+            out.extend(frame_record(r));
+        }
+        out
+    }
+
+    #[test]
+    fn replay_roundtrip() {
+        let recs = vec![rec(1, 0), rec(2, 100), rec(3, 200)];
+        let rep = replay(&log_of(&recs)).unwrap();
+        assert_eq!(rep.records, recs);
+        assert_eq!(rep.dropped_tail, 0);
+        assert_eq!(replay(&[]).unwrap(), WalReplay::default());
+    }
+
+    #[test]
+    fn every_truncation_recovers_the_durable_prefix() {
+        let recs = vec![rec(1, 0), rec(2, 100), rec(3, 200)];
+        let log = log_of(&recs);
+        // Byte offset at which each frame ends (frames vary in size —
+        // varint-encoded stimes).
+        let mut ends = Vec::new();
+        let mut off = 0;
+        for r in &recs {
+            off += frame_record(r).len();
+            ends.push(off);
+        }
+        for cut in 0..=log.len() {
+            let rep = replay(&log[..cut]).unwrap();
+            // Exactly the records whose frames fit entirely below `cut`.
+            let complete = ends.iter().filter(|&&e| e <= cut).count();
+            let durable = if complete == 0 { 0 } else { ends[complete - 1] };
+            assert_eq!(rep.records, recs[..complete], "cut at {cut}");
+            assert_eq!(rep.dropped_tail, cut - durable);
+        }
+    }
+
+    #[test]
+    fn corruption_is_not_tolerated() {
+        let log = log_of(&[rec(1, 0), rec(2, 100)]);
+        // Flip one payload bit in the first frame: CRC catches it.
+        let mut bad = log.clone();
+        bad[8] ^= 0x01;
+        assert_eq!(replay(&bad), Err(WireError::BadChecksum));
+        // An unknown frame type is corruption, not a tolerated tail.
+        let mut stream = Frame::new(0x7777, to_bytes(&rec(9, 0))).to_wire();
+        stream.extend(log_of(&[rec(2, 100)]));
+        assert_eq!(replay(&stream), Err(WireError::InvalidTag(0x7777)));
+        // A frame whose payload has trailing garbage fails decode.
+        let mut payload = to_bytes(&rec(1, 0));
+        payload.push(0xEE);
+        let framed = Frame::new(WAL_FRAME_RECORD, payload).to_wire();
+        assert!(replay(&framed).is_err());
+    }
+
+    #[test]
+    fn vec_wal_append_reset() {
+        let mut w = VecWal::new();
+        assert!(w.is_empty());
+        w.append(&frame_record(&rec(1, 0))).unwrap();
+        w.append(&frame_record(&rec(2, 50))).unwrap();
+        assert_eq!(w.len(), 2 * frame_record(&rec(1, 0)).len() as u64);
+        let rep = replay(&w.bytes().unwrap()).unwrap();
+        assert_eq!(rep.records.len(), 2);
+        w.reset().unwrap();
+        assert!(w.is_empty());
+        assert!(w.bytes().unwrap().is_empty());
+    }
+
+    #[test]
+    fn file_wal_append_reset() {
+        let dir = std::env::temp_dir().join(format!("pathdump-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("host.wal");
+        let mut w = FileWal::create(&path).unwrap();
+        w.append(&frame_record(&rec(1, 0))).unwrap();
+        w.append(&frame_record(&rec(2, 50))).unwrap();
+        assert_eq!(w.len(), w.bytes().unwrap().len() as u64);
+        let rep = replay(&w.bytes().unwrap()).unwrap();
+        assert_eq!(rep.records, vec![rec(1, 0), rec(2, 50)]);
+        // Reopening truncates: a fresh log after checkpoint.
+        w.reset().unwrap();
+        assert!(w.is_empty());
+        w.append(&frame_record(&rec(3, 99))).unwrap();
+        assert_eq!(
+            replay(&w.bytes().unwrap()).unwrap().records,
+            vec![rec(3, 99)]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

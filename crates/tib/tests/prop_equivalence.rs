@@ -1,15 +1,18 @@
-//! Query-engine equivalence: the bucketed/aggregate [`Tib`] must answer
-//! every Host API query identically to a naive linear scan over the raw
-//! records, for arbitrary record sets, time ranges, link patterns, and
-//! bucket widths (so bucket-boundary and lookback paths are exercised).
+//! Query-engine equivalence: the bucketed/aggregate [`Tib`] — and the
+//! tiered [`TieredTib`] under arbitrary insert/seal/evict interleavings —
+//! must answer every Host API query identically to a naive linear scan
+//! over the raw records, for arbitrary record sets, time ranges, link
+//! patterns, and bucket widths (so bucket-boundary and lookback paths
+//! are exercised).
 //!
 //! Inputs are kept deliberately small: the vendored proptest stub does
 //! not shrink failures.
 
-use pathdump_tib::{Tib, TibRecord};
+use pathdump_tib::{Tib, TibRead, TibRecord, TieredTib, VecWal};
 use pathdump_topology::{FlowId, Ip, LinkPattern, Nanos, Path, SwitchId, TimeRange};
 use proptest::prelude::*;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 fn flow(sport: u16) -> FlowId {
     FlowId::tcp(Ip::new(10, 0, 0, 2), sport, Ip::new(10, 1, 0, 2), 80)
@@ -104,6 +107,21 @@ fn ref_counts(
             let e = out.entry(rec.flow).or_insert((0, 0));
             e.0 += rec.bytes;
             e.1 += rec.pkts;
+        }
+    }
+    out
+}
+
+fn ref_get_paths(raw: &[TibRecord], f: FlowId, link: LinkPattern, range: TimeRange) -> Vec<Path> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for rec in raw {
+        if rec.flow == f
+            && rec.overlaps(&range)
+            && rec_matches(rec, link)
+            && seen.insert(rec.path.clone())
+        {
+            out.push(rec.path.clone());
         }
     }
     out
@@ -216,8 +234,8 @@ fn aligned_ranges(
     v
 }
 
-fn assert_all_queries_match(
-    tib: &Tib,
+fn assert_all_queries_match<T: TibRead>(
+    tib: &T,
     raw: &[TibRecord],
     range: TimeRange,
     k: usize,
@@ -257,6 +275,13 @@ fn assert_all_queries_match(
             range,
             width
         );
+        prop_assert_eq!(
+            tib.get_paths(f, LinkPattern::ANY, range),
+            ref_get_paths(raw, f, LinkPattern::ANY, range),
+            "get_paths({:?}) width={}",
+            range,
+            width
+        );
     }
     prop_assert_eq!(
         tib.top_k_flows(k, range),
@@ -267,6 +292,52 @@ fn assert_all_queries_match(
         width
     );
     Ok(())
+}
+
+/// Per-case unique eviction directory (proptest cases share a thread).
+static EVICT_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn evict_dir() -> std::path::PathBuf {
+    let seq = EVICT_DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("pathdump-prop-{}-{seq}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create evict dir");
+    dir
+}
+
+/// Replays `recs` into a tiered store, applying the per-record action
+/// (`0..=2` plain insert, `3` seal, `4` seal + evict all-but-one cold):
+/// the arbitrary insert/seal/evict interleaving under test.
+fn tiered_build(
+    recs: &[RecTuple],
+    acts: &[u8],
+    width: u64,
+    dir: &std::path::Path,
+) -> (TieredTib, Vec<TibRecord>) {
+    let pool = path_pool();
+    let mut tib = TieredTib::with_bucket_width(Nanos(width));
+    tib.attach_wal(Box::new(VecWal::new()));
+    let mut raw = Vec::new();
+    for (i, &(sport, pidx, t0, dur, bytes)) in recs.iter().enumerate() {
+        let rec = TibRecord {
+            flow: flow(1 + sport % 4),
+            path: pool[pidx % pool.len()].clone(),
+            stime: Nanos(t0 % 120),
+            etime: Nanos(t0 % 120 + dur % 50),
+            bytes: 1 + bytes % 1000,
+            pkts: 1 + bytes % 7,
+        };
+        tib.insert(rec.clone());
+        raw.push(rec);
+        match acts.get(i).copied().unwrap_or(0) {
+            3 => tib.seal(),
+            4 => {
+                tib.seal();
+                tib.evict_cold(1, dir).expect("evict");
+            }
+            _ => {}
+        }
+    }
+    (tib, raw)
 }
 
 proptest! {
@@ -308,5 +379,41 @@ proptest! {
         for range in aligned_ranges(qa, qb, width, &raw) {
             assert_all_queries_match(&tib, &raw, range, k, width)?;
         }
+    }
+
+    /// The tiered engine under arbitrary insert/seal/evict/query
+    /// interleavings: queried mid-build (against the raw prefix — sealed
+    /// and cold segments answering alongside a part-filled head) and at
+    /// the end, it must be bit-identical to the linear-scan reference.
+    /// Recovery equivalence (kill + snapshot/WAL replay) lives in
+    /// `crash_recovery.rs`.
+    #[test]
+    fn tiered_engine_matches_linear_scan(
+        recs in proptest::collection::vec(
+            (0u16..6, 0usize..5, 0u64..140, 0u64..60, 0u64..2000), 0..25),
+        acts in proptest::collection::vec(0u8..5, 25),
+        width in 1u64..200,
+        a in 0u64..140,
+        b in 0u64..140,
+        k in 0usize..8,
+    ) {
+        let dir = evict_dir();
+        // Mid-build: stop at an action-derived prefix and query there.
+        let mid = if recs.is_empty() { 0 } else { (a as usize) % recs.len() + 1 };
+        let (tib_mid, raw_mid) = tiered_build(&recs[..mid], &acts, width, &dir);
+        for range in ranges(a, b) {
+            assert_all_queries_match(&tib_mid, &raw_mid, range, k, width)?;
+        }
+        // Full build (fresh store so eviction files don't collide).
+        let dir2 = evict_dir();
+        let (tib, raw) = tiered_build(&recs, &acts, width, &dir2);
+        prop_assert_eq!(tib.records_vec(), raw.clone(), "insertion order");
+        prop_assert_eq!(tib.len(), raw.len());
+        for range in ranges(a, b) {
+            assert_all_queries_match(&tib, &raw, range, k, width)?;
+        }
+        prop_assert_eq!(tib.read_failures(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&dir2).ok();
     }
 }

@@ -36,6 +36,11 @@ const HOT_PATHS: &[&str] = &[
     "crates/simnet/src/pool.rs",
     "crates/tib/src/tib.rs",
     "crates/tib/src/memory.rs",
+    // The tiered storage engine: insert/seal/evict and the WAL append
+    // sit on the per-packet datapath; a panic there drops the host's
+    // records on the floor.
+    "crates/tib/src/segment.rs",
+    "crates/tib/src/wal.rs",
     "crates/core/src/sharded.rs",
     "crates/core/src/standing.rs",
     // The rpc plane: a panic in a state machine, channel or fault hook

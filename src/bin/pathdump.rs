@@ -19,7 +19,7 @@ use pathdump_apps::Testbed;
 use pathdump_core::standing::{StandingPredicate, StandingQuery, StandingQueryEngine};
 use pathdump_core::{execute_on_tib, Query, Response, WorldConfig};
 use pathdump_simnet::SimConfig;
-use pathdump_tib::{diff_snapshots, load, save, Tib, TibDiff};
+use pathdump_tib::{diff_snapshots, load, save_tiered, TibDiff, TibRead, TieredTib};
 use pathdump_topology::{FlowId, HostId, Ip, LinkPattern, Nanos, Path, SwitchId, TimeRange};
 
 const HELP: &str = "\
@@ -33,8 +33,8 @@ commands (times in ms, ranges half-open [t0 t1)):
   flows [a-b|any] [t0 t1]           flows on a link
   count <src> <dst> <sport> [t0 t1] bytes/pkts of one flow
   diff <src> <dst> <sport> <t>      flow's paths before vs after time t
-  save <file>                       write a TIB2 snapshot
-  load <file>                       replace the store from a snapshot
+  save <file>                       write a TIB3 snapshot
+  load <file>                       replace the store from a snapshot (TIB2 or TIB3)
   diffsnap <fileA> <fileB>          diff two snapshots
   watch rate <src> <dst> <sport> <window_ms> <min_bytes>
   watch topk <src> <dst> <sport> <k>
@@ -45,7 +45,7 @@ commands (times in ms, ranges half-open [t0 t1)):
   help | quit";
 
 struct Cli {
-    tib: Tib,
+    tib: TieredTib,
     eng: StandingQueryEngine,
 }
 
@@ -139,7 +139,7 @@ fn show_diff(d: &TibDiff) -> String {
 impl Cli {
     fn new() -> Self {
         Cli {
-            tib: Tib::new(),
+            tib: TieredTib::new(),
             eng: StandingQueryEngine::new(HostId(0)),
         }
     }
@@ -161,7 +161,7 @@ impl Cli {
             .world
             .agents
             .iter()
-            .flat_map(|a| a.tib.records().iter().cloned())
+            .flat_map(|a| a.tib.records_vec())
             .collect();
         for rec in records {
             self.insert(rec);
@@ -347,15 +347,17 @@ impl Cli {
                 }
             }
             ["save", file] => {
-                std::fs::write(file, save(&self.tib)).map_err(|e| e.to_string())?;
+                let bytes = save_tiered(&self.tib).map_err(|e| e.to_string())?;
+                std::fs::write(file, bytes).map_err(|e| e.to_string())?;
                 Ok(format!("saved {} records to {file}", self.tib.len()))
             }
             ["load", file] => {
                 let bytes = std::fs::read(file).map_err(|e| e.to_string())?;
+                // The flat loader accepts both TIB2 and TIB3 (flattened).
                 let loaded = load(&bytes).map_err(|e| format!("{e:?}"))?;
                 // Rebuild through the single insert path so registered
                 // watches observe every record (incremental contract).
-                self.tib = Tib::new();
+                self.tib = TieredTib::new();
                 let records: Vec<_> = loaded.records().to_vec();
                 let n = records.len();
                 for rec in records {

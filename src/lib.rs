@@ -73,7 +73,9 @@ pub mod prelude {
     pub use pathdump_simnet::{
         FaultState, LoadBalance, Misconfig, Packet, Quirk, SimConfig, Simulator, TagPolicy, World,
     };
-    pub use pathdump_tib::{diff_snapshots, PathDelta, Tib, TibDiff, TibRecord};
+    pub use pathdump_tib::{
+        diff_snapshots, PathDelta, Tib, TibDiff, TibRead, TibReader, TibRecord, TieredTib,
+    };
     pub use pathdump_topology::{
         FatTree, FatTreeParams, FlowId, HostId, Ip, LinkDir, LinkPattern, Nanos, Path, SwitchId,
         TimeRange, UpDownRouting, Vl2, Vl2Params,

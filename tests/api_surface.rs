@@ -119,8 +119,8 @@ fn direct_and_multilevel_mechanisms_agree_on_live_data() {
         .iter()
         .map(|a| {
             let mut t = Tib::new();
-            for r in a.tib.records() {
-                t.insert(r.clone());
+            for r in a.tib.records_vec() {
+                t.insert(r);
             }
             t
         })

@@ -16,7 +16,7 @@ fn fattree_web_traffic_all_records_feasible() {
     let mut records = 0;
     for agent in &tb.sim.world.agents {
         let dst = agent.host();
-        for rec in agent.tib.records() {
+        for rec in agent.tib.records_vec() {
             let src = topo.host_by_ip(rec.flow.src_ip).expect("known src");
             assert!(
                 path_is_feasible(topo, src, dst, &rec.path),

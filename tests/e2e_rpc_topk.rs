@@ -29,7 +29,21 @@ fn harvest_tibs(engine: EngineKind) -> Vec<Tib> {
     let specs = tb.add_web_traffic(0.25, Nanos::from_secs(2), 4242);
     assert!(!specs.is_empty());
     tb.run_and_flush(Nanos::from_secs(6));
-    let tibs: Vec<Tib> = tb.sim.world.agents.iter().map(|a| a.tib.clone()).collect();
+    // The rpc plane holds flat per-host stores; flatten each agent's
+    // tiered TIB (same records, same insertion order).
+    let tibs: Vec<Tib> = tb
+        .sim
+        .world
+        .agents
+        .iter()
+        .map(|a| {
+            let mut t = Tib::with_bucket_width(a.tib.bucket_width());
+            for rec in a.tib.records_vec() {
+                t.insert(rec);
+            }
+            t
+        })
+        .collect();
     assert_eq!(tibs.len(), 16, "k=4 fat-tree has 16 hosts");
     assert!(
         tibs.iter().map(|t| t.len()).sum::<usize>() >= specs.len(),

@@ -12,7 +12,7 @@ use pathdump_apps::load_imbalance::flow_size_distributions;
 use pathdump_apps::routing_loop::{install_loop, run_loop_experiment};
 use pathdump_apps::silent_drops::{score, SilentDropLocalizer};
 use pathdump_apps::Testbed;
-use pathdump_core::WorldConfig;
+use pathdump_core::{TibRead, WorldConfig};
 use pathdump_simnet::{
     EngineKind, FaultState, NoTagging, Packet, SimConfig, SimStats, Simulator, SinkWorld,
 };
